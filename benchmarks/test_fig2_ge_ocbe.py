@@ -1,0 +1,62 @@
+"""Figure 2: GE-OCBE per-step cost vs the bit length l.
+
+Paper trend: all three steps grow linearly in l (about 900 ms total at
+l = 40 on their genus-2/C++ stack).  We sweep l on the EC backend (same
+O(l) scalar-multiplication structure); the genus-2 point at l = 10 pins
+the faithful backend's cost.
+"""
+
+import pytest
+
+from repro.ocbe.ge import GeOCBEReceiver, GeOCBESender
+from repro.ocbe.predicates import GePredicate
+
+MESSAGE = b"conditional-subscription-secret!"
+ELLS = [5, 20, 40]
+
+
+def _parts(setup, ell, rng):
+    predicate = GePredicate(3, ell)
+    x = 37 if ell > 5 else 7
+    commitment, r = setup.pedersen.commit(x, rng=rng)
+    receiver = GeOCBEReceiver(setup, predicate, x, r, commitment, rng)
+    aux = receiver.commitment_message()
+    sender = GeOCBESender(setup, predicate, rng)
+    envelope = sender.compose(commitment, aux, MESSAGE)
+    return predicate, x, r, commitment, receiver, aux, sender, envelope
+
+
+@pytest.mark.parametrize("ell", ELLS)
+def test_create_commitments_sub(benchmark, ell, ec_setup, rng):
+    predicate, x, r, commitment, *_ = _parts(ec_setup, ell, rng)
+
+    def step():
+        receiver = GeOCBEReceiver(ec_setup, predicate, x, r, commitment, rng)
+        return receiver.commitment_message()
+
+    benchmark.pedantic(step, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("ell", ELLS)
+def test_compose_envelope_pub(benchmark, ell, ec_setup, rng):
+    _, _, _, commitment, _, aux, sender, _ = _parts(ec_setup, ell, rng)
+    benchmark.pedantic(
+        lambda: sender.compose(commitment, aux, MESSAGE), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("ell", ELLS)
+def test_open_envelope_sub(benchmark, ell, ec_setup, rng):
+    _, _, _, _, receiver, _, _, envelope = _parts(ec_setup, ell, rng)
+    result = benchmark.pedantic(
+        lambda: receiver.open(envelope), rounds=3, iterations=1
+    )
+    assert result == MESSAGE
+
+
+def test_genus2_faithful_point(benchmark, genus2_setup, rng):
+    """One faithful genus-2 datapoint (l=10) for cross-backend scaling."""
+    _, _, _, commitment, _, aux, sender, _ = _parts(genus2_setup, 10, rng)
+    benchmark.pedantic(
+        lambda: sender.compose(commitment, aux, MESSAGE), rounds=1, iterations=1
+    )

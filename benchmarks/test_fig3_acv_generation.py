@@ -1,0 +1,40 @@
+"""Figure 3: ACV generation time vs maximum users N per user configuration.
+
+Paper trend: cubic-ish growth in N (null-space solve), increasing with the
+fraction of current subscribers; < 45 s at N = 1000 on their NTL stack.
+We sweep the word-sized field (vectorised numpy elimination) and include
+the 80-bit paper field at N = 100 for the faithful arithmetic.
+"""
+
+import random
+
+import pytest
+
+from repro.gkm.acv import FAST_FIELD, PAPER_FIELD, AcvBgkm
+from repro.workloads.generator import user_configuration_rows
+
+
+@pytest.mark.parametrize("fraction", [0.25, 1.0], ids=["25pct", "100pct"])
+@pytest.mark.parametrize("max_users", [100, 250, 500])
+def test_acv_generation_fast_field(benchmark, max_users, fraction):
+    rng = random.Random(max_users)
+    gkm = AcvBgkm(FAST_FIELD)
+    rows, capacity = user_configuration_rows(max_users, fraction, rng=rng)
+    benchmark.pedantic(
+        lambda: gkm.generate(rows, n_max=capacity, rng=rng),
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("fraction", [1.0], ids=["100pct"])
+def test_acv_generation_paper_field_n100(benchmark, fraction):
+    """Faithful 80-bit field (pure-Python kernel) at N = 100."""
+    rng = random.Random(7)
+    gkm = AcvBgkm(PAPER_FIELD)
+    rows, capacity = user_configuration_rows(100, fraction, rng=rng)
+    benchmark.pedantic(
+        lambda: gkm.generate(rows, n_max=capacity, rng=rng),
+        rounds=2,
+        iterations=1,
+    )

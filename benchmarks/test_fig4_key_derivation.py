@@ -1,0 +1,31 @@
+"""Figure 4: subscriber key-derivation time vs N.
+
+Paper trend: a few milliseconds, linear in N (N+1 hashes + one inner
+product), essentially independent of the subscriber fraction.
+"""
+
+import random
+
+import pytest
+
+from repro.gkm.acv import FAST_FIELD, PAPER_FIELD, AcvBgkm
+from repro.workloads.generator import user_configuration_rows
+
+
+@pytest.mark.parametrize("max_users", [100, 500, 1000])
+def test_key_derivation_fast_field(benchmark, max_users):
+    rng = random.Random(max_users)
+    gkm = AcvBgkm(FAST_FIELD)
+    rows, capacity = user_configuration_rows(max_users, 0.25, rng=rng)
+    key, header = gkm.generate(rows, n_max=capacity, rng=rng)
+    result = benchmark(lambda: gkm.derive(header, rows[0]))
+    assert result == key
+
+
+def test_key_derivation_paper_field_n500(benchmark):
+    rng = random.Random(1)
+    gkm = AcvBgkm(PAPER_FIELD)
+    rows, capacity = user_configuration_rows(500, 0.25, rng=rng)
+    key, header = gkm.generate(rows, n_max=capacity, rng=rng)
+    result = benchmark(lambda: gkm.derive(header, rows[0]))
+    assert result == key

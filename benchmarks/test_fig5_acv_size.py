@@ -1,0 +1,42 @@
+"""Figure 5: ACV broadcast size vs N per user configuration.
+
+Paper trend: a few KB, linear in N, increasing with the subscriber
+fraction (their ACVs are compressed, so sparse vectors from small
+populations transmit fewer field elements).  Size is not a timing, so the
+benchmark target measures header *serialization*; the sizes themselves
+are asserted and printed by the harness (examples/reproduce_evaluation.py
+and EXPERIMENTS.md).
+"""
+
+import random
+
+import pytest
+
+from repro.gkm.acv import PAPER_FIELD, AcvBgkm
+from repro.workloads.generator import user_configuration_rows
+
+
+@pytest.mark.parametrize("fraction", [0.25, 1.0], ids=["25pct", "100pct"])
+@pytest.mark.parametrize("max_users", [100, 500])
+def test_header_serialization(benchmark, max_users, fraction):
+    rng = random.Random(max_users)
+    gkm = AcvBgkm(PAPER_FIELD)
+    rows, capacity = user_configuration_rows(max_users, fraction, rng=rng)
+    _, header = gkm.generate(rows, n_max=capacity, rng=rng)
+    raw = benchmark(header.to_bytes)
+    assert len(raw) > 0
+
+
+def test_size_trend_matches_paper():
+    """Assert the Figure-5 shape: size grows with N and with the fraction."""
+    rng = random.Random(9)
+    gkm = AcvBgkm(PAPER_FIELD)
+    sizes = {}
+    for n in (100, 400):
+        for fraction in (0.25, 1.0):
+            rows, capacity = user_configuration_rows(n, fraction, rng=rng)
+            _, header = gkm.generate(rows, n_max=capacity, rng=rng)
+            sizes[(n, fraction)] = header.byte_size()
+    assert sizes[(400, 1.0)] > sizes[(100, 1.0)]          # linear in N
+    assert sizes[(400, 1.0)] > sizes[(400, 0.25)]          # grows with subs
+    assert sizes[(400, 1.0)] < 40 * 1024                   # "a few KB"

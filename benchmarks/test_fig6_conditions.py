@@ -1,0 +1,39 @@
+"""Figure 6: ACV generation / key derivation vs conditions per policy.
+
+Paper trend (N = 500, 25 policies): key derivation flat; ACV generation
+increases slightly (< 100 ms over the sweep) because each matrix entry
+hashes a longer CSS concatenation.
+"""
+
+import random
+
+import pytest
+
+from repro.gkm.acv import FAST_FIELD, AcvBgkm
+from repro.workloads.generator import user_configuration_rows
+
+N = 200  # scaled from the paper's 500 to keep pytest-benchmark rounds fast
+
+
+@pytest.mark.parametrize("conditions", [1, 5, 10])
+def test_generation_vs_conditions(benchmark, conditions):
+    rng = random.Random(conditions)
+    gkm = AcvBgkm(FAST_FIELD)
+    rows, capacity = user_configuration_rows(
+        N, 1.0, avg_conditions=conditions, rng=rng
+    )
+    benchmark.pedantic(
+        lambda: gkm.generate(rows, n_max=capacity, rng=rng), rounds=2, iterations=1
+    )
+
+
+@pytest.mark.parametrize("conditions", [1, 5, 10])
+def test_derivation_vs_conditions(benchmark, conditions):
+    rng = random.Random(conditions)
+    gkm = AcvBgkm(FAST_FIELD)
+    rows, capacity = user_configuration_rows(
+        N, 1.0, avg_conditions=conditions, rng=rng
+    )
+    key, header = gkm.generate(rows, n_max=capacity, rng=rng)
+    result = benchmark(lambda: gkm.derive(header, rows[0]))
+    assert result == key

@@ -1,0 +1,7 @@
+"""Legacy-path shim: lets `pip install -e . --no-use-pep517` work in
+environments without the `wheel` package (all metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro: privacy-preserving policy-based content dissemination.
+
+A from-scratch Python reproduction of Shang, Nabeel, Paci & Bertino,
+"A Privacy-Preserving Approach to Policy-Based Content Dissemination"
+(ICDE 2010 / CERIAS TR 2009-27):
+
+* **ACV-BGKM** (:mod:`repro.gkm`) -- the paper's broadcast group key
+  management scheme plus the baselines it is evaluated against;
+* **OCBE** (:mod:`repro.ocbe`) -- oblivious commitment-based envelopes for
+  =, !=, >=, <=, >, < predicates over Pedersen commitments;
+* **groups** (:mod:`repro.groups`) -- Schnorr, elliptic-curve and the
+  paper's genus-2 hyperelliptic Jacobian backends;
+* **system** (:mod:`repro.system`) -- IdP, IdMgr, Publisher and Subscriber
+  wired end to end;
+* **documents / policy / workloads / bench** -- segmentation, the policy
+  language, the EHR scenario and the evaluation harness.
+
+Quickstart::
+
+    from repro.workloads import build_hospital
+
+    hospital = build_hospital()
+    package = hospital.publisher.publish(hospital.document)
+    plaintexts = hospital.subscribers["carol"].receive(package)  # a doctor
+
+See ``examples/`` for complete scenarios and DESIGN.md for the system map.
+"""
+
+from repro.documents import BroadcastPackage, Document, Subdocument, document_from_xml
+from repro.gkm import AcvBgkm, AcvHeader, BucketedAcvBgkm
+from repro.groups import default_group, get_group, list_groups
+from repro.ocbe import OCBESetup, run_ocbe
+from repro.policy import (
+    AccessControlPolicy,
+    AttributeCondition,
+    PolicyConfiguration,
+    parse_condition,
+    parse_policy,
+)
+from repro.system import (
+    IdentityManager,
+    IdentityProvider,
+    InMemoryTransport,
+    Publisher,
+    Subscriber,
+    register_all_attributes,
+    register_for_attribute,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AcvBgkm",
+    "AcvHeader",
+    "BucketedAcvBgkm",
+    "BroadcastPackage",
+    "Document",
+    "Subdocument",
+    "document_from_xml",
+    "default_group",
+    "get_group",
+    "list_groups",
+    "OCBESetup",
+    "run_ocbe",
+    "AccessControlPolicy",
+    "AttributeCondition",
+    "PolicyConfiguration",
+    "parse_condition",
+    "parse_policy",
+    "IdentityManager",
+    "IdentityProvider",
+    "InMemoryTransport",
+    "Publisher",
+    "Subscriber",
+    "register_all_attributes",
+    "register_for_attribute",
+]

@@ -1,0 +1,22 @@
+"""Measurement harness for reproducing the paper's tables and figures.
+
+:mod:`repro.bench.figures` has one driver per evaluation artifact
+(``table2``, ``fig2`` ... ``fig6``); each returns structured rows and can
+print the same series the paper plots.  ``benchmarks/`` wraps these in
+pytest-benchmark targets; ``examples``/EXPERIMENTS.md use them directly.
+"""
+
+from repro.bench.runner import Measurement, avg_time, format_table
+from repro.bench.figures import fig2, fig3, fig4, fig5, fig6, table2
+
+__all__ = [
+    "Measurement",
+    "avg_time",
+    "format_table",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+]

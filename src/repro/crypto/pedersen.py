@@ -1,0 +1,97 @@
+"""Pedersen commitments over any prime-order cyclic group (Section IV-B).
+
+A trusted party publishes ``(G, p, g, h)`` with the discrete log of ``h``
+to base ``g`` unknown; a committer hides ``x`` as ``c = g^x h^r``.  The
+scheme is unconditionally hiding and computationally binding under the DL
+assumption.
+
+The :class:`PedersenParams` setup derives ``h`` by hashing into the group,
+so *nobody* (including the setup party) knows ``log_g h``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import CommitmentError, InvalidParameterError
+from repro.groups.base import CyclicGroup, GroupElement
+
+__all__ = ["PedersenParams", "PedersenCommitment"]
+
+
+@dataclass(frozen=True)
+class PedersenCommitment:
+    """An opened-or-unopened commitment value ``c = g^x h^r``."""
+
+    value: GroupElement
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding of the commitment (the group element)."""
+        return self.value.to_bytes()
+
+    def __mul__(self, other: "PedersenCommitment") -> "PedersenCommitment":
+        """Homomorphic combination: commits to the sum of values."""
+        if not isinstance(other, PedersenCommitment):
+            return NotImplemented
+        return PedersenCommitment(self.value * other.value)
+
+
+class PedersenParams:
+    """System parameters ``(G, g, h)`` for Pedersen commitments."""
+
+    __slots__ = ("group", "g", "h")
+
+    def __init__(
+        self,
+        group: CyclicGroup,
+        g: Optional[GroupElement] = None,
+        h: Optional[GroupElement] = None,
+    ):
+        self.group = group
+        self.g = g if g is not None else group.generator()
+        self.h = h if h is not None else group.second_generator()
+        if self.g.is_identity() or self.h.is_identity():
+            raise InvalidParameterError("generators must be non-identity")
+        if self.g == self.h:
+            raise InvalidParameterError("g and h must be distinct")
+
+    @property
+    def order(self) -> int:
+        """The exponent-space modulus p (the group order)."""
+        return self.group.order
+
+    def commit(
+        self, x: int, r: Optional[int] = None, rng: Optional[random.Random] = None
+    ) -> Tuple[PedersenCommitment, int]:
+        """Commit to ``x``; returns ``(commitment, r)``.
+
+        When ``r`` is omitted a uniform blinding scalar is drawn (from
+        ``rng`` if given, else from the system CSPRNG).
+        """
+        p = self.order
+        x %= p
+        if r is None:
+            if rng is not None:
+                r = rng.randrange(p)
+            else:
+                import secrets
+
+                r = secrets.randbelow(p)
+        r %= p
+        c = (self.g ** x) * (self.h ** r)
+        return PedersenCommitment(c), r
+
+    def verify_open(self, commitment: PedersenCommitment, x: int, r: int) -> bool:
+        """Check that ``commitment`` opens to ``(x, r)``."""
+        expected = (self.g ** (x % self.order)) * (self.h ** (r % self.order))
+        return commitment.value == expected
+
+    def require_open(self, commitment: PedersenCommitment, x: int, r: int) -> None:
+        """Like :meth:`verify_open` but raises :class:`CommitmentError`."""
+        if not self.verify_open(commitment, x, r):
+            raise CommitmentError("commitment does not open to claimed (x, r)")
+
+    def __repr__(self) -> str:
+        return "PedersenParams(group=%s)" % self.group.name

@@ -1,0 +1,113 @@
+"""Schnorr signatures over any prime-order cyclic group.
+
+The IdMgr signs identity tokens ``(nym, id-tag, c)``; any EUF-CMA signature
+works, and Schnorr is the natural choice because it reuses the group
+infrastructure already required by the Pedersen commitments (and is proven
+secure in the random-oracle model, matching the paper's analysis setting).
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.hashes import HashFunction, default_hash, hash_to_range
+from repro.errors import InvalidParameterError
+from repro.groups.base import CyclicGroup, GroupElement
+
+__all__ = ["SchnorrSignature", "SchnorrKeyPair"]
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """A signature ``(e, s)`` with ``e = H(R || pub || m)``, ``s = k - e*sk``."""
+
+    e: int
+    s: int
+
+    def to_bytes(self, scalar_len: int) -> bytes:
+        """Fixed-width encoding ``e || s``."""
+        return self.e.to_bytes(scalar_len, "big") + self.s.to_bytes(scalar_len, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes, scalar_len: int) -> "SchnorrSignature":
+        """Parse the fixed-width encoding."""
+        if len(data) != 2 * scalar_len:
+            raise InvalidParameterError("bad signature length")
+        return cls(
+            int.from_bytes(data[:scalar_len], "big"),
+            int.from_bytes(data[scalar_len:], "big"),
+        )
+
+
+class SchnorrKeyPair:
+    """A Schnorr signing/verification key pair over ``group``."""
+
+    __slots__ = ("group", "g", "sk", "pk", "h")
+
+    def __init__(
+        self,
+        group: CyclicGroup,
+        sk: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+        h: Optional[HashFunction] = None,
+    ):
+        self.group = group
+        self.g = group.generator()
+        if sk is None:
+            if rng is not None:
+                sk = rng.randrange(1, group.order)
+            else:
+                sk = secrets.randbelow(group.order - 1) + 1
+        self.sk = sk % group.order
+        if self.sk == 0:
+            raise InvalidParameterError("secret key must be nonzero")
+        self.pk = self.g ** self.sk
+        self.h = h or default_hash()
+
+    def _challenge(self, commitment: GroupElement, message: bytes) -> int:
+        data = (
+            b"repro/schnorr-sig"
+            + commitment.to_bytes()
+            + self.pk.to_bytes()
+            + message
+        )
+        return hash_to_range(self.h, data, self.group.order)
+
+    def sign(
+        self, message: bytes, rng: Optional[random.Random] = None
+    ) -> SchnorrSignature:
+        """Sign ``message``; nondeterministic nonce unless ``rng`` given."""
+        q = self.group.order
+        if rng is not None:
+            k = rng.randrange(1, q)
+        else:
+            k = secrets.randbelow(q - 1) + 1
+        commitment = self.g ** k
+        e = self._challenge(commitment, message)
+        s = (k - e * self.sk) % q
+        return SchnorrSignature(e, s)
+
+    def verify(self, message: bytes, signature: SchnorrSignature) -> bool:
+        """Verify with this key pair's public key."""
+        return verify(self.group, self.pk, message, signature, self.h)
+
+
+def verify(
+    group: CyclicGroup,
+    pk: GroupElement,
+    message: bytes,
+    signature: SchnorrSignature,
+    h: Optional[HashFunction] = None,
+) -> bool:
+    """Public-key Schnorr verification: ``R' = g^s pk^e``; accept iff
+    ``H(R' || pk || m) == e``."""
+    h = h or default_hash()
+    q = group.order
+    if not (0 <= signature.e < q and 0 <= signature.s < q):
+        return False
+    commitment = (group.generator() ** signature.s) * (pk ** signature.e)
+    data = b"repro/schnorr-sig" + commitment.to_bytes() + pk.to_bytes() + message
+    return hash_to_range(h, data, q) == signature.e

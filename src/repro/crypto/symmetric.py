@@ -1,0 +1,144 @@
+"""Semantically secure symmetric envelopes (the paper's ``E_Key[M]``).
+
+The OCBE protocols and the document-dissemination layer both need an
+IND-CPA-secure symmetric scheme keyed by arbitrary-length secrets.  Two
+interchangeable backends implement the small :class:`SymmetricCipher`
+interface:
+
+* :class:`AesCtrHmacCipher` -- AES-CTR with HMAC-SHA-256 in
+  encrypt-then-MAC composition (authenticated; the default);
+* :class:`HashStreamCipher` -- a hash-counter stream cipher with an HMAC
+  tag, useful where a very cheap software cipher is wanted and as an
+  independent implementation for differential testing.
+
+Both produce self-contained ciphertexts ``nonce || body || tag`` and raise
+:class:`~repro.errors.DecryptionError` on any authentication failure, so a
+subscriber that derived a *wrong* group key learns nothing but "failed" --
+matching the OCBE requirement that decryption under the wrong committed
+value yields no information.
+"""
+
+from __future__ import annotations
+
+import abc
+import secrets
+from typing import Optional
+
+from repro.crypto.aes import AES
+from repro.crypto.hashes import HashFunction, default_hash, expand_message
+from repro.crypto.kdf import derive_key
+from repro.crypto.mac import constant_time_equal, hmac_digest
+from repro.crypto.modes import ctr_xor
+from repro.errors import DecryptionError, InvalidParameterError
+
+__all__ = [
+    "SymmetricCipher",
+    "AesCtrHmacCipher",
+    "HashStreamCipher",
+    "default_cipher",
+]
+
+_NONCE_LEN = 16
+_TAG_LEN = 16
+
+
+class SymmetricCipher(abc.ABC):
+    """Key-based authenticated encryption of byte strings."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def encrypt(self, key: bytes, plaintext: bytes) -> bytes:
+        """Encrypt; output embeds nonce and authentication tag."""
+
+    @abc.abstractmethod
+    def decrypt(self, key: bytes, ciphertext: bytes) -> bytes:
+        """Decrypt; raises :class:`DecryptionError` on any failure."""
+
+    def overhead(self) -> int:
+        """Ciphertext expansion in bytes."""
+        return _NONCE_LEN + _TAG_LEN
+
+
+class AesCtrHmacCipher(SymmetricCipher):
+    """AES-CTR + HMAC (encrypt-then-MAC).  The library default.
+
+    The caller's ``key`` may have any length; it is stretched with HKDF
+    into independent encryption and MAC subkeys.
+    """
+
+    name = "aes-ctr-hmac"
+
+    def __init__(self, aes_key_size: int = 16, h: Optional[HashFunction] = None):
+        if aes_key_size not in (16, 24, 32):
+            raise InvalidParameterError("aes_key_size must be 16/24/32")
+        self.aes_key_size = aes_key_size
+        self.h = h or default_hash()
+
+    def _subkeys(self, key: bytes) -> tuple:
+        enc = derive_key(key, self.aes_key_size, info=b"repro/aes-ctr/enc", h=self.h)
+        mac = derive_key(key, 32, info=b"repro/aes-ctr/mac", h=self.h)
+        return enc, mac
+
+    def encrypt(self, key: bytes, plaintext: bytes) -> bytes:
+        enc_key, mac_key = self._subkeys(key)
+        nonce = secrets.token_bytes(_NONCE_LEN)
+        body = ctr_xor(AES(enc_key), nonce, plaintext)
+        tag = hmac_digest(mac_key, nonce + body, self.h)[:_TAG_LEN]
+        return nonce + body + tag
+
+    def decrypt(self, key: bytes, ciphertext: bytes) -> bytes:
+        if len(ciphertext) < _NONCE_LEN + _TAG_LEN:
+            raise DecryptionError("ciphertext too short")
+        enc_key, mac_key = self._subkeys(key)
+        nonce = ciphertext[:_NONCE_LEN]
+        body = ciphertext[_NONCE_LEN:-_TAG_LEN]
+        tag = ciphertext[-_TAG_LEN:]
+        expected = hmac_digest(mac_key, nonce + body, self.h)[:_TAG_LEN]
+        if not constant_time_equal(tag, expected):
+            raise DecryptionError("authentication tag mismatch")
+        return ctr_xor(AES(enc_key), nonce, body)
+
+
+class HashStreamCipher(SymmetricCipher):
+    """Hash-counter stream cipher with an HMAC tag.
+
+    Keystream = ``H(counter || key || nonce)`` blocks; security reduces to
+    the hash behaving as a random oracle, the same assumption the paper's
+    GKM analysis already makes.  Much faster than pure-Python AES for large
+    payloads.
+    """
+
+    name = "hash-stream"
+
+    def __init__(self, h: Optional[HashFunction] = None):
+        self.h = h or default_hash()
+
+    def encrypt(self, key: bytes, plaintext: bytes) -> bytes:
+        nonce = secrets.token_bytes(_NONCE_LEN)
+        stream = expand_message(self.h, key + nonce, len(plaintext))
+        body = bytes(a ^ b for a, b in zip(plaintext, stream))
+        mac_key = derive_key(key, 32, info=b"repro/hash-stream/mac", h=self.h)
+        tag = hmac_digest(mac_key, nonce + body, self.h)[:_TAG_LEN]
+        return nonce + body + tag
+
+    def decrypt(self, key: bytes, ciphertext: bytes) -> bytes:
+        if len(ciphertext) < _NONCE_LEN + _TAG_LEN:
+            raise DecryptionError("ciphertext too short")
+        nonce = ciphertext[:_NONCE_LEN]
+        body = ciphertext[_NONCE_LEN:-_TAG_LEN]
+        tag = ciphertext[-_TAG_LEN:]
+        mac_key = derive_key(key, 32, info=b"repro/hash-stream/mac", h=self.h)
+        expected = hmac_digest(mac_key, nonce + body, self.h)[:_TAG_LEN]
+        if not constant_time_equal(tag, expected):
+            raise DecryptionError("authentication tag mismatch")
+        stream = expand_message(self.h, key + nonce, len(body))
+        return bytes(a ^ b for a, b in zip(body, stream))
+
+
+_DEFAULT = AesCtrHmacCipher()
+
+
+def default_cipher() -> SymmetricCipher:
+    """The library-wide default authenticated cipher (AES-CTR + HMAC)."""
+    return _DEFAULT

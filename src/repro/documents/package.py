@@ -1,0 +1,187 @@
+"""The broadcast package: what the Pub actually transmits (Section V-C).
+
+For every policy configuration the package carries a :class:`ConfigHeader`
+with
+
+* the ordered condition-key lists of the member policies (public -- the
+  paper's ACPs are known to subscribers so they can pick "an access control
+  policy acp_k it satisfies"), and
+* the ACV-BGKM header ``(X, z_1..z_N)``; the empty configuration carries no
+  header at all ("the Pub can just encrypt ... without the need of
+  publishing X or z_i", Example 4).
+
+plus each subdocument encrypted (authenticated) under its configuration's
+key.  The whole package serializes to a single byte string; subscribers
+need nothing else besides their CSSs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import SerializationError
+from repro.gkm.acv import AcvHeader
+
+__all__ = ["ConfigHeader", "EncryptedSubdocument", "BroadcastPackage"]
+
+_MAGIC = b"BPK1"
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack(">H", len(raw)) + raw
+
+
+def _unpack_str(data: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    if offset + length > len(data):
+        raise SerializationError("truncated string field")
+    return data[offset : offset + length].decode("utf-8"), offset + length
+
+
+def _pack_bytes(raw: bytes) -> bytes:
+    return struct.pack(">I", len(raw)) + raw
+
+
+def _unpack_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
+    (length,) = struct.unpack_from(">I", data, offset)
+    offset += 4
+    if offset + length > len(data):
+        raise SerializationError("truncated bytes field")
+    return data[offset : offset + length], offset + length
+
+
+@dataclass(frozen=True)
+class ConfigHeader:
+    """Public keying material for one policy configuration."""
+
+    config_id: str
+    policies: Tuple[Tuple[str, ...], ...]  # ordered condition keys per policy
+    acv: Optional[AcvHeader]
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out += _pack_str(self.config_id)
+        out += struct.pack(">H", len(self.policies))
+        for policy in self.policies:
+            out += struct.pack(">H", len(policy))
+            for key in policy:
+                out += _pack_str(key)
+        if self.acv is None:
+            out += _pack_bytes(b"")
+        else:
+            out += _pack_bytes(self.acv.to_bytes())
+        return bytes(out)
+
+    @classmethod
+    def from_bytes_at(cls, data: bytes, offset: int) -> Tuple["ConfigHeader", int]:
+        config_id, offset = _unpack_str(data, offset)
+        (n_policies,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        policies: List[Tuple[str, ...]] = []
+        for _ in range(n_policies):
+            (n_conds,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            conds = []
+            for _ in range(n_conds):
+                key, offset = _unpack_str(data, offset)
+                conds.append(key)
+            policies.append(tuple(conds))
+        acv_raw, offset = _unpack_bytes(data, offset)
+        acv = AcvHeader.from_bytes(acv_raw) if acv_raw else None
+        return (
+            cls(config_id=config_id, policies=tuple(policies), acv=acv),
+            offset,
+        )
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
+
+
+@dataclass(frozen=True)
+class EncryptedSubdocument:
+    """One subdocument ciphertext, tagged with its configuration."""
+
+    name: str
+    config_id: str
+    ciphertext: bytes
+
+    def to_bytes(self) -> bytes:
+        return _pack_str(self.name) + _pack_str(self.config_id) + _pack_bytes(
+            self.ciphertext
+        )
+
+    @classmethod
+    def from_bytes_at(
+        cls, data: bytes, offset: int
+    ) -> Tuple["EncryptedSubdocument", int]:
+        name, offset = _unpack_str(data, offset)
+        config_id, offset = _unpack_str(data, offset)
+        ciphertext, offset = _unpack_bytes(data, offset)
+        return cls(name=name, config_id=config_id, ciphertext=ciphertext), offset
+
+
+@dataclass(frozen=True)
+class BroadcastPackage:
+    """A complete encrypted document broadcast."""
+
+    document: str
+    headers: Tuple[ConfigHeader, ...]
+    subdocuments: Tuple[EncryptedSubdocument, ...]
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(_MAGIC)
+        out += _pack_str(self.document)
+        out += struct.pack(">H", len(self.headers))
+        for header in self.headers:
+            out += _pack_bytes(header.to_bytes())
+        out += struct.pack(">H", len(self.subdocuments))
+        for sub in self.subdocuments:
+            out += sub.to_bytes()
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BroadcastPackage":
+        try:
+            if data[:4] != _MAGIC:
+                raise SerializationError("bad magic")
+            offset = 4
+            document, offset = _unpack_str(data, offset)
+            (n_headers,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            headers = []
+            for _ in range(n_headers):
+                raw, offset = _unpack_bytes(data, offset)
+                header, _ = ConfigHeader.from_bytes_at(raw, 0)
+                headers.append(header)
+            (n_subs,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            subs = []
+            for _ in range(n_subs):
+                sub, offset = EncryptedSubdocument.from_bytes_at(data, offset)
+                subs.append(sub)
+            return cls(
+                document=document,
+                headers=tuple(headers),
+                subdocuments=tuple(subs),
+            )
+        except (IndexError, struct.error, UnicodeDecodeError) as exc:
+            raise SerializationError("truncated broadcast package") from exc
+
+    def header_for(self, config_id: str) -> ConfigHeader:
+        """Look up a configuration header by id."""
+        for header in self.headers:
+            if header.config_id == config_id:
+                return header
+        raise SerializationError("no header for configuration %r" % config_id)
+
+    def byte_size(self) -> int:
+        """Total wire size."""
+        return len(self.to_bytes())
+
+    def header_overhead(self) -> int:
+        """Bytes spent on keying headers (the paper's bandwidth overhead)."""
+        return sum(h.byte_size() for h in self.headers)

@@ -1,0 +1,139 @@
+"""Abstract interface shared by all cyclic-group backends.
+
+The paper writes its groups multiplicatively (``c = g^x h^r``); we keep that
+notation, so for elliptic-curve and Jacobian backends ``a * b`` is point or
+divisor addition and ``a ** n`` is scalar multiplication.
+
+Every group has *prime* order, exposes a canonical generator and supports
+deterministic hashing to group elements (used to derive the second Pedersen
+base ``h`` with provably unknown discrete log relative to ``g``).
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import random
+from typing import Optional
+
+__all__ = ["CyclicGroup", "GroupElement"]
+
+
+class GroupElement(abc.ABC):
+    """An element of a :class:`CyclicGroup` (multiplicative notation)."""
+
+    __slots__ = ()
+
+    @property
+    @abc.abstractmethod
+    def group(self) -> "CyclicGroup":
+        """The group this element belongs to."""
+
+    @abc.abstractmethod
+    def __mul__(self, other: "GroupElement") -> "GroupElement":
+        """The group operation."""
+
+    @abc.abstractmethod
+    def inverse(self) -> "GroupElement":
+        """The group inverse."""
+
+    @abc.abstractmethod
+    def __pow__(self, exponent: int) -> "GroupElement":
+        """Scalar exponentiation; negative exponents invert first."""
+
+    @abc.abstractmethod
+    def is_identity(self) -> bool:
+        """True for the neutral element."""
+
+    @abc.abstractmethod
+    def to_bytes(self) -> bytes:
+        """Canonical fixed-format serialization (used for hashing)."""
+
+    @abc.abstractmethod
+    def __eq__(self, other: object) -> bool: ...
+
+    @abc.abstractmethod
+    def __hash__(self) -> int: ...
+
+    def __truediv__(self, other: "GroupElement") -> "GroupElement":
+        """``a / b`` is shorthand for ``a * b.inverse()``."""
+        if not isinstance(other, GroupElement):
+            return NotImplemented
+        return self * other.inverse()
+
+
+class CyclicGroup(abc.ABC):
+    """A cyclic group of (large) prime order with a canonical generator."""
+
+    __slots__ = ()
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short human-readable backend/parameter-set name."""
+
+    @property
+    @abc.abstractmethod
+    def order(self) -> int:
+        """The (prime) group order."""
+
+    @abc.abstractmethod
+    def identity(self) -> GroupElement:
+        """The neutral element."""
+
+    @abc.abstractmethod
+    def generator(self) -> GroupElement:
+        """The canonical generator ``g``."""
+
+    @abc.abstractmethod
+    def hash_to_element(self, tag: bytes) -> GroupElement:
+        """Deterministically map ``tag`` to a non-identity element.
+
+        The discrete log of the result with respect to :meth:`generator` is
+        unknown to everyone, which is exactly the property the Pedersen base
+        ``h`` needs.
+        """
+
+    @abc.abstractmethod
+    def element_from_bytes(self, data: bytes) -> GroupElement:
+        """Inverse of :meth:`GroupElement.to_bytes` (validates membership)."""
+
+    # -- generic helpers ------------------------------------------------------
+
+    def random_scalar(self, rng: Optional[random.Random] = None) -> int:
+        """Uniform scalar in ``[1, order)`` (the exponent group ``F_p^*``)."""
+        rng = rng or random
+        return rng.randrange(1, self.order)
+
+    def random_element(self, rng: Optional[random.Random] = None) -> GroupElement:
+        """Uniform non-identity element, as ``g**k`` for random ``k``."""
+        return self.generator() ** self.random_scalar(rng)
+
+    def second_generator(self, domain: bytes = b"repro/pedersen/h") -> GroupElement:
+        """A second generator ``h`` with unknown dlog relative to ``g``."""
+        return self.hash_to_element(domain)
+
+    def scalar_byte_length(self) -> int:
+        """Bytes needed to encode one scalar."""
+        return (self.order.bit_length() + 7) // 8
+
+    def _hash_counter_stream(self, tag: bytes, counter: int, width: int) -> int:
+        """Expand ``tag || counter`` into a ``width``-byte integer (helper)."""
+        out = b""
+        block = 0
+        while len(out) < width:
+            h = hashlib.sha256()
+            h.update(b"repro/h2g")
+            h.update(tag)
+            h.update(counter.to_bytes(4, "big"))
+            h.update(block.to_bytes(4, "big"))
+            out += h.digest()
+            block += 1
+        return int.from_bytes(out[:width], "big")
+
+    def __repr__(self) -> str:
+        return "%s(name=%r, order_bits=%d)" % (
+            type(self).__name__,
+            self.name,
+            self.order.bit_length(),
+        )

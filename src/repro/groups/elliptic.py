@@ -1,0 +1,291 @@
+"""Short-Weierstrass elliptic-curve groups.
+
+Affine points on ``y^2 = x^3 + ax + b`` over a prime field, with scalar
+multiplication performed internally in Jacobian projective coordinates to
+avoid per-step modular inversions.  All shipped parameter sets have prime
+order (cofactor 1), so every non-identity point is a generator -- which is
+what :class:`~repro.crypto.pedersen.PedersenParams` requires.
+
+This is the fastest backend in pure Python and the default for the OCBE
+protocol layer; the genus-2 backend reproduces the paper's exact setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import GroupError, InvalidParameterError, NotOnCurveError
+from repro.groups.base import CyclicGroup, GroupElement
+from repro.mathx.modular import modinv, modsqrt
+from repro.errors import NoSquareRootError
+
+__all__ = ["CurveParams", "EllipticCurveGroup", "ECPoint"]
+
+_INFINITY_BYTE = b"\x00"
+_UNCOMPRESSED_BYTE = b"\x04"
+
+
+@dataclass(frozen=True)
+class CurveParams:
+    """Domain parameters of a prime-order short-Weierstrass curve."""
+
+    name: str
+    p: int          # field modulus
+    a: int          # curve coefficient a
+    b: int          # curve coefficient b
+    gx: int         # base point x
+    gy: int         # base point y
+    n: int          # (prime) group order
+
+    def validate(self) -> None:
+        """Sanity-check the parameter set (discriminant, base point)."""
+        if (4 * pow(self.a, 3, self.p) + 27 * pow(self.b, 2, self.p)) % self.p == 0:
+            raise InvalidParameterError("singular curve (zero discriminant)")
+        lhs = (self.gy * self.gy) % self.p
+        rhs = (self.gx * self.gx * self.gx + self.a * self.gx + self.b) % self.p
+        if lhs != rhs:
+            raise InvalidParameterError("base point is not on the curve")
+
+
+class EllipticCurveGroup(CyclicGroup):
+    """The group of rational points of a prime-order curve."""
+
+    __slots__ = ("params", "_coord_len")
+
+    def __init__(self, params: CurveParams, check: bool = True):
+        if check:
+            params.validate()
+        self.params = params
+        self._coord_len = (params.p.bit_length() + 7) // 8
+
+    # -- CyclicGroup interface ----------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.params.name
+
+    @property
+    def order(self) -> int:
+        return self.params.n
+
+    def identity(self) -> "ECPoint":
+        return ECPoint(self, None)
+
+    def generator(self) -> "ECPoint":
+        return ECPoint(self, (self.params.gx, self.params.gy))
+
+    def point(self, x: int, y: int) -> "ECPoint":
+        """Construct and validate an affine point."""
+        p = self.params.p
+        x %= p
+        y %= p
+        if not self._on_curve(x, y):
+            raise NotOnCurveError("(%d, %d) is not on %s" % (x, y, self.name))
+        return ECPoint(self, (x, y))
+
+    def _on_curve(self, x: int, y: int) -> bool:
+        p = self.params.p
+        return (y * y - (x * x * x + self.params.a * x + self.params.b)) % p == 0
+
+    def lift_x(self, x: int, y_parity: int = 0) -> "ECPoint":
+        """Point with the given x coordinate and y parity.
+
+        Raises :class:`NoSquareRootError` when no point has this x.
+        """
+        p = self.params.p
+        x %= p
+        rhs = (x * x * x + self.params.a * x + self.params.b) % p
+        y = modsqrt(rhs, p)
+        if y % 2 != y_parity % 2:
+            y = p - y
+        return ECPoint(self, (x, y))
+
+    def hash_to_element(self, tag: bytes) -> "ECPoint":
+        counter = 0
+        while True:
+            x = self._hash_counter_stream(tag, counter, self._coord_len + 8)
+            x %= self.params.p
+            try:
+                candidate = self.lift_x(x)
+            except NoSquareRootError:
+                counter += 1
+                continue
+            if not candidate.is_identity():
+                return candidate
+            counter += 1
+
+    def element_from_bytes(self, data: bytes) -> "ECPoint":
+        if data == _INFINITY_BYTE:
+            return self.identity()
+        expected = 1 + 2 * self._coord_len
+        if len(data) != expected or data[:1] != _UNCOMPRESSED_BYTE:
+            raise GroupError("malformed point encoding")
+        x = int.from_bytes(data[1 : 1 + self._coord_len], "big")
+        y = int.from_bytes(data[1 + self._coord_len :], "big")
+        return self.point(x, y)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EllipticCurveGroup) and other.params == self.params
+
+    def __hash__(self) -> int:
+        return hash(("EllipticCurveGroup", self.params))
+
+    # -- Jacobian-coordinate kernels (internal) ------------------------------
+
+    def _jac_double(
+        self, pt: Tuple[int, int, int]
+    ) -> Tuple[int, int, int]:
+        x, y, z = pt
+        p = self.params.p
+        if z == 0 or y == 0:
+            return (1, 1, 0)
+        y2 = (y * y) % p
+        s = (4 * x * y2) % p
+        z2 = (z * z) % p
+        m = (3 * x * x + self.params.a * z2 * z2) % p
+        x3 = (m * m - 2 * s) % p
+        y3 = (m * (s - x3) - 8 * y2 * y2) % p
+        z3 = (2 * y * z) % p
+        return (x3, y3, z3)
+
+    def _jac_add(
+        self, p1: Tuple[int, int, int], p2: Tuple[int, int, int]
+    ) -> Tuple[int, int, int]:
+        if p1[2] == 0:
+            return p2
+        if p2[2] == 0:
+            return p1
+        p = self.params.p
+        x1, y1, z1 = p1
+        x2, y2, z2 = p2
+        z1z1 = (z1 * z1) % p
+        z2z2 = (z2 * z2) % p
+        u1 = (x1 * z2z2) % p
+        u2 = (x2 * z1z1) % p
+        s1 = (y1 * z2z2 * z2) % p
+        s2 = (y2 * z1z1 * z1) % p
+        if u1 == u2:
+            if s1 != s2:
+                return (1, 1, 0)
+            return self._jac_double(p1)
+        h = (u2 - u1) % p
+        r = (s2 - s1) % p
+        h2 = (h * h) % p
+        h3 = (h2 * h) % p
+        u1h2 = (u1 * h2) % p
+        x3 = (r * r - h3 - 2 * u1h2) % p
+        y3 = (r * (u1h2 - x3) - s1 * h3) % p
+        z3 = (h * z1 * z2) % p
+        return (x3, y3, z3)
+
+    def _jac_to_affine(
+        self, pt: Tuple[int, int, int]
+    ) -> Optional[Tuple[int, int]]:
+        x, y, z = pt
+        if z == 0:
+            return None
+        p = self.params.p
+        zinv = modinv(z, p)
+        zinv2 = (zinv * zinv) % p
+        return ((x * zinv2) % p, (y * zinv2 * zinv) % p)
+
+
+class ECPoint(GroupElement):
+    """A point on an :class:`EllipticCurveGroup` (None = point at infinity)."""
+
+    __slots__ = ("_group", "xy")
+
+    def __init__(self, group: EllipticCurveGroup, xy: Optional[Tuple[int, int]]):
+        self._group = group
+        self.xy = xy
+
+    @property
+    def group(self) -> EllipticCurveGroup:
+        return self._group
+
+    @property
+    def x(self) -> Optional[int]:
+        """Affine x coordinate (None at infinity)."""
+        return None if self.xy is None else self.xy[0]
+
+    @property
+    def y(self) -> Optional[int]:
+        """Affine y coordinate (None at infinity)."""
+        return None if self.xy is None else self.xy[1]
+
+    def _check(self, other: "ECPoint") -> None:
+        if other._group.params != self._group.params:
+            raise GroupError("points on different curves")
+
+    def __mul__(self, other: GroupElement) -> "ECPoint":
+        """Group operation (point addition, multiplicative notation)."""
+        if not isinstance(other, ECPoint):
+            return NotImplemented
+        self._check(other)
+        if self.xy is None:
+            return other
+        if other.xy is None:
+            return self
+        g = self._group
+        p = g.params.p
+        x1, y1 = self.xy
+        x2, y2 = other.xy
+        if x1 == x2:
+            if (y1 + y2) % p == 0:
+                return ECPoint(g, None)
+            # doubling
+            slope = (3 * x1 * x1 + g.params.a) * modinv(2 * y1, p) % p
+        else:
+            slope = (y2 - y1) * modinv((x2 - x1) % p, p) % p
+        x3 = (slope * slope - x1 - x2) % p
+        y3 = (slope * (x1 - x3) - y1) % p
+        return ECPoint(g, (x3, y3))
+
+    def inverse(self) -> "ECPoint":
+        if self.xy is None:
+            return self
+        x, y = self.xy
+        return ECPoint(self._group, (x, (-y) % self._group.params.p))
+
+    def __pow__(self, exponent: int) -> "ECPoint":
+        """Scalar multiplication via Jacobian double-and-add."""
+        g = self._group
+        e = exponent % g.params.n
+        if e == 0 or self.xy is None:
+            return ECPoint(g, None)
+        acc: Tuple[int, int, int] = (1, 1, 0)
+        base: Tuple[int, int, int] = (self.xy[0], self.xy[1], 1)
+        while e:
+            if e & 1:
+                acc = g._jac_add(acc, base)
+            base = g._jac_double(base)
+            e >>= 1
+        affine = g._jac_to_affine(acc)
+        return ECPoint(g, affine)
+
+    def is_identity(self) -> bool:
+        return self.xy is None
+
+    def to_bytes(self) -> bytes:
+        if self.xy is None:
+            return _INFINITY_BYTE
+        width = self._group._coord_len
+        return (
+            _UNCOMPRESSED_BYTE
+            + self.xy[0].to_bytes(width, "big")
+            + self.xy[1].to_bytes(width, "big")
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ECPoint):
+            return NotImplemented
+        return self._group.params == other._group.params and self.xy == other.xy
+
+    def __hash__(self) -> int:
+        return hash(("ECPoint", self._group.params.name, self.xy))
+
+    def __repr__(self) -> str:
+        if self.xy is None:
+            return "ECPoint(infinity on %s)" % self._group.name
+        return "ECPoint(x=%d..., %s)" % (self.xy[0] % 10**6, self._group.name)

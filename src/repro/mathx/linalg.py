@@ -1,0 +1,394 @@
+"""Dense linear algebra over prime fields.
+
+This module replaces NTL's ``kernel()`` used by the paper.  The publisher's
+rekey operation solves ``A Y = 0`` for a matrix ``A`` with one row per
+(policy, subscriber) pair; the null space is computed by Gauss--Jordan
+elimination and the published access control vector (ACV) is a random
+combination of the basis vectors, exactly as Section VII of the paper
+describes.
+
+Two elimination kernels are provided:
+
+* a **pure-Python** kernel valid for any prime modulus (used for the paper's
+  80-bit field ``F_q``), and
+* a **numpy** kernel used automatically when the modulus fits in 31 bits, so
+  that all intermediate products fit in ``int64``.  It performs the same
+  row reduction with vectorised outer-product updates and is what makes the
+  N = 1000 sweeps of Figures 3--5 feasible in Python.
+
+Matrices store plain ints internally (row-major) for speed; the
+:class:`~repro.mathx.field.PrimeField` is carried alongside for semantics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    FieldMismatchError,
+    InvalidParameterError,
+    SingularMatrixError,
+)
+from repro.mathx.field import PrimeField
+
+__all__ = [
+    "Matrix",
+    "null_space",
+    "random_null_vector",
+    "solve",
+    "vec_dot",
+    "NUMPY_MODULUS_LIMIT",
+]
+
+# Largest modulus for which the numpy int64 kernel is safe:  row updates
+# compute a*b with a, b < p, so we need p**2 < 2**63.
+NUMPY_MODULUS_LIMIT = 1 << 31
+
+
+def vec_dot(u: Sequence[int], v: Sequence[int], p: int) -> int:
+    """Inner product of two integer vectors modulo ``p``."""
+    if len(u) != len(v):
+        raise InvalidParameterError(
+            "dot product of vectors with lengths %d and %d" % (len(u), len(v))
+        )
+    return sum(a * b for a, b in zip(u, v)) % p
+
+
+class Matrix:
+    """A dense matrix over ``F_p`` with row-major integer storage."""
+
+    __slots__ = ("field", "rows", "ncols")
+
+    def __init__(self, field: PrimeField, rows: Sequence[Sequence[int]]):
+        self.field = field
+        p = field.p
+        materialized: List[List[int]] = [[int(x) % p for x in row] for row in rows]
+        if materialized:
+            width = len(materialized[0])
+            for row in materialized:
+                if len(row) != width:
+                    raise InvalidParameterError("ragged matrix rows")
+            self.ncols = width
+        else:
+            self.ncols = 0
+        self.rows = materialized
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def identity(cls, field: PrimeField, n: int) -> "Matrix":
+        """The n-by-n identity matrix."""
+        return cls(field, [[1 if i == j else 0 for j in range(n)] for i in range(n)])
+
+    @classmethod
+    def zeros(cls, field: PrimeField, nrows: int, ncols: int) -> "Matrix":
+        """The all-zero matrix of the given shape."""
+        m = cls(field, [])
+        m.rows = [[0] * ncols for _ in range(nrows)]
+        m.ncols = ncols
+        return m
+
+    @classmethod
+    def random(
+        cls,
+        field: PrimeField,
+        nrows: int,
+        ncols: int,
+        rng: Optional[random.Random] = None,
+    ) -> "Matrix":
+        """Matrix with independent uniform entries."""
+        rng = rng or random
+        p = field.p
+        m = cls(field, [])
+        m.rows = [[rng.randrange(p) for _ in range(ncols)] for _ in range(nrows)]
+        m.ncols = ncols
+        return m
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        """Number of rows."""
+        return len(self.rows)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(nrows, ncols)``."""
+        return (len(self.rows), self.ncols)
+
+    def copy(self) -> "Matrix":
+        """Deep copy."""
+        m = Matrix(self.field, [])
+        m.rows = [row[:] for row in self.rows]
+        m.ncols = self.ncols
+        return m
+
+    def __getitem__(self, index: Tuple[int, int]) -> int:
+        i, j = index
+        return self.rows[i][j]
+
+    def row(self, i: int) -> Tuple[int, ...]:
+        """Row ``i`` as a tuple of ints."""
+        return tuple(self.rows[i])
+
+    def column(self, j: int) -> Tuple[int, ...]:
+        """Column ``j`` as a tuple of ints."""
+        return tuple(row[j] for row in self.rows)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _check(self, other: "Matrix") -> None:
+        if self.field.p != other.field.p:
+            raise FieldMismatchError("matrices over different fields")
+
+    def __add__(self, other: "Matrix") -> "Matrix":
+        self._check(other)
+        if self.shape != other.shape:
+            raise InvalidParameterError(
+                "shape mismatch %s vs %s" % (self.shape, other.shape)
+            )
+        p = self.field.p
+        return Matrix(
+            self.field,
+            [
+                [(a + b) % p for a, b in zip(r1, r2)]
+                for r1, r2 in zip(self.rows, other.rows)
+            ],
+        )
+
+    def __sub__(self, other: "Matrix") -> "Matrix":
+        self._check(other)
+        if self.shape != other.shape:
+            raise InvalidParameterError(
+                "shape mismatch %s vs %s" % (self.shape, other.shape)
+            )
+        p = self.field.p
+        return Matrix(
+            self.field,
+            [
+                [(a - b) % p for a, b in zip(r1, r2)]
+                for r1, r2 in zip(self.rows, other.rows)
+            ],
+        )
+
+    def __matmul__(self, other: "Matrix") -> "Matrix":
+        self._check(other)
+        if self.ncols != other.nrows:
+            raise InvalidParameterError(
+                "cannot multiply %s by %s" % (self.shape, other.shape)
+            )
+        p = self.field.p
+        other_t = list(zip(*other.rows)) if other.rows else []
+        return Matrix(
+            self.field,
+            [
+                [sum(a * b for a, b in zip(row, col)) % p for col in other_t]
+                for row in self.rows
+            ],
+        )
+
+    def mat_vec(self, v: Sequence[int]) -> Tuple[int, ...]:
+        """Matrix-vector product ``A v`` modulo p."""
+        if len(v) != self.ncols:
+            raise InvalidParameterError(
+                "vector length %d does not match %d columns" % (len(v), self.ncols)
+            )
+        p = self.field.p
+        return tuple(sum(a * b for a, b in zip(row, v)) % p for row in self.rows)
+
+    def transpose(self) -> "Matrix":
+        """The transpose."""
+        if not self.rows:
+            return Matrix(self.field, [])
+        return Matrix(self.field, [list(col) for col in zip(*self.rows)])
+
+    def scale(self, c: int) -> "Matrix":
+        """Multiply every entry by the scalar ``c``."""
+        p = self.field.p
+        c %= p
+        return Matrix(self.field, [[(a * c) % p for a in row] for row in self.rows])
+
+    # -- elimination ---------------------------------------------------------
+
+    def _use_numpy(self) -> bool:
+        return self.field.p < NUMPY_MODULUS_LIMIT
+
+    def rref(self) -> Tuple["Matrix", Tuple[int, ...]]:
+        """Reduced row-echelon form.
+
+        Returns ``(R, pivot_columns)``.  Automatically dispatches to the
+        vectorised kernel when the modulus is word-sized.
+        """
+        if not self.rows:
+            return self.copy(), ()
+        if self._use_numpy():
+            reduced, pivots = _rref_numpy(self.rows, self.ncols, self.field.p)
+        else:
+            reduced, pivots = _rref_python(self.rows, self.ncols, self.field.p)
+        out = Matrix(self.field, [])
+        out.rows = reduced
+        out.ncols = self.ncols
+        return out, tuple(pivots)
+
+    def rank(self) -> int:
+        """Rank over ``F_p``."""
+        return len(self.rref()[1])
+
+    def null_space(self) -> List[Tuple[int, ...]]:
+        """A basis of the right null space ``{v : A v = 0}``.
+
+        Returns a list of ``ncols``-length tuples; empty when the matrix has
+        full column rank.
+        """
+        reduced, pivots = self.rref()
+        p = self.field.p
+        pivot_set = set(pivots)
+        free_cols = [j for j in range(self.ncols) if j not in pivot_set]
+        basis: List[Tuple[int, ...]] = []
+        for j in free_cols:
+            v = [0] * self.ncols
+            v[j] = 1
+            for i, pc in enumerate(pivots):
+                v[pc] = (-reduced.rows[i][j]) % p
+            basis.append(tuple(v))
+        return basis
+
+    def solve(self, b: Sequence[int]) -> Tuple[int, ...]:
+        """Solve ``A x = b`` for square invertible ``A``.
+
+        Raises :class:`SingularMatrixError` when no unique solution exists.
+        """
+        n = self.nrows
+        if n != self.ncols:
+            raise SingularMatrixError("solve() requires a square matrix")
+        if len(b) != n:
+            raise InvalidParameterError("right-hand side has wrong length")
+        p = self.field.p
+        augmented = Matrix(self.field, [])
+        augmented.rows = [row[:] + [int(bv) % p] for row, bv in zip(self.rows, b)]
+        augmented.ncols = n + 1
+        reduced, pivots = augmented.rref()
+        if len(pivots) != n or any(pc >= n for pc in pivots):
+            raise SingularMatrixError("matrix is singular or system inconsistent")
+        return tuple(reduced.rows[i][n] for i in range(n))
+
+    # -- comparisons / formatting --------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matrix):
+            return NotImplemented
+        return self.field.p == other.field.p and self.rows == other.rows
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, tuple(tuple(r) for r in self.rows)))
+
+    def __repr__(self) -> str:
+        return "Matrix(F%d, %dx%d)" % (self.field.p, self.nrows, self.ncols)
+
+
+def _rref_python(
+    rows: Sequence[Sequence[int]], ncols: int, p: int
+) -> Tuple[List[List[int]], List[int]]:
+    """Gauss--Jordan elimination with arbitrary-precision ints."""
+    a = [list(row) for row in rows]
+    nrows = len(a)
+    pivots: List[int] = []
+    r = 0
+    for c in range(ncols):
+        if r >= nrows:
+            break
+        pivot_row = next((i for i in range(r, nrows) if a[i][c] != 0), None)
+        if pivot_row is None:
+            continue
+        if pivot_row != r:
+            a[r], a[pivot_row] = a[pivot_row], a[r]
+        inv = pow(a[r][c], p - 2, p)
+        if inv != 1:
+            a[r] = [(x * inv) % p for x in a[r]]
+        pivot = a[r]
+        for i in range(nrows):
+            if i == r:
+                continue
+            factor = a[i][c]
+            if factor:
+                row_i = a[i]
+                a[i] = [(x - factor * y) % p for x, y in zip(row_i, pivot)]
+        pivots.append(c)
+        r += 1
+    return a, pivots
+
+
+def _rref_numpy(
+    rows: Sequence[Sequence[int]], ncols: int, p: int
+) -> Tuple[List[List[int]], List[int]]:
+    """Gauss--Jordan elimination vectorised with numpy int64.
+
+    Safe because ``p < 2**31`` implies every product of two reduced entries
+    fits in a signed 64-bit integer.
+    """
+    a = np.array([list(row) for row in rows], dtype=np.int64) % p
+    nrows = a.shape[0]
+    pivots: List[int] = []
+    r = 0
+    for c in range(ncols):
+        if r >= nrows:
+            break
+        nonzero = np.nonzero(a[r:, c])[0]
+        if nonzero.size == 0:
+            continue
+        pr = r + int(nonzero[0])
+        if pr != r:
+            a[[r, pr]] = a[[pr, r]]
+        inv = pow(int(a[r, c]), p - 2, p)
+        if inv != 1:
+            a[r] = (a[r] * inv) % p
+        col = a[:, c].copy()
+        col[r] = 0
+        touched = np.nonzero(col)[0]
+        if touched.size:
+            a[touched] = (a[touched] - np.outer(col[touched], a[r])) % p
+        pivots.append(c)
+        r += 1
+    return a.tolist(), pivots
+
+
+def null_space(matrix: Matrix) -> List[Tuple[int, ...]]:
+    """Module-level convenience wrapper for :meth:`Matrix.null_space`."""
+    return matrix.null_space()
+
+
+def random_null_vector(
+    matrix: Matrix, rng: Optional[random.Random] = None
+) -> Tuple[int, ...]:
+    """A random *nonzero* vector in the null space of ``matrix``.
+
+    This is exactly how the paper's publisher picks the ACV: compute a basis
+    of the null space, then take a random linear combination (re-drawn in the
+    unlikely event all coefficients are zero).  Raises
+    :class:`SingularMatrixError` when the null space is trivial.
+    """
+    basis = matrix.null_space()
+    if not basis:
+        raise SingularMatrixError("matrix has full column rank; null space is {0}")
+    rng = rng or random
+    p = matrix.field.p
+    while True:
+        coeffs = [rng.randrange(p) for _ in basis]
+        if all(c == 0 for c in coeffs):
+            continue
+        v = [0] * matrix.ncols
+        for c, b in zip(coeffs, basis):
+            if c == 0:
+                continue
+            for j, bj in enumerate(b):
+                v[j] = (v[j] + c * bj) % p
+        if any(v):
+            return tuple(v)
+
+
+def solve(matrix: Matrix, b: Sequence[int]) -> Tuple[int, ...]:
+    """Module-level convenience wrapper for :meth:`Matrix.solve`."""
+    return matrix.solve(b)

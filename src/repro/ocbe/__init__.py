@@ -1,0 +1,85 @@
+"""Oblivious Commitment-Based Envelope (OCBE) protocols.
+
+Implements the Li & Li OCBE family exactly as presented in Section IV-C of
+the paper: a sender S can deliver a message to a receiver R such that
+
+* R can decrypt **iff** R's Pedersen-committed value satisfies S's
+  comparison predicate, and
+* S learns nothing about the committed value -- not even whether delivery
+  succeeded.
+
+Natively implemented protocols:
+
+* :class:`~repro.ocbe.eq.EqOCBE` for ``=`` predicates,
+* :class:`~repro.ocbe.ge.GeOCBE` for ``>=`` (bitwise, parameter ``l``),
+* :class:`~repro.ocbe.le.LeOCBE` for ``<=`` (mirror of GE),
+
+and derived ones (Section IV-C: "other OCBE protocols ... can be built on
+EQ-OCBE, GE-OCBE and LE-OCBE"):
+
+* ``>`` via ``GE(x0+1)``, ``<`` via ``LE(x0-1)``,
+* ``!=`` via a two-envelope GT-or-LT disjunction.
+
+Use :func:`~repro.ocbe.base.run_ocbe` for a one-call local execution, or
+drive the sender/receiver sessions manually to model the network exchange.
+"""
+
+from repro.ocbe.base import OCBESetup, run_ocbe, sender_for, receiver_for
+from repro.ocbe.eq import EqOCBEReceiver, EqOCBESender, EqEnvelope
+from repro.ocbe.ge import (
+    BitCommitMessage,
+    BitwiseEnvelope,
+    GeOCBEReceiver,
+    GeOCBESender,
+)
+from repro.ocbe.le import LeOCBEReceiver, LeOCBESender
+from repro.ocbe.derived import (
+    GtOCBEReceiver,
+    GtOCBESender,
+    LtOCBEReceiver,
+    LtOCBESender,
+    NeEnvelope,
+    NeOCBEReceiver,
+    NeOCBESender,
+)
+from repro.ocbe.predicates import (
+    EqPredicate,
+    GePredicate,
+    GtPredicate,
+    LePredicate,
+    LtPredicate,
+    NePredicate,
+    Predicate,
+    predicate_from_op,
+)
+
+__all__ = [
+    "OCBESetup",
+    "run_ocbe",
+    "sender_for",
+    "receiver_for",
+    "EqOCBESender",
+    "EqOCBEReceiver",
+    "EqEnvelope",
+    "GeOCBESender",
+    "GeOCBEReceiver",
+    "BitCommitMessage",
+    "BitwiseEnvelope",
+    "LeOCBESender",
+    "LeOCBEReceiver",
+    "GtOCBESender",
+    "GtOCBEReceiver",
+    "LtOCBESender",
+    "LtOCBEReceiver",
+    "NeOCBESender",
+    "NeOCBEReceiver",
+    "NeEnvelope",
+    "Predicate",
+    "EqPredicate",
+    "GePredicate",
+    "LePredicate",
+    "GtPredicate",
+    "LtPredicate",
+    "NePredicate",
+    "predicate_from_op",
+]

@@ -1,0 +1,102 @@
+"""EQ-OCBE: oblivious envelopes for equality predicates (Section IV-C).
+
+Protocol (after the trusted party gave R the opening ``(x, r)`` of
+``c = g^x h^r`` and S the commitment ``c``):
+
+* S picks ``y`` uniformly from ``F_p^*``, computes ``sigma = (c g^{-x0})^y``
+  and ``eta = h^y``, and sends ``(eta, C = E_{H(sigma)}[M])``.
+* R computes ``sigma' = eta^r`` and decrypts with ``H(sigma')``.
+
+If ``x == x0`` then ``c g^{-x0} = h^r``, hence ``sigma = h^{r y} = eta^r``
+and R recovers M; otherwise ``sigma`` is a CDH-hidden random element and R
+learns nothing.  S never learns which case occurred.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.pedersen import PedersenCommitment
+from repro.errors import ProtocolStateError
+from repro.groups.base import GroupElement
+from repro.ocbe.base import Envelope, OCBESetup
+from repro.ocbe.predicates import EqPredicate
+
+__all__ = ["EqEnvelope", "EqOCBESender", "EqOCBEReceiver"]
+
+
+@dataclass(frozen=True)
+class EqEnvelope(Envelope):
+    """The pair ``(eta, C)`` sent by an EQ-OCBE sender."""
+
+    eta: GroupElement
+    ciphertext: bytes
+
+    def byte_size(self) -> int:
+        return len(self.eta.to_bytes()) + len(self.ciphertext)
+
+
+class EqOCBESender:
+    """Sender (the Pub in the paper's registration phase)."""
+
+    def __init__(
+        self,
+        setup: OCBESetup,
+        predicate: EqPredicate,
+        rng: Optional[random.Random] = None,
+    ):
+        self.setup = setup
+        self.predicate = predicate
+        self._rng = rng
+
+    def compose(
+        self,
+        commitment: PedersenCommitment,
+        aux: None,
+        message: bytes,
+    ) -> EqEnvelope:
+        """Build the envelope for ``commitment`` (``aux`` unused for EQ)."""
+        if aux is not None:
+            raise ProtocolStateError("EQ-OCBE takes no auxiliary commitments")
+        params = self.setup.pedersen
+        y = self.setup.random_scalar(self._rng)
+        base = commitment.value * (params.g ** (-self.predicate.x0 % params.order))
+        sigma = base ** y
+        eta = params.h ** y
+        key = self.setup.envelope_key(sigma.to_bytes())
+        return EqEnvelope(eta=eta, ciphertext=self.setup.cipher.encrypt(key, message))
+
+
+class EqOCBEReceiver:
+    """Receiver (the Sub); holds the opening ``(x, r)``."""
+
+    def __init__(
+        self,
+        setup: OCBESetup,
+        predicate: EqPredicate,
+        x: int,
+        r: int,
+        commitment: PedersenCommitment,
+        rng: Optional[random.Random] = None,
+    ):
+        self.setup = setup
+        self.predicate = predicate
+        self.x = x % setup.pedersen.order
+        self.r = r % setup.pedersen.order
+        self.commitment = commitment
+
+    def commitment_message(self) -> None:
+        """EQ-OCBE needs no extra commitments (returns ``None``)."""
+        return None
+
+    def open(self, envelope: EqEnvelope) -> bytes:
+        """Derive ``sigma' = eta^r`` and decrypt.
+
+        Raises :class:`~repro.errors.DecryptionError` when the committed
+        value does not equal the predicate threshold.
+        """
+        sigma = envelope.eta ** self.r
+        key = self.setup.envelope_key(sigma.to_bytes())
+        return self.setup.cipher.decrypt(key, envelope.ciphertext)

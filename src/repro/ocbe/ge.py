@@ -1,0 +1,261 @@
+"""GE-OCBE: oblivious envelopes for ``>=`` predicates (Section IV-C).
+
+The bitwise protocol for values in ``V = [0, 2^l)`` with ``2^l < p/2``:
+
+* R writes ``d = (x - x0) mod p``.  If the predicate holds, ``d`` fits in
+  ``l`` bits and R commits to its bits ``d_i`` honestly; otherwise R picks
+  random bits ``d_1..d_{l-1}`` and lets ``d_0 = d - sum 2^i d_i (mod p)``
+  absorb the (non-bit) remainder.  The blinding exponents satisfy
+  ``r = sum 2^i r_i`` so S can check ``c g^{-x0} = prod c_i^{2^i}``.
+* S picks random strings ``k_i``, encrypts M under ``k = H(k_0||..||k_{l-1})``
+  and for each bit position publishes both "openings"
+  ``C_i^j = H((c_i g^{-j})^y) xor k_i`` for ``j in {0,1}`` plus ``eta = h^y``.
+* R recovers ``k_i = H(eta^{r_i}) xor C_i^{d_i}`` -- possible at position 0
+  only when ``d_0`` really is a bit, i.e. only when the predicate holds.
+
+LE-OCBE (:mod:`repro.ocbe.le`) reuses this machinery mirrored around
+``d = x0 - x``.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.crypto.pedersen import PedersenCommitment
+from repro.errors import DecryptionError, PredicateError, ProtocolStateError
+from repro.groups.base import GroupElement
+from repro.ocbe.base import Envelope, OCBESetup
+from repro.ocbe.predicates import GePredicate, LePredicate
+
+__all__ = [
+    "BitCommitMessage",
+    "BitwiseEnvelope",
+    "GeOCBESender",
+    "GeOCBEReceiver",
+]
+
+
+@dataclass(frozen=True)
+class BitCommitMessage:
+    """The receiver's first message: one commitment per bit position."""
+
+    commitments: Tuple[PedersenCommitment, ...]
+
+    def byte_size(self) -> int:
+        return sum(len(c.to_bytes()) for c in self.commitments)
+
+
+@dataclass(frozen=True)
+class BitwiseEnvelope(Envelope):
+    """The sender's message: ``eta``, the ``C_i^j`` table, and ``C``."""
+
+    eta: GroupElement
+    bit_ciphers: Tuple[Tuple[bytes, bytes], ...]  # (C_i^0, C_i^1) per position
+    ciphertext: bytes
+
+    def byte_size(self) -> int:
+        table = sum(len(c0) + len(c1) for c0, c1 in self.bit_ciphers)
+        return len(self.eta.to_bytes()) + table + len(self.ciphertext)
+
+
+class _BitwiseSenderBase:
+    """Common sender logic for GE- and LE-OCBE (direction differs)."""
+
+    def __init__(self, setup: OCBESetup, predicate, rng: Optional[random.Random]):
+        self.setup = setup
+        self.predicate = predicate
+        self._rng = rng
+        p = setup.pedersen.order
+        if (1 << (predicate.ell + 1)) >= p:
+            raise PredicateError(
+                "bit length l=%d too large for group order (need 2^(l+1) < p)"
+                % predicate.ell
+            )
+
+    def _check_target(self, commitment: PedersenCommitment) -> GroupElement:
+        """The element that ``prod c_i^{2^i}`` must equal (direction-specific)."""
+        raise NotImplementedError
+
+    def _random_bytes(self, n: int) -> bytes:
+        if self._rng is not None:
+            return bytes(self._rng.randrange(256) for _ in range(n))
+        return secrets.token_bytes(n)
+
+    def compose(
+        self,
+        commitment: PedersenCommitment,
+        aux: BitCommitMessage,
+        message: bytes,
+    ) -> BitwiseEnvelope:
+        """Verify the bit commitments and build the double-opening table."""
+        if aux is None or len(aux.commitments) != self.predicate.ell:
+            raise ProtocolStateError(
+                "expected %d bit commitments" % self.predicate.ell
+            )
+        params = self.setup.pedersen
+        hash_fn = self.setup.hash_fn
+
+        # Check c * g^{-x0} (or mirror) == prod c_i^{2^i} via Horner.
+        acc = aux.commitments[-1].value
+        for i in range(self.predicate.ell - 2, -1, -1):
+            acc = acc * acc * aux.commitments[i].value
+        if acc != self._check_target(commitment):
+            raise ProtocolStateError("bit commitments do not recombine to c")
+
+        y = self.setup.random_scalar(self._rng)
+        eta = params.h ** y
+        g_inv = params.g.inverse()
+
+        key_shares = [self._random_bytes(hash_fn.digest_size)
+                      for _ in range(self.predicate.ell)]
+        bit_ciphers: List[Tuple[bytes, bytes]] = []
+        for c_i, k_i in zip(aux.commitments, key_shares):
+            row = []
+            base = c_i.value
+            for j in (0, 1):
+                sigma = (base if j == 0 else base * g_inv) ** y
+                pad = hash_fn.digest(b"repro/ocbe/bit" + sigma.to_bytes())
+                row.append(bytes(a ^ b for a, b in zip(pad, k_i)))
+            bit_ciphers.append((row[0], row[1]))
+
+        key = self.setup.envelope_key(b"".join(key_shares))
+        return BitwiseEnvelope(
+            eta=eta,
+            bit_ciphers=tuple(bit_ciphers),
+            ciphertext=self.setup.cipher.encrypt(key, message),
+        )
+
+
+class _BitwiseReceiverBase:
+    """Common receiver logic for GE- and LE-OCBE."""
+
+    def __init__(
+        self,
+        setup: OCBESetup,
+        predicate,
+        x: int,
+        r: int,
+        commitment: PedersenCommitment,
+        rng: Optional[random.Random] = None,
+    ):
+        self.setup = setup
+        self.predicate = predicate
+        self.x = x % setup.pedersen.order
+        self.r = r % setup.pedersen.order
+        self.commitment = commitment
+        self._rng = rng
+        self._bit_values: Optional[List[int]] = None
+        self._bit_blindings: Optional[List[int]] = None
+
+    # Direction-specific hooks -------------------------------------------------
+
+    def _difference(self) -> int:
+        """``d`` as an element of ``F_p`` (direction-specific)."""
+        raise NotImplementedError
+
+    def _blinding_total(self) -> int:
+        """The value ``sum 2^i r_i`` must equal (``r`` for GE, ``-r`` for LE)."""
+        raise NotImplementedError
+
+    # Protocol steps --------------------------------------------------------
+
+    def commitment_message(self) -> BitCommitMessage:
+        """Produce the per-bit commitments ``c_i = g^{d_i} h^{r_i}``."""
+        p = self.setup.pedersen.order
+        ell = self.predicate.ell
+        d = self._difference()
+        rng = self._rng
+
+        blindings = [
+            (rng.randrange(p) if rng is not None else secrets.randbelow(p))
+            for _ in range(ell - 1)
+        ]
+        r0 = (self._blinding_total() - sum(
+            (1 << (i + 1)) * ri for i, ri in enumerate(blindings)
+        )) % p
+        blindings = [r0] + blindings  # r_0 first; index i blinds bit i
+
+        if 0 <= d < (1 << ell):
+            bits = [(d >> i) & 1 for i in range(ell)]
+        else:
+            bits = [0] + [
+                (rng.randrange(2) if rng is not None else secrets.randbelow(2))
+                for _ in range(ell - 1)
+            ]
+            bits[0] = (d - sum((1 << i) * bits[i] for i in range(1, ell))) % p
+
+        params = self.setup.pedersen
+        commitments = tuple(
+            params.commit(bits[i], blindings[i])[0] for i in range(ell)
+        )
+        self._bit_values = bits
+        self._bit_blindings = blindings
+        return BitCommitMessage(commitments=commitments)
+
+    def open(self, envelope: BitwiseEnvelope) -> bytes:
+        """Recover the key shares and decrypt.
+
+        Raises :class:`~repro.errors.DecryptionError` when the predicate is
+        not satisfied by the committed value (``d_0`` is then not a bit and
+        the recovered share is garbage).
+        """
+        if self._bit_values is None or self._bit_blindings is None:
+            raise ProtocolStateError("open() before commitment_message()")
+        if len(envelope.bit_ciphers) != self.predicate.ell:
+            raise ProtocolStateError("envelope arity mismatch")
+        hash_fn = self.setup.hash_fn
+        shares: List[bytes] = []
+        for i in range(self.predicate.ell):
+            sigma = envelope.eta ** self._bit_blindings[i]
+            pad = hash_fn.digest(b"repro/ocbe/bit" + sigma.to_bytes())
+            d_i = self._bit_values[i]
+            # A cheating-free receiver uses its bit; an unqualified one has a
+            # non-bit d_0 and necessarily picks a wrong opening.
+            cipher_bytes = envelope.bit_ciphers[i][d_i if d_i in (0, 1) else 0]
+            shares.append(bytes(a ^ b for a, b in zip(pad, cipher_bytes)))
+        key = self.setup.envelope_key(b"".join(shares))
+        return self.setup.cipher.decrypt(key, envelope.ciphertext)
+
+
+class GeOCBESender(_BitwiseSenderBase):
+    """GE-OCBE sender: delivers M iff the committed ``x >= x0``."""
+
+    def __init__(
+        self,
+        setup: OCBESetup,
+        predicate: GePredicate,
+        rng: Optional[random.Random] = None,
+    ):
+        if not isinstance(predicate, GePredicate):
+            raise PredicateError("GeOCBESender requires a GePredicate")
+        super().__init__(setup, predicate, rng)
+
+    def _check_target(self, commitment: PedersenCommitment) -> GroupElement:
+        params = self.setup.pedersen
+        return commitment.value * (params.g ** (-self.predicate.x0 % params.order))
+
+
+class GeOCBEReceiver(_BitwiseReceiverBase):
+    """GE-OCBE receiver holding the opening ``(x, r)`` of ``c``."""
+
+    def __init__(
+        self,
+        setup: OCBESetup,
+        predicate: GePredicate,
+        x: int,
+        r: int,
+        commitment: PedersenCommitment,
+        rng: Optional[random.Random] = None,
+    ):
+        if not isinstance(predicate, GePredicate):
+            raise PredicateError("GeOCBEReceiver requires a GePredicate")
+        super().__init__(setup, predicate, x, r, commitment, rng)
+
+    def _difference(self) -> int:
+        return (self.x - self.predicate.x0) % self.setup.pedersen.order
+
+    def _blinding_total(self) -> int:
+        return self.r

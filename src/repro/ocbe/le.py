@@ -1,0 +1,66 @@
+"""LE-OCBE: oblivious envelopes for ``<=`` predicates.
+
+Mirror image of GE-OCBE (Section IV-C notes it "can be constructed in a
+similar way"): the receiver proves ``d = x0 - x >= 0`` bitwise.  Writing
+``c = g^x h^r``, the recombination check becomes
+
+    ``g^{x0} c^{-1} = prod c_i^{2^i}``
+
+because ``prod c_i^{2^i} = g^{sum 2^i d_i} h^{sum 2^i r_i}`` with
+``sum 2^i d_i = x0 - x`` and ``sum 2^i r_i = -r``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.crypto.pedersen import PedersenCommitment
+from repro.errors import PredicateError
+from repro.groups.base import GroupElement
+from repro.ocbe.base import OCBESetup
+from repro.ocbe.ge import _BitwiseReceiverBase, _BitwiseSenderBase
+from repro.ocbe.predicates import LePredicate
+
+__all__ = ["LeOCBESender", "LeOCBEReceiver"]
+
+
+class LeOCBESender(_BitwiseSenderBase):
+    """LE-OCBE sender: delivers M iff the committed ``x <= x0``."""
+
+    def __init__(
+        self,
+        setup: OCBESetup,
+        predicate: LePredicate,
+        rng: Optional[random.Random] = None,
+    ):
+        if not isinstance(predicate, LePredicate):
+            raise PredicateError("LeOCBESender requires a LePredicate")
+        super().__init__(setup, predicate, rng)
+
+    def _check_target(self, commitment: PedersenCommitment) -> GroupElement:
+        params = self.setup.pedersen
+        return (params.g ** self.predicate.x0) * commitment.value.inverse()
+
+
+class LeOCBEReceiver(_BitwiseReceiverBase):
+    """LE-OCBE receiver holding the opening ``(x, r)`` of ``c``."""
+
+    def __init__(
+        self,
+        setup: OCBESetup,
+        predicate: LePredicate,
+        x: int,
+        r: int,
+        commitment: PedersenCommitment,
+        rng: Optional[random.Random] = None,
+    ):
+        if not isinstance(predicate, LePredicate):
+            raise PredicateError("LeOCBEReceiver requires a LePredicate")
+        super().__init__(setup, predicate, x, r, commitment, rng)
+
+    def _difference(self) -> int:
+        return (self.predicate.x0 - self.x) % self.setup.pedersen.order
+
+    def _blinding_total(self) -> int:
+        return (-self.r) % self.setup.pedersen.order

@@ -1,0 +1,185 @@
+"""Comparison predicates over committed attribute values.
+
+A predicate is the sender's side of an attribute condition: ``EQ_{x0}``,
+``GE_{x0}`` and friends (Definitions in Section IV-C).  Bit-length-bounded
+predicates (everything except ``=``/``!=``-on-equality) carry the system
+parameter ``l`` which upper-bounds attribute values: ``V = [0, 2**l)`` with
+``2**(l+1) < p`` required by GE-OCBE.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError, PredicateError
+
+__all__ = [
+    "Predicate",
+    "EqPredicate",
+    "NePredicate",
+    "GePredicate",
+    "LePredicate",
+    "GtPredicate",
+    "LtPredicate",
+    "predicate_from_op",
+    "DEFAULT_BIT_LENGTH",
+]
+
+#: Default bound on attribute bit length (the paper's experiments use 5..40;
+#: 32 comfortably covers ages, levels, years-of-service, salaries...).
+DEFAULT_BIT_LENGTH = 32
+
+
+class Predicate(abc.ABC):
+    """A unary predicate over non-negative integer attribute values."""
+
+    op: str = "?"
+
+    @abc.abstractmethod
+    def evaluate(self, x: int) -> bool:
+        """Truth value of the predicate at ``x``."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``">= 59"``."""
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (type(self).__name__, self.describe())
+
+
+@dataclass(frozen=True, repr=False)
+class EqPredicate(Predicate):
+    """``EQ_{x0}(x) := x == x0`` -- handled by EQ-OCBE."""
+
+    x0: int
+    op = "="
+
+    def evaluate(self, x: int) -> bool:
+        return x == self.x0
+
+    def describe(self) -> str:
+        return "= %d" % self.x0
+
+
+class _BoundedPredicate(Predicate):
+    """Shared validation for bit-length-bounded predicates."""
+
+    def __init__(self, x0: int, ell: int = DEFAULT_BIT_LENGTH):
+        if ell < 1:
+            raise InvalidParameterError("bit length l must be >= 1")
+        if not 0 <= x0 < (1 << ell):
+            raise InvalidParameterError(
+                "threshold %d outside V = [0, 2^%d)" % (x0, ell)
+            )
+        self.x0 = x0
+        self.ell = ell
+
+    def check_domain(self, x: int) -> None:
+        """Raise when ``x`` lies outside the value domain ``V``."""
+        if not 0 <= x < (1 << self.ell):
+            raise PredicateError("value %d outside V = [0, 2^%d)" % (x, self.ell))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is type(self)
+            and other.x0 == self.x0          # type: ignore[attr-defined]
+            and other.ell == self.ell        # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.x0, self.ell))
+
+
+class GePredicate(_BoundedPredicate):
+    """``GE_{x0}(x) := x >= x0`` -- handled by GE-OCBE."""
+
+    op = ">="
+
+    def evaluate(self, x: int) -> bool:
+        return x >= self.x0
+
+    def describe(self) -> str:
+        return ">= %d (l=%d)" % (self.x0, self.ell)
+
+
+class LePredicate(_BoundedPredicate):
+    """``LE_{x0}(x) := x <= x0`` -- handled by LE-OCBE."""
+
+    op = "<="
+
+    def evaluate(self, x: int) -> bool:
+        return x <= self.x0
+
+    def describe(self) -> str:
+        return "<= %d (l=%d)" % (self.x0, self.ell)
+
+
+class GtPredicate(_BoundedPredicate):
+    """``x > x0``, realised as ``GE_{x0+1}``."""
+
+    op = ">"
+
+    def evaluate(self, x: int) -> bool:
+        return x > self.x0
+
+    def describe(self) -> str:
+        return "> %d (l=%d)" % (self.x0, self.ell)
+
+    def as_ge(self) -> GePredicate:
+        """The equivalent GE predicate (may push the threshold to 2^l)."""
+        if self.x0 + 1 >= (1 << self.ell):
+            raise PredicateError(
+                "> %d is unsatisfiable in V = [0, 2^%d)" % (self.x0, self.ell)
+            )
+        return GePredicate(self.x0 + 1, self.ell)
+
+
+class LtPredicate(_BoundedPredicate):
+    """``x < x0``, realised as ``LE_{x0-1}``."""
+
+    op = "<"
+
+    def evaluate(self, x: int) -> bool:
+        return x < self.x0
+
+    def describe(self) -> str:
+        return "< %d (l=%d)" % (self.x0, self.ell)
+
+    def as_le(self) -> LePredicate:
+        """The equivalent LE predicate."""
+        if self.x0 == 0:
+            raise PredicateError("< 0 is unsatisfiable in V")
+        return LePredicate(self.x0 - 1, self.ell)
+
+
+class NePredicate(_BoundedPredicate):
+    """``x != x0``, realised as the disjunction ``GT(x0) or LT(x0)``."""
+
+    op = "!="
+
+    def evaluate(self, x: int) -> bool:
+        return x != self.x0
+
+    def describe(self) -> str:
+        return "!= %d (l=%d)" % (self.x0, self.ell)
+
+
+_OPS = {
+    "=": lambda x0, ell: EqPredicate(x0),
+    "==": lambda x0, ell: EqPredicate(x0),
+    "!=": NePredicate,
+    ">=": GePredicate,
+    "<=": LePredicate,
+    ">": GtPredicate,
+    "<": LtPredicate,
+}
+
+
+def predicate_from_op(op: str, x0: int, ell: int = DEFAULT_BIT_LENGTH) -> Predicate:
+    """Build the predicate for a comparison operator string."""
+    if op not in _OPS:
+        raise PredicateError(
+            "unsupported operator %r (supported: %s)" % (op, ", ".join(sorted(_OPS)))
+        )
+    return _OPS[op](x0, ell)

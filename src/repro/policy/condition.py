@@ -1,0 +1,99 @@
+"""Attribute conditions (Definition 3): ``"nameA op l"`` atoms.
+
+A condition pairs an identity-attribute name with a comparison against a
+literal, e.g. ``level >= 59`` or ``role = "nur"``.  Conditions know how to
+turn themselves into the OCBE :class:`~repro.ocbe.predicates.Predicate`
+that the Pub uses during registration -- order comparisons require integer
+literals, equality/inequality also accept strings (which are hash-encoded
+by :mod:`repro.policy.encoding`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import PolicyParseError, PredicateError
+from repro.ocbe.predicates import (
+    DEFAULT_BIT_LENGTH,
+    Predicate,
+    predicate_from_op,
+)
+from repro.policy.encoding import MAX_STRING_BITS, AttributeValue, encode_value
+
+__all__ = ["AttributeCondition", "parse_condition"]
+
+_ORDER_OPS = {">", "<", ">=", "<="}
+_ALL_OPS = {"=", "!=", ">=", "<=", ">", "<"}
+
+_CONDITION_RE = re.compile(
+    r"""^\s*
+        (?P<name>[A-Za-z_][A-Za-z0-9_\-]*)
+        \s*(?P<op>!=|>=|<=|==|=|>|<)\s*
+        (?P<value>"[^"]*"|'[^']*'|-?\d+|[A-Za-z_][A-Za-z0-9_\-]*)
+        \s*$""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class AttributeCondition:
+    """``attribute op value``, the atom of the policy language."""
+
+    name: str
+    op: str
+    value: AttributeValue
+
+    def __post_init__(self) -> None:
+        if self.op not in _ALL_OPS:
+            raise PolicyParseError("unsupported operator %r" % self.op)
+        if self.op in _ORDER_OPS and not isinstance(self.value, int):
+            raise PolicyParseError(
+                "order comparison %r requires an integer literal, got %r"
+                % (self.op, self.value)
+            )
+
+    def predicate(self, ell: int = DEFAULT_BIT_LENGTH) -> Predicate:
+        """The OCBE predicate enforcing this condition.
+
+        ``ell`` bounds the bit length of integer attribute values; string
+        values use the fixed :data:`MAX_STRING_BITS` domain.
+        """
+        x0 = encode_value(self.value)
+        if isinstance(self.value, str):
+            if self.op not in ("=", "!="):
+                raise PredicateError("order comparison on string value")
+            ell = MAX_STRING_BITS
+        return predicate_from_op(self.op, x0, ell)
+
+    def key(self) -> str:
+        """Stable identifier used for CSS-table columns, e.g. ``"role = nur"``."""
+        return "%s %s %s" % (self.name, self.op, self.value)
+
+    def __str__(self) -> str:
+        return self.key()
+
+
+def parse_condition(text: str) -> AttributeCondition:
+    """Parse ``"level >= 59"`` / ``'role = "nur"'`` / ``"role = nur"``.
+
+    Bare words and quoted strings are string literals; digit sequences are
+    integers.
+    """
+    match = _CONDITION_RE.match(text)
+    if not match:
+        raise PolicyParseError("cannot parse condition %r" % text)
+    name = match.group("name")
+    op = match.group("op")
+    if op == "==":
+        op = "="
+    raw = match.group("value")
+    value: AttributeValue
+    if raw[0] in "\"'":
+        value = raw[1:-1]
+    elif re.fullmatch(r"-?\d+", raw):
+        value = int(raw)
+    else:
+        value = raw
+    return AttributeCondition(name=name, op=op, value=value)

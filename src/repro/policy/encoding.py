@@ -1,0 +1,54 @@
+"""Canonical encoding of attribute values as integers.
+
+The paper's IdMgr "encodes the identity attribute value as ``x in F_p`` in
+a standard way"; we pin that standard down:
+
+* non-negative integers encode as themselves (so comparison predicates act
+  on the natural order);
+* strings encode as a 128-bit hash (collision probability ``2**-64`` by the
+  birthday bound) -- sufficient for equality/inequality predicates, while
+  order comparisons on strings are rejected because hashing does not
+  preserve order.
+
+Both the IdMgr (committing a Sub's value) and the Pub (building predicates
+from policy conditions) must use this same function, otherwise equality
+predicates would never match.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.crypto.hashes import default_hash, hash_to_int
+from repro.errors import InvalidParameterError
+
+__all__ = ["encode_value", "MAX_STRING_BITS", "AttributeValue"]
+
+#: Bit width of encoded string values.
+MAX_STRING_BITS = 128
+
+AttributeValue = Union[int, str]
+
+
+def encode_value(value: AttributeValue) -> int:
+    """Encode an attribute value as a non-negative integer.
+
+    >>> encode_value(28)
+    28
+    >>> encode_value("nurse") == encode_value("nurse")
+    True
+    """
+    if isinstance(value, bool):
+        raise InvalidParameterError("bool attribute values are ambiguous; use 0/1")
+    if isinstance(value, int):
+        if value < 0:
+            raise InvalidParameterError(
+                "attribute values must be non-negative, got %d" % value
+            )
+        return value
+    if isinstance(value, str):
+        data = b"repro/attribute-value:" + value.encode("utf-8")
+        return hash_to_int(default_hash(), data, MAX_STRING_BITS)
+    raise InvalidParameterError(
+        "unsupported attribute value type %r" % type(value).__name__
+    )

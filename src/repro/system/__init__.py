@@ -1,0 +1,41 @@
+"""The four entities of the dissemination system (Section III).
+
+* :class:`~repro.system.idp.IdentityProvider` issues certified attribute
+  assertions to subscribers;
+* :class:`~repro.system.idmgr.IdentityManager` turns assertions into
+  *identity tokens* ``(nym, id-tag, c, sigma)`` whose value lives only
+  inside a Pedersen commitment;
+* :class:`~repro.system.publisher.Publisher` manages policies and the CSS
+  table, runs OCBE registrations as the oblivious sender, and broadcasts
+  encrypted documents with ACV-BGKM headers;
+* :class:`~repro.system.subscriber.Subscriber` registers its tokens
+  (learning CSSs exactly for the conditions its hidden values satisfy) and
+  decrypts the authorized portions of broadcasts.
+
+:mod:`~repro.system.registration` drives the interactive registration over
+an accounting :class:`~repro.system.transport.InMemoryTransport`, so tests
+and examples can audit precisely what the publisher observes.
+"""
+
+from repro.system.css import CssTable
+from repro.system.identity import AttributeAssertion, IdentityToken
+from repro.system.idmgr import IdentityManager
+from repro.system.idp import IdentityProvider
+from repro.system.publisher import Publisher, SystemParams
+from repro.system.registration import register_all_attributes, register_for_attribute
+from repro.system.subscriber import Subscriber
+from repro.system.transport import InMemoryTransport
+
+__all__ = [
+    "CssTable",
+    "AttributeAssertion",
+    "IdentityToken",
+    "IdentityManager",
+    "IdentityProvider",
+    "Publisher",
+    "SystemParams",
+    "Subscriber",
+    "InMemoryTransport",
+    "register_for_attribute",
+    "register_all_attributes",
+]

@@ -1,0 +1,77 @@
+"""Identity tokens and attribute assertions.
+
+An identity token (Section V-A) is ``IT = (nym, id-tag, c, sigma)``: a
+pseudonym, an attribute tag, a Pedersen commitment to the attribute value
+and the IdMgr's signature over the triple.  The value itself never appears
+in the token -- that is the privacy core of the system.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.pedersen import PedersenCommitment
+from repro.crypto.schnorr_sig import SchnorrSignature
+from repro.policy.encoding import AttributeValue
+
+__all__ = ["AttributeAssertion", "IdentityToken", "token_signing_bytes"]
+
+
+@dataclass(frozen=True)
+class AttributeAssertion:
+    """An IdP's certified statement "subject's <name> is <value>".
+
+    This models the driver's license of Example 1: the Sub shows it to the
+    IdMgr, who checks the issuer signature and derives the committed value.
+    """
+
+    subject: str
+    name: str
+    value: AttributeValue
+    issuer: str
+    signature: SchnorrSignature
+
+    def signing_bytes(self) -> bytes:
+        """Canonical bytes covered by the issuer signature."""
+        return b"repro/assertion" + b"|".join(
+            part.encode("utf-8")
+            for part in (self.subject, self.name, str(self.value), self.issuer)
+        )
+
+
+def token_signing_bytes(nym: str, tag: str, commitment: PedersenCommitment) -> bytes:
+    """Canonical bytes the IdMgr signs for a token."""
+    nym_raw = nym.encode("utf-8")
+    tag_raw = tag.encode("utf-8")
+    return (
+        b"repro/identity-token"
+        + struct.pack(">H", len(nym_raw))
+        + nym_raw
+        + struct.pack(">H", len(tag_raw))
+        + tag_raw
+        + commitment.to_bytes()
+    )
+
+
+@dataclass(frozen=True)
+class IdentityToken:
+    """``(nym, id-tag, c, sigma)`` -- the Sub's registered identity."""
+
+    nym: str
+    tag: str
+    commitment: PedersenCommitment
+    signature: SchnorrSignature
+
+    def signing_bytes(self) -> bytes:
+        """The bytes the IdMgr's signature covers."""
+        return token_signing_bytes(self.nym, self.tag, self.commitment)
+
+    def byte_size(self) -> int:
+        """Approximate wire size (commitment + signature + strings)."""
+        sig_len = 2 * ((max(self.signature.e, self.signature.s).bit_length() + 7) // 8)
+        return len(self.signing_bytes()) + sig_len
+
+    def __repr__(self) -> str:
+        return "IdentityToken(nym=%r, tag=%r)" % (self.nym, self.tag)

@@ -1,0 +1,131 @@
+"""The Identity Manager: trusted third party issuing identity tokens.
+
+The IdMgr (Section V-A) runs the Pedersen setup, publishes
+``Param = (G, g, h)`` plus the group order and its signature key, verifies
+IdP assertions, encodes attribute values into ``F_p`` and issues tokens.
+It passes the opening ``(x, r)`` privately to the Sub; the token itself
+reveals nothing about the value (unconditionally hiding commitment).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.crypto.pedersen import PedersenParams
+from repro.crypto.schnorr_sig import SchnorrKeyPair
+from repro.errors import SignatureError, SystemError_
+from repro.groups.base import CyclicGroup, GroupElement
+from repro.policy.encoding import encode_value
+from repro.system.identity import AttributeAssertion, IdentityToken, token_signing_bytes
+from repro.system.idp import IdentityProvider
+
+__all__ = ["IdentityManager"]
+
+
+class IdentityManager:
+    """Pedersen setup authority + token issuer."""
+
+    def __init__(self, group: CyclicGroup, rng: Optional[random.Random] = None):
+        self.pedersen = PedersenParams(group)
+        self._keys = SchnorrKeyPair(group, rng=rng)
+        self._trusted_idps: Dict[str, IdentityProvider] = {}
+        self._nym_counter = 0
+        self._rng = rng
+
+    # -- public parameters ---------------------------------------------------
+
+    @property
+    def params(self) -> PedersenParams:
+        """The published commitment parameters ``(G, g, h)``."""
+        return self.pedersen
+
+    @property
+    def public_key(self) -> GroupElement:
+        """Signature verification key (published)."""
+        return self._keys.pk
+
+    @property
+    def group(self) -> CyclicGroup:
+        """The commitment group."""
+        return self.pedersen.group
+
+    def verify_token(self, token: IdentityToken) -> bool:
+        """Anyone-with-the-public-key token verification (the Pub does this)."""
+        return self._keys.verify(token.signing_bytes(), token.signature)
+
+    # -- administration -------------------------------------------------------
+
+    def trust_idp(self, idp: IdentityProvider) -> None:
+        """Add an IdP whose assertions this IdMgr accepts."""
+        self._trusted_idps[idp.name] = idp
+
+    def assign_pseudonym(self) -> str:
+        """A fresh pseudonym (``pn-0001``, ``pn-0002``, ...)."""
+        self._nym_counter += 1
+        return "pn-%04d" % self._nym_counter
+
+    # -- token issuance ---------------------------------------------------------
+
+    def issue_decoy_token(
+        self,
+        nym: str,
+        tag: str,
+        rng: Optional[random.Random] = None,
+    ) -> Tuple[IdentityToken, int, int]:
+        """Issue a token committing to an out-of-range decoy value.
+
+        Section VI-A extension: a Sub may obtain tokens "for such
+        attributes whose committed values, set by the IdMgr, lie out of
+        the 'normal' range of values", letting it register for attributes
+        it does not actually hold -- hiding even *which attributes it has*
+        from the publisher.  The decoy value is drawn uniformly above
+        2**200, far outside every honest attribute domain (integer
+        attributes are < 2**l <= 2**64, string encodings < 2**128), so no
+        condition can accidentally be satisfied.
+        """
+        use_rng = rng or self._rng
+        if use_rng is not None:
+            x = (1 << 200) + use_rng.getrandbits(50)
+        else:
+            import secrets
+
+            x = (1 << 200) + secrets.randbits(50)
+        commitment, r = self.pedersen.commit(x, rng=use_rng)
+        signature = self._keys.sign(
+            token_signing_bytes(nym, tag, commitment), rng=use_rng
+        )
+        token = IdentityToken(
+            nym=nym, tag=tag, commitment=commitment, signature=signature
+        )
+        return token, x, r
+
+    def issue_token(
+        self,
+        nym: str,
+        assertion: AttributeAssertion,
+        rng: Optional[random.Random] = None,
+    ) -> Tuple[IdentityToken, int, int]:
+        """Verify the assertion and issue a token.
+
+        Returns ``(token, x, r)`` where ``x`` is the encoded attribute
+        value and ``r`` the blinding -- both go only to the Sub.
+        """
+        idp = self._trusted_idps.get(assertion.issuer)
+        if idp is None:
+            raise SystemError_("untrusted IdP %r" % assertion.issuer)
+        if not idp.verify(assertion):
+            raise SignatureError("invalid IdP signature on assertion")
+        x = encode_value(assertion.value)
+        commitment, r = self.pedersen.commit(x, rng=rng or self._rng)
+        signature = self._keys.sign(
+            token_signing_bytes(nym, assertion.name, commitment),
+            rng=rng or self._rng,
+        )
+        token = IdentityToken(
+            nym=nym,
+            tag=assertion.name,
+            commitment=commitment,
+            signature=signature,
+        )
+        return token, x, r

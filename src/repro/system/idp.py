@@ -1,0 +1,81 @@
+"""Identity providers: the origin of certified attributes.
+
+An IdP knows its subjects' true attribute values (it is the authority for
+them -- a DMV for ages, an HR system for roles) and issues signed
+:class:`~repro.system.identity.AttributeAssertion` objects.  The IdMgr
+trusts a configured set of IdP public keys.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.crypto.schnorr_sig import SchnorrKeyPair, SchnorrSignature
+from repro.errors import SystemError_
+from repro.groups.base import CyclicGroup
+from repro.policy.encoding import AttributeValue
+from repro.system.identity import AttributeAssertion
+
+__all__ = ["IdentityProvider"]
+
+
+class IdentityProvider:
+    """Issues signed attribute assertions for registered subjects."""
+
+    def __init__(
+        self,
+        name: str,
+        group: CyclicGroup,
+        rng: Optional[random.Random] = None,
+    ):
+        self.name = name
+        self._keys = SchnorrKeyPair(group, rng=rng)
+        self._records: Dict[Tuple[str, str], AttributeValue] = {}
+        self._rng = rng
+
+    @property
+    def public_key(self):
+        """Verification key the IdMgr pins."""
+        return self._keys.pk
+
+    @property
+    def group(self) -> CyclicGroup:
+        """The signature group."""
+        return self._keys.group
+
+    def enroll(self, subject: str, name: str, value: AttributeValue) -> None:
+        """Record a subject's authoritative attribute value."""
+        self._records[(subject, name)] = value
+
+    def assert_attribute(self, subject: str, name: str) -> AttributeAssertion:
+        """Issue a signed assertion for an enrolled attribute.
+
+        Raises :class:`SystemError_` for unknown subjects/attributes -- an
+        IdP never invents values.
+        """
+        if (subject, name) not in self._records:
+            raise SystemError_(
+                "IdP %r has no record of %r for subject %r"
+                % (self.name, name, subject)
+            )
+        value = self._records[(subject, name)]
+        assertion = AttributeAssertion(
+            subject=subject,
+            name=name,
+            value=value,
+            issuer=self.name,
+            signature=SchnorrSignature(0, 0),  # placeholder, replaced below
+        )
+        signature = self._keys.sign(assertion.signing_bytes(), rng=self._rng)
+        return AttributeAssertion(
+            subject=subject,
+            name=name,
+            value=value,
+            issuer=self.name,
+            signature=signature,
+        )
+
+    def verify(self, assertion: AttributeAssertion) -> bool:
+        """Check an assertion against this IdP's key."""
+        return self._keys.verify(assertion.signing_bytes(), assertion.signature)

@@ -1,0 +1,259 @@
+"""The Publisher (Pub): policies, CSS table, registration, broadcast.
+
+The Pub's lifecycle per Section V:
+
+1. **Setup** -- choose the GKM field ``F_q``, the hash, the symmetric
+   cipher and the CSS length kappa; publish them (``SystemParams``).
+2. **Registration** (Section V-B) -- per (token, condition): verify the
+   IdMgr signature and the tag match, mint a fresh CSS, store it in table
+   ``T``, and obliviously transfer it with the OCBE protocol matching the
+   condition's operator.  The Pub never learns the attribute value nor
+   whether the transfer succeeded.
+3. **Broadcast** (Section V-C) -- segment each document by policy
+   configuration, generate one ACV-BGKM key+header per configuration from
+   the current table, and emit a :class:`BroadcastPackage`.
+4. **Rekey** -- any table mutation (new subscription, credential update or
+   revocation, subscription revocation) simply marks configurations dirty;
+   the next broadcast re-publishes fresh headers.  No unicast happens.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.hashes import HashFunction, default_hash
+from repro.crypto.pedersen import PedersenParams
+from repro.crypto.symmetric import SymmetricCipher, default_cipher
+from repro.documents.model import Document
+from repro.documents.package import (
+    BroadcastPackage,
+    ConfigHeader,
+    EncryptedSubdocument,
+)
+from repro.documents.segmentation import SegmentPlan, segment
+from repro.errors import RegistrationError, SignatureError
+from repro.gkm.acv import PAPER_FIELD, AcvBgkm
+from repro.groups.base import GroupElement
+from repro.mathx.field import PrimeField
+from repro.ocbe.base import OCBESetup, sender_for
+from repro.ocbe.predicates import DEFAULT_BIT_LENGTH
+from repro.policy.acp import AccessControlPolicy
+from repro.policy.condition import AttributeCondition
+from repro.system.css import CssTable
+from repro.system.identity import IdentityToken
+
+__all__ = ["SystemParams", "Publisher", "RegistrationOffer"]
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Everything a subscriber needs to interoperate with a publisher."""
+
+    pedersen: PedersenParams
+    idmgr_public_key: GroupElement
+    gkm_field: PrimeField
+    hash_fn: HashFunction
+    cipher: SymmetricCipher
+    key_len: int
+    attribute_bits: int
+
+
+@dataclass
+class RegistrationOffer:
+    """One pending OCBE delivery of a CSS for (token, condition)."""
+
+    condition: AttributeCondition
+    sender: object  # an OCBE sender session
+    token: IdentityToken
+    css: bytes
+
+    def compose(self, aux, rng: Optional[random.Random] = None):
+        """Produce the envelope for the receiver's auxiliary commitments."""
+        return self.sender.compose(self.token.commitment, aux, self.css)
+
+
+class Publisher:
+    """The content publisher."""
+
+    def __init__(
+        self,
+        name: str,
+        pedersen: PedersenParams,
+        idmgr_public_key: GroupElement,
+        gkm_field: PrimeField = PAPER_FIELD,
+        hash_fn: Optional[HashFunction] = None,
+        cipher: Optional[SymmetricCipher] = None,
+        css_bytes: int = 16,
+        key_len: int = 16,
+        attribute_bits: int = DEFAULT_BIT_LENGTH,
+        capacity_slack: int = 0,
+        rng: Optional[random.Random] = None,
+    ):
+        """``capacity_slack`` extra columns beyond the Eq.-1 minimum let the
+        publisher hide the exact subscriber count and amortise joins."""
+        self.name = name
+        self.params = SystemParams(
+            pedersen=pedersen,
+            idmgr_public_key=idmgr_public_key,
+            gkm_field=gkm_field,
+            hash_fn=hash_fn or default_hash(),
+            cipher=cipher or default_cipher(),
+            key_len=key_len,
+            attribute_bits=attribute_bits,
+        )
+        self.table = CssTable()
+        self.policies: List[AccessControlPolicy] = []
+        self.css_bytes = css_bytes
+        self.capacity_slack = capacity_slack
+        self._gkm = AcvBgkm(gkm_field, self.params.hash_fn)
+        self._ocbe = OCBESetup(
+            pedersen=pedersen,
+            hash_fn=self.params.hash_fn,
+            cipher=self.params.cipher,
+            key_len=key_len,
+        )
+        self._rng = rng
+        #: Keys of the most recent publish, per (document, config id) --
+        #: retained for tests/audits only; a real Pub may discard them.
+        self.last_keys: Dict[Tuple[str, str], int] = {}
+
+    # -- policy management ----------------------------------------------------
+
+    def add_policy(self, policy: AccessControlPolicy) -> None:
+        """Install an access control policy."""
+        self.policies.append(policy)
+
+    def conditions(self) -> List[AttributeCondition]:
+        """All distinct conditions across installed policies."""
+        seen: Dict[str, AttributeCondition] = {}
+        for policy in self.policies:
+            for condition in policy.conditions:
+                seen.setdefault(condition.key(), condition)
+        return [seen[k] for k in sorted(seen)]
+
+    def conditions_for_attribute(self, attribute: str) -> List[AttributeCondition]:
+        """Conditions mentioning ``attribute`` (what a Sub registers for)."""
+        return [c for c in self.conditions() if c.name == attribute]
+
+    # -- registration (Section V-B) -------------------------------------------
+
+    def _verify_token(self, token: IdentityToken) -> None:
+        from repro.crypto.schnorr_sig import verify
+
+        if not verify(
+            self.params.pedersen.group,
+            self.params.idmgr_public_key,
+            token.signing_bytes(),
+            token.signature,
+        ):
+            raise SignatureError("identity token signature invalid")
+
+    def open_registration(
+        self, token: IdentityToken, condition: AttributeCondition
+    ) -> RegistrationOffer:
+        """Step 2 of Section V-B for one (token, condition) pair.
+
+        Verifies the token, mints a fresh CSS, stores it in ``T``
+        (overwriting any previous CSS -- credential update), and returns
+        the OCBE sender session that will obliviously deliver it.
+        """
+        if token.tag != condition.name:
+            raise RegistrationError(
+                "token tag %r does not match condition attribute %r"
+                % (token.tag, condition.name)
+            )
+        self._verify_token(token)
+        if self._rng is not None:
+            css = bytes(self._rng.randrange(256) for _ in range(self.css_bytes))
+        else:
+            css = secrets.token_bytes(self.css_bytes)
+        predicate = condition.predicate(self.params.attribute_bits)
+        sender = sender_for(self._ocbe, predicate, self._rng)
+        self.table.set(token.nym, condition.key(), css)
+        return RegistrationOffer(
+            condition=condition, sender=sender, token=token, css=css
+        )
+
+    # -- membership changes (Section V-C) ---------------------------------------
+
+    def revoke_subscription(self, nym: str) -> bool:
+        """Remove a pseudonym entirely; next publish is the rekey."""
+        return self.table.remove_row(nym)
+
+    def revoke_credential(self, nym: str, condition_key: str) -> bool:
+        """Remove one CSS; next publish is the rekey."""
+        return self.table.remove_cell(nym, condition_key)
+
+    # -- broadcast (Section V-C) --------------------------------------------------
+
+    def plan(self, document: Document) -> SegmentPlan:
+        """The segmentation plan for a document under current policies."""
+        return segment(document, self.policies)
+
+    def publish(
+        self,
+        document: Document,
+        rng: Optional[random.Random] = None,
+        capacity: Optional[int] = None,
+    ) -> BroadcastPackage:
+        """Encrypt and package ``document``; fresh keys per configuration.
+
+        Calling publish again after any table change *is* the rekey
+        process: subscribers derive the new keys from the new headers with
+        their unchanged CSSs.
+        """
+        rng = rng if rng is not None else self._rng
+        plan = self.plan(document)
+        headers: List[ConfigHeader] = []
+        encrypted: List[EncryptedSubdocument] = []
+        for config_id, config, sub_names in plan.groups:
+            if config.is_empty:
+                # Example 4 / Pc6: encrypt under a throwaway key, publish no
+                # keying material -- nobody is authorized.
+                throwaway = (
+                    bytes(rng.randrange(256) for _ in range(self.params.key_len))
+                    if rng is not None
+                    else secrets.token_bytes(self.params.key_len)
+                )
+                headers.append(
+                    ConfigHeader(config_id=config_id, policies=(), acv=None)
+                )
+                sym_key = throwaway
+            else:
+                rows: List[Tuple[bytes, ...]] = []
+                policy_keys: List[Tuple[str, ...]] = []
+                for acp in config.sorted_policies():
+                    keys = acp.condition_keys()
+                    policy_keys.append(keys)
+                    for nym in self.table.pseudonyms_with(keys):
+                        rows.append(self.table.css_row(nym, keys))
+                n_max = capacity
+                if n_max is None:
+                    n_max = max(len(rows), 1) + self.capacity_slack
+                key_int, acv_header = self._gkm.generate(rows, n_max=n_max, rng=rng)
+                self.last_keys[(document.name, config_id)] = key_int
+                sym_key = self._gkm.export_key(key_int, self.params.key_len)
+                headers.append(
+                    ConfigHeader(
+                        config_id=config_id,
+                        policies=tuple(policy_keys),
+                        acv=acv_header,
+                    )
+                )
+            for sub_name in sub_names:
+                content = document.get(sub_name).content
+                encrypted.append(
+                    EncryptedSubdocument(
+                        name=sub_name,
+                        config_id=config_id,
+                        ciphertext=self.params.cipher.encrypt(sym_key, content),
+                    )
+                )
+        return BroadcastPackage(
+            document=document.name,
+            headers=tuple(headers),
+            subdocuments=tuple(encrypted),
+        )

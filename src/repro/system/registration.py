@@ -1,0 +1,86 @@
+"""Driving the interactive registration over an accounting transport.
+
+The paper's privacy practice (Section V-B / Example 3): a Sub registers
+its identity token for **every** condition whose attribute name matches
+the token's tag -- including mutually exclusive ones -- so the Pub cannot
+infer from registration behaviour which condition the Sub actually
+satisfies.  These helpers implement exactly that loop and record all
+traffic in an :class:`~repro.system.transport.InMemoryTransport`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.system.publisher import Publisher
+from repro.system.subscriber import Subscriber
+from repro.system.transport import InMemoryTransport
+
+__all__ = ["register_for_attribute", "register_all_attributes"]
+
+
+def register_for_attribute(
+    publisher: Publisher,
+    subscriber: Subscriber,
+    attribute: str,
+    transport: Optional[InMemoryTransport] = None,
+) -> Dict[str, bool]:
+    """Register the Sub's token for all of the Pub's ``attribute`` conditions.
+
+    Returns ``{condition key: css extracted?}`` -- knowledge only the Sub
+    has; the Pub's transcript (in ``transport``) is identical either way.
+    """
+    token = subscriber.token_for(attribute)
+    results: Dict[str, bool] = {}
+    for condition in publisher.conditions_for_attribute(attribute):
+        if transport is not None:
+            transport.send(
+                subscriber.nym,
+                publisher.name,
+                "token+condition-request",
+                token.byte_size() + len(condition.key()),
+                note=condition.key(),
+            )
+        offer = publisher.open_registration(token, condition)
+
+        # Wrap the offer so the interactive messages are metered.
+        if transport is not None:
+            original_compose = offer.compose
+
+            def metered_compose(aux, rng=None, _orig=original_compose, _cond=condition):
+                if aux is not None:
+                    transport.send(
+                        subscriber.nym,
+                        publisher.name,
+                        "ocbe-bit-commitments",
+                        aux.byte_size(),
+                        note=_cond.key(),
+                    )
+                envelope = _orig(aux, rng)
+                transport.send(
+                    publisher.name,
+                    subscriber.nym,
+                    "ocbe-envelope",
+                    envelope.byte_size(),
+                    note=_cond.key(),
+                )
+                return envelope
+
+            offer.compose = metered_compose  # type: ignore[method-assign]
+        results[condition.key()] = subscriber.accept_offer(offer)
+    return results
+
+
+def register_all_attributes(
+    publisher: Publisher,
+    subscriber: Subscriber,
+    transport: Optional[InMemoryTransport] = None,
+) -> Dict[str, Dict[str, bool]]:
+    """Register every token the Sub holds against every matching condition."""
+    outcome: Dict[str, Dict[str, bool]] = {}
+    for attribute in subscriber.attribute_tags():
+        if publisher.conditions_for_attribute(attribute):
+            outcome[attribute] = register_for_attribute(
+                publisher, subscriber, attribute, transport
+            )
+    return outcome

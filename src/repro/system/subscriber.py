@@ -1,0 +1,160 @@
+"""The Subscriber (Sub): tokens, CSS store, key derivation, decryption.
+
+A Sub holds its identity tokens with their private openings ``(x, r)`` and
+the CSSs it managed to extract during registration.  Receiving a broadcast
+(Section V-C "Decryption Key Derivation"):
+
+* for each subdocument, look at its configuration header;
+* pick a member policy whose condition keys all have local CSSs;
+* build the KEV from those CSSs and the published nonces and compute
+  ``K = KEV . X``;
+* authenticated decryption confirms the key (a Sub that *thinks* it
+  qualifies but holds a stale/garbage CSS just fails and tries the next
+  policy).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.documents.package import BroadcastPackage, ConfigHeader
+from repro.errors import DecryptionError, RegistrationError
+from repro.gkm.acv import AcvBgkm
+from repro.mathx.field import PrimeField
+from repro.ocbe.base import OCBESetup, receiver_for
+from repro.policy.condition import AttributeCondition
+from repro.system.identity import IdentityToken
+from repro.system.publisher import RegistrationOffer, SystemParams
+
+__all__ = ["Subscriber", "TokenWallet"]
+
+
+@dataclass
+class TokenWallet:
+    """A token plus its private opening."""
+
+    token: IdentityToken
+    x: int
+    r: int
+
+
+class Subscriber:
+    """A subscribing client."""
+
+    def __init__(
+        self,
+        nym: str,
+        params: SystemParams,
+        rng: Optional[random.Random] = None,
+    ):
+        self.nym = nym
+        self.params = params
+        self._wallet: Dict[str, TokenWallet] = {}
+        self.css_store: Dict[str, bytes] = {}
+        self._gkm = AcvBgkm(params.gkm_field, params.hash_fn)
+        self._ocbe = OCBESetup(
+            pedersen=params.pedersen,
+            hash_fn=params.hash_fn,
+            cipher=params.cipher,
+            key_len=params.key_len,
+        )
+        self._rng = rng
+
+    # -- identity ------------------------------------------------------------
+
+    def hold_token(self, token: IdentityToken, x: int, r: int) -> None:
+        """Store a token and its opening received from the IdMgr."""
+        if token.nym != self.nym:
+            raise RegistrationError(
+                "token pseudonym %r does not match subscriber %r"
+                % (token.nym, self.nym)
+            )
+        self._wallet[token.tag] = TokenWallet(token=token, x=x, r=r)
+
+    def token_for(self, attribute: str) -> IdentityToken:
+        """The held token for an attribute tag."""
+        if attribute not in self._wallet:
+            raise RegistrationError("no token for attribute %r" % attribute)
+        return self._wallet[attribute].token
+
+    def attribute_tags(self) -> List[str]:
+        """Tags of all held tokens."""
+        return sorted(self._wallet)
+
+    # -- registration (receiver side of Section V-B) ----------------------------
+
+    def accept_offer(self, offer: RegistrationOffer) -> bool:
+        """Run the OCBE receiver side for one registration offer.
+
+        Returns True when the CSS was extracted (predicate satisfied) and
+        stores it; False otherwise.  The publisher cannot observe which.
+        """
+        condition = offer.condition
+        wallet = self._wallet.get(condition.name)
+        if wallet is None:
+            raise RegistrationError("no token for attribute %r" % condition.name)
+        predicate = condition.predicate(self.params.attribute_bits)
+        receiver = receiver_for(
+            self._ocbe,
+            predicate,
+            wallet.x,
+            wallet.r,
+            wallet.token.commitment,
+            self._rng,
+        )
+        aux = receiver.commitment_message()
+        envelope = offer.compose(aux)
+        try:
+            css = receiver.open(envelope)
+        except DecryptionError:
+            return False
+        self.css_store[condition.key()] = css
+        return True
+
+    # -- broadcast consumption ---------------------------------------------------
+
+    def _derive_config_key(self, header: ConfigHeader) -> List[bytes]:
+        """Candidate symmetric keys for a configuration, one per satisfiable
+        policy (most Subs satisfy at most one)."""
+        if header.acv is None:
+            return []
+        candidates = []
+        for condition_keys in header.policies:
+            if all(key in self.css_store for key in condition_keys):
+                css = tuple(self.css_store[key] for key in condition_keys)
+                key_int = self._gkm.derive(header.acv, css)
+                candidates.append(
+                    self._gkm.export_key(key_int, self.params.key_len)
+                )
+        return candidates
+
+    def receive(self, package: BroadcastPackage) -> Dict[str, bytes]:
+        """Decrypt every subdocument this Sub is authorized for.
+
+        Returns ``{subdocument name: plaintext}``; unauthorized portions
+        are simply absent (their ciphertexts are indistinguishable from
+        random without the key).
+        """
+        keys_by_config: Dict[str, List[bytes]] = {}
+        for header in package.headers:
+            keys_by_config[header.config_id] = self._derive_config_key(header)
+        plaintexts: Dict[str, bytes] = {}
+        for sub in package.subdocuments:
+            for key in keys_by_config.get(sub.config_id, []):
+                try:
+                    plaintexts[sub.name] = self.params.cipher.decrypt(
+                        key, sub.ciphertext
+                    )
+                    break
+                except DecryptionError:
+                    continue
+        return plaintexts
+
+    def __repr__(self) -> str:
+        return "Subscriber(nym=%r, tokens=%d, css=%d)" % (
+            self.nym,
+            len(self._wallet),
+            len(self.css_store),
+        )

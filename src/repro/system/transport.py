@@ -1,0 +1,79 @@
+"""An accounting in-memory transport.
+
+The paper's bandwidth claims (O(l'N) broadcast overhead, zero unicast on
+rekey) become testable by routing every inter-entity message through this
+transport: it records direction, kind and size, and exposes per-channel
+byte counters.  It also doubles as the privacy-audit log -- everything the
+publisher ever "sees" is a message recorded here, so tests can assert the
+publisher's view is independent of subscribers' attribute values.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Message", "InMemoryTransport"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One recorded transmission."""
+
+    sender: str
+    receiver: str
+    kind: str
+    size: int
+    note: str = ""
+
+
+class InMemoryTransport:
+    """Records messages and aggregates byte counts."""
+
+    def __init__(self) -> None:
+        self.messages: List[Message] = []
+        self._bytes: Dict[Tuple[str, str], int] = defaultdict(int)
+
+    def send(
+        self, sender: str, receiver: str, kind: str, size: int, note: str = ""
+    ) -> None:
+        """Record a message of ``size`` bytes."""
+        self.messages.append(
+            Message(sender=sender, receiver=receiver, kind=kind, size=size, note=note)
+        )
+        self._bytes[(sender, receiver)] += size
+
+    def bytes_between(self, sender: str, receiver: str) -> int:
+        """Total bytes sent on one directed channel."""
+        return self._bytes[(sender, receiver)]
+
+    def bytes_sent_by(self, sender: str) -> int:
+        """Total bytes originated by an entity."""
+        return sum(
+            size for (s, _), size in self._bytes.items() if s == sender
+        )
+
+    def bytes_received_by(self, receiver: str) -> int:
+        """Total bytes delivered to an entity."""
+        return sum(
+            size for (_, r), size in self._bytes.items() if r == receiver
+        )
+
+    def messages_seen_by(self, entity: str) -> List[Message]:
+        """The complete view of one entity (sent + received)."""
+        return [
+            m for m in self.messages if m.sender == entity or m.receiver == entity
+        ]
+
+    def kinds_count(self) -> Dict[str, int]:
+        """Message counts per kind."""
+        counts: Dict[str, int] = defaultdict(int)
+        for m in self.messages:
+            counts[m.kind] += 1
+        return dict(counts)
+
+    def reset(self) -> None:
+        """Clear the log and counters."""
+        self.messages.clear()
+        self._bytes.clear()

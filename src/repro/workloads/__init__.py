@@ -1,0 +1,39 @@
+"""Workload builders for examples, tests and benchmarks.
+
+* :mod:`repro.workloads.ehr` -- the paper's running healthcare scenario
+  (Example 4): the EHR.xml document, the six role-based policies and a
+  ready-to-run hospital with enrolled employees.
+* :mod:`repro.workloads.generator` -- synthetic CSS-row and policy
+  generators matching the parameterisation of the evaluation section
+  (user configurations, policies with a given average condition count).
+"""
+
+from repro.workloads.ehr import (
+    EHR_POLICIES,
+    EHR_SUBDOCUMENT_TAGS,
+    EHR_XML,
+    HospitalScenario,
+    build_ehr_document,
+    build_ehr_policies,
+    build_hospital,
+)
+from repro.workloads.generator import (
+    SyntheticPolicySet,
+    make_css_rows,
+    make_policy_set,
+    user_configuration_rows,
+)
+
+__all__ = [
+    "EHR_XML",
+    "EHR_POLICIES",
+    "EHR_SUBDOCUMENT_TAGS",
+    "HospitalScenario",
+    "build_ehr_document",
+    "build_ehr_policies",
+    "build_hospital",
+    "SyntheticPolicySet",
+    "make_css_rows",
+    "make_policy_set",
+    "user_configuration_rows",
+]

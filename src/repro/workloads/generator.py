@@ -1,0 +1,127 @@
+"""Synthetic workload generation matching the evaluation's parameters.
+
+Section VII's group-key-management experiments use *user configurations*:
+"a user configuration indicates the number of current Subs and the maximum
+user limit N ... We use 25 policies, each on average containing two
+conditions.  Each Sub satisfies the policy in the policy configuration
+under consideration."  These helpers produce exactly those inputs for the
+ACV-BGKM core API (CSS rows), plus synthetic policy sets for the
+system-level sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.policy.acp import AccessControlPolicy, parse_policy
+
+__all__ = [
+    "make_css_rows",
+    "user_configuration_rows",
+    "SyntheticPolicySet",
+    "make_policy_set",
+]
+
+
+def make_css_rows(
+    num_rows: int,
+    conditions_per_row: int = 2,
+    css_bytes: int = 16,
+    rng: Optional[random.Random] = None,
+) -> List[Tuple[bytes, ...]]:
+    """``num_rows`` CSS tuples of ``conditions_per_row`` secrets each."""
+    if num_rows < 0 or conditions_per_row < 1:
+        raise InvalidParameterError("invalid row shape")
+    rng = rng or random.Random(0)
+    return [
+        tuple(
+            bytes(rng.randrange(256) for _ in range(css_bytes))
+            for _ in range(conditions_per_row)
+        )
+        for _ in range(num_rows)
+    ]
+
+
+def user_configuration_rows(
+    max_users: int,
+    subscriber_fraction: float,
+    num_policies: int = 25,
+    avg_conditions: int = 2,
+    css_bytes: int = 16,
+    rng: Optional[random.Random] = None,
+) -> Tuple[List[Tuple[bytes, ...]], int]:
+    """One evaluation *user configuration*.
+
+    Returns ``(rows, N)`` where ``rows`` holds one CSS tuple per current
+    subscriber (``round(max_users * fraction)`` of them) and ``N`` is the
+    maximum-user capacity.  Policies only influence the tuple arity: each
+    subscriber satisfies one policy whose condition count averages
+    ``avg_conditions`` (alternating around the average like the paper's
+    "on average two conditions").
+    """
+    if not 0.0 <= subscriber_fraction <= 1.0:
+        raise InvalidParameterError("fraction must be in [0, 1]")
+    rng = rng or random.Random(0)
+    current = round(max_users * subscriber_fraction)
+    rows: List[Tuple[bytes, ...]] = []
+    for i in range(current):
+        policy_index = i % max(num_policies, 1)
+        # Alternate condition counts around the average (>=1).
+        conds = max(1, avg_conditions + (1 if policy_index % 2 else -1) * (i % 2))
+        if avg_conditions == 1:
+            conds = 1
+        rows.append(
+            tuple(
+                bytes(rng.randrange(256) for _ in range(css_bytes))
+                for _ in range(conds)
+            )
+        )
+    return rows, max_users
+
+
+@dataclass(frozen=True)
+class SyntheticPolicySet:
+    """A generated policy set plus the attribute universe it draws from."""
+
+    policies: Tuple[AccessControlPolicy, ...]
+    attributes: Tuple[str, ...]
+    document: str
+
+
+def make_policy_set(
+    num_policies: int,
+    conditions_per_policy: int,
+    subdocuments: Sequence[str],
+    document: str = "doc",
+    rng: Optional[random.Random] = None,
+) -> SyntheticPolicySet:
+    """Random conjunctive policies over a synthetic attribute universe.
+
+    Attribute ``attr_i`` takes integer values; conditions are drawn from
+    ``>=``/``<=``/``=`` with thresholds in [0, 100).  Each policy protects
+    a random non-empty subset of ``subdocuments``.
+    """
+    if num_policies < 1 or conditions_per_policy < 1:
+        raise InvalidParameterError("invalid policy-set shape")
+    rng = rng or random.Random(0)
+    attributes = tuple(
+        "attr_%d" % i for i in range(max(4, conditions_per_policy * 2))
+    )
+    policies = []
+    for _ in range(num_policies):
+        chosen = rng.sample(attributes, conditions_per_policy)
+        parts = []
+        for attr in chosen:
+            op = rng.choice([">=", "<=", "="])
+            threshold = rng.randrange(100)
+            parts.append("%s %s %d" % (attr, op, threshold))
+        objects = rng.sample(
+            list(subdocuments), rng.randrange(1, len(subdocuments) + 1)
+        )
+        policies.append(parse_policy(" AND ".join(parts), objects, document))
+    return SyntheticPolicySet(
+        policies=tuple(policies), attributes=attributes, document=document
+    )

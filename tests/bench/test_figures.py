@@ -1,0 +1,80 @@
+"""Smoke tests for the figure drivers (tiny parameters).
+
+The real sweeps live in benchmarks/; here we only assert the drivers run,
+return the right shape, and show the paper's qualitative trends.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.figures import fig2, fig3, fig4, fig5, fig6, table2
+from repro.bench.runner import Measurement, avg_time, format_table
+from repro.gkm.acv import FAST_FIELD
+
+
+class TestRunner:
+    def test_avg_time(self):
+        m = avg_time(lambda: sum(range(100)), rounds=3)
+        assert isinstance(m, Measurement)
+        assert m.minimum <= m.mean <= m.maximum
+        assert m.rounds == 3
+        assert m.mean_ms == m.mean * 1000
+
+    def test_format_table(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], ["x", "y"]])
+        assert "T" in text and "bb" in text and "2.500" in text
+
+    def test_format_table_empty(self):
+        text = format_table("T", ["a"], [])
+        assert "a" in text
+
+
+class TestDrivers:
+    def test_table2(self):
+        result = table2(group_name="nist-p192", rounds=1, rng=random.Random(0))
+        assert result["create_commitments_ms"] == 0.0
+        assert result["compose_envelope_ms"] > 0
+        assert result["open_envelope_ms"] > 0
+
+    def test_fig2_shape_and_trend(self):
+        rows = fig2(ells=(4, 12), rounds=1, rng=random.Random(1))
+        assert [r["ell"] for r in rows] == [4, 12]
+        # Per-step cost grows with l (the paper's Figure-2 trend).
+        assert rows[1]["compose_envelope_ms"] > rows[0]["compose_envelope_ms"]
+
+    def test_fig3_shape(self):
+        rows = fig3(
+            max_users=(10, 20), fractions=(0.5, 1.0), field=FAST_FIELD,
+            rounds=1, rng=random.Random(2),
+        )
+        assert [r["max_users"] for r in rows] == [10, 20]
+        assert "50%" in rows[0] and "100%" in rows[0]
+
+    def test_fig4_values_positive(self):
+        rows = fig4(
+            max_users=(10,), fractions=(1.0,), field=FAST_FIELD,
+            rounds=1, rng=random.Random(3),
+        )
+        assert rows[0]["100%"] > 0
+
+    def test_fig5_size_grows_with_fraction(self):
+        rows = fig5(
+            max_users=(60,), fractions=(0.25, 1.0), rng=random.Random(4)
+        )
+        assert rows[0]["100%"] > rows[0]["25%"]
+
+    def test_fig6_shape(self):
+        rows = fig6(
+            conditions=(1, 3), max_users=20, num_policies=5,
+            field=FAST_FIELD, rounds=1, rng=random.Random(5),
+        )
+        assert [r["conditions"] for r in rows] == [1, 3]
+        assert all(r["generation_ms"] > 0 for r in rows)
+
+    def test_verbose_paths_print(self, capsys):
+        table2(group_name="nist-p192", rounds=1, verbose=True, rng=random.Random(6))
+        fig5(max_users=(20,), fractions=(1.0,), verbose=True, rng=random.Random(7))
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Figure 5" in out

@@ -1,0 +1,59 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.crypto.pedersen import PedersenParams
+from repro.groups import get_group
+from repro.mathx.field import PrimeField
+from repro.ocbe.base import OCBESetup
+
+# Property tests run crypto-heavy code; keep examples modest and disable
+# the deadline (group operations have high variance under load).
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG; reseeded per test."""
+    return random.Random(0x5EED)
+
+
+@pytest.fixture(scope="session")
+def toy_group():
+    """The exhaustively-testable Schnorr group (p=23, order 11)."""
+    return get_group("toy-schnorr")
+
+
+@pytest.fixture(scope="session")
+def ec_group():
+    """The default fast EC backend."""
+    return get_group("nist-p192")
+
+
+@pytest.fixture(scope="session")
+def genus2_group():
+    """The paper's genus-2 Jacobian."""
+    return get_group("paper-genus2")
+
+
+@pytest.fixture(scope="session")
+def small_field() -> PrimeField:
+    """A small prime field for exhaustive linear-algebra checks."""
+    return PrimeField(10007)
+
+
+@pytest.fixture(scope="session")
+def ec_setup(ec_group) -> OCBESetup:
+    """OCBE setup over the fast EC backend (shared across tests)."""
+    return OCBESetup(pedersen=PedersenParams(ec_group))

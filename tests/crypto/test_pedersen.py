@@ -1,0 +1,104 @@
+"""Tests for Pedersen commitments over multiple group backends."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.pedersen import PedersenParams
+from repro.errors import CommitmentError, InvalidParameterError
+from repro.groups import get_group
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PedersenParams(get_group("nist-p192"))
+
+
+class TestSetup:
+    def test_distinct_generators(self, params):
+        assert params.g != params.h
+
+    def test_rejects_equal_generators(self):
+        group = get_group("nist-p192")
+        with pytest.raises(InvalidParameterError):
+            PedersenParams(group, g=group.generator(), h=group.generator())
+
+    def test_rejects_identity_generator(self):
+        group = get_group("nist-p192")
+        with pytest.raises(InvalidParameterError):
+            PedersenParams(group, g=group.identity())
+
+    @pytest.mark.parametrize("name", ["nist-p192", "schnorr-256", "paper-genus2"])
+    def test_works_on_all_backends(self, name):
+        p = PedersenParams(get_group(name))
+        rng = random.Random(0)
+        c, r = p.commit(42, rng=rng)
+        assert p.verify_open(c, 42, r)
+        assert not p.verify_open(c, 43, r)
+
+
+class TestCommitOpen:
+    @settings(max_examples=10)
+    @given(x=st.integers(0, 2**64))
+    def test_open_roundtrip(self, params, x):
+        rng = random.Random(x)
+        c, r = params.commit(x, rng=rng)
+        assert params.verify_open(c, x, r)
+
+    def test_wrong_value_rejected(self, params):
+        rng = random.Random(1)
+        c, r = params.commit(100, rng=rng)
+        assert not params.verify_open(c, 101, r)
+        assert not params.verify_open(c, 100, r + 1)
+
+    def test_require_open(self, params):
+        rng = random.Random(2)
+        c, r = params.commit(7, rng=rng)
+        params.require_open(c, 7, r)
+        with pytest.raises(CommitmentError):
+            params.require_open(c, 8, r)
+
+    def test_explicit_blinding(self, params):
+        c1, r1 = params.commit(5, r=12345)
+        assert r1 == 12345
+        c2, _ = params.commit(5, r=12345)
+        assert c1.value == c2.value  # deterministic with fixed r
+
+    def test_hiding(self, params):
+        """Same value, different blinding: different commitments."""
+        c1, _ = params.commit(5, r=1)
+        c2, _ = params.commit(5, r=2)
+        assert c1.value != c2.value
+
+    def test_values_reduced_mod_order(self, params):
+        p = params.order
+        c1, _ = params.commit(5, r=7)
+        c2, _ = params.commit(5 + p, r=7 + p)
+        assert c1.value == c2.value
+
+    def test_homomorphic_addition(self, params):
+        c1, r1 = params.commit(10, r=3)
+        c2, r2 = params.commit(20, r=4)
+        combined = c1 * c2
+        assert params.verify_open(combined, 30, r1 + r2)
+
+    def test_commitment_bytes(self, params):
+        c, _ = params.commit(5, r=9)
+        assert c.to_bytes() == c.value.to_bytes()
+
+    def test_system_rng_path(self, params):
+        c, r = params.commit(5)  # no rng given -> secrets module
+        assert params.verify_open(c, 5, r)
+
+
+class TestBinding:
+    def test_binding_would_need_dlog(self, params):
+        """Opening to a different value requires solving r' from
+        g^x h^r = g^x' h^r' -- exhaustively check infeasibility on the toy
+        group is meaningless, so we check algebra instead: for a random
+        commitment, no small r' opens it to x+1."""
+        rng = random.Random(3)
+        c, r = params.commit(42, rng=rng)
+        assert all(not params.verify_open(c, 43, rp) for rp in range(64))

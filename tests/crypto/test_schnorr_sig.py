@@ -1,0 +1,88 @@
+"""Tests for Schnorr signatures."""
+
+import random
+
+import pytest
+
+from repro.crypto.schnorr_sig import SchnorrKeyPair, SchnorrSignature, verify
+from repro.errors import InvalidParameterError
+from repro.groups import get_group
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return SchnorrKeyPair(get_group("nist-p192"), rng=random.Random(11))
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        rng = random.Random(0)
+        sig = keypair.sign(b"message", rng=rng)
+        assert keypair.verify(b"message", sig)
+
+    def test_wrong_message(self, keypair):
+        sig = keypair.sign(b"message", rng=random.Random(1))
+        assert not keypair.verify(b"other", sig)
+
+    def test_tampered_signature(self, keypair):
+        sig = keypair.sign(b"message", rng=random.Random(2))
+        assert not keypair.verify(b"message", SchnorrSignature(sig.e + 1, sig.s))
+        assert not keypair.verify(b"message", SchnorrSignature(sig.e, sig.s + 1))
+
+    def test_out_of_range_rejected(self, keypair):
+        q = keypair.group.order
+        sig = keypair.sign(b"m", rng=random.Random(3))
+        assert not keypair.verify(b"m", SchnorrSignature(sig.e + q, sig.s))
+        assert not keypair.verify(b"m", SchnorrSignature(sig.e, sig.s + q))
+
+    def test_wrong_key(self):
+        group = get_group("nist-p192")
+        kp1 = SchnorrKeyPair(group, rng=random.Random(4))
+        kp2 = SchnorrKeyPair(group, rng=random.Random(5))
+        sig = kp1.sign(b"m", rng=random.Random(6))
+        assert not kp2.verify(b"m", sig)
+        assert verify(group, kp1.pk, b"m", sig)
+        assert not verify(group, kp2.pk, b"m", sig)
+
+    def test_empty_message(self, keypair):
+        sig = keypair.sign(b"", rng=random.Random(7))
+        assert keypair.verify(b"", sig)
+
+    def test_nonce_freshness(self, keypair):
+        """Two signatures of the same message differ (random nonces)."""
+        s1 = keypair.sign(b"m", rng=random.Random(8))
+        s2 = keypair.sign(b"m", rng=random.Random(9))
+        assert (s1.e, s1.s) != (s2.e, s2.s)
+        assert keypair.verify(b"m", s1) and keypair.verify(b"m", s2)
+
+    def test_explicit_secret_key(self):
+        group = get_group("nist-p192")
+        kp = SchnorrKeyPair(group, sk=123456789)
+        sig = kp.sign(b"m", rng=random.Random(10))
+        assert kp.verify(b"m", sig)
+
+    def test_zero_secret_rejected(self):
+        group = get_group("nist-p192")
+        with pytest.raises(InvalidParameterError):
+            SchnorrKeyPair(group, sk=group.order)  # reduces to 0
+
+    def test_system_rng_path(self, keypair):
+        sig = keypair.sign(b"m")  # secrets-based nonce
+        assert keypair.verify(b"m", sig)
+
+
+class TestSerialization:
+    def test_roundtrip(self, keypair):
+        sig = keypair.sign(b"m", rng=random.Random(12))
+        scalar_len = keypair.group.scalar_byte_length()
+        raw = sig.to_bytes(scalar_len)
+        assert SchnorrSignature.from_bytes(raw, scalar_len) == sig
+
+    def test_bad_length(self):
+        with pytest.raises(InvalidParameterError):
+            SchnorrSignature.from_bytes(b"123", 24)
+
+    def test_works_on_schnorr_group(self):
+        kp = SchnorrKeyPair(get_group("schnorr-256"), rng=random.Random(13))
+        sig = kp.sign(b"m", rng=random.Random(14))
+        assert kp.verify(b"m", sig)

@@ -1,0 +1,82 @@
+"""Tests for the authenticated symmetric envelopes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.symmetric import (
+    AesCtrHmacCipher,
+    HashStreamCipher,
+    default_cipher,
+)
+from repro.errors import DecryptionError, InvalidParameterError
+
+CIPHERS = [AesCtrHmacCipher(), HashStreamCipher()]
+IDS = [c.name for c in CIPHERS]
+
+
+@pytest.mark.parametrize("cipher", CIPHERS, ids=IDS)
+class TestRoundtrip:
+    @given(key=st.binary(min_size=1, max_size=64), data=st.binary(max_size=300))
+    def test_roundtrip(self, cipher, key, data):
+        assert cipher.decrypt(key, cipher.encrypt(key, data)) == data
+
+    def test_empty_plaintext(self, cipher):
+        assert cipher.decrypt(b"k", cipher.encrypt(b"k", b"")) == b""
+
+    def test_nondeterministic(self, cipher):
+        """Semantic security requires fresh randomness per encryption."""
+        ct1 = cipher.encrypt(b"key", b"message")
+        ct2 = cipher.encrypt(b"key", b"message")
+        assert ct1 != ct2
+
+    def test_wrong_key_rejected(self, cipher):
+        ct = cipher.encrypt(b"right", b"message")
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(b"wrong", ct)
+
+    def test_tampered_body_rejected(self, cipher):
+        ct = bytearray(cipher.encrypt(b"key", b"message"))
+        ct[20] ^= 1
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(b"key", bytes(ct))
+
+    def test_tampered_tag_rejected(self, cipher):
+        ct = bytearray(cipher.encrypt(b"key", b"message"))
+        ct[-1] ^= 1
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(b"key", bytes(ct))
+
+    def test_truncated_rejected(self, cipher):
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(b"key", b"short")
+
+    def test_overhead_accounting(self, cipher):
+        ct = cipher.encrypt(b"key", b"x" * 100)
+        assert len(ct) == 100 + cipher.overhead()
+
+
+class TestSpecifics:
+    def test_default_cipher_is_aes(self):
+        assert default_cipher().name == "aes-ctr-hmac"
+
+    def test_aes_key_sizes(self):
+        for size in (16, 24, 32):
+            c = AesCtrHmacCipher(aes_key_size=size)
+            assert c.decrypt(b"k", c.encrypt(b"k", b"data")) == b"data"
+
+    def test_aes_bad_key_size(self):
+        with pytest.raises(InvalidParameterError):
+            AesCtrHmacCipher(aes_key_size=20)
+
+    def test_ciphertexts_not_interchangeable(self):
+        """An AES-CTR ciphertext must not decrypt under the hash-stream
+        cipher (domain-separated subkeys + different construction)."""
+        ct = AesCtrHmacCipher().encrypt(b"key", b"data")
+        with pytest.raises(DecryptionError):
+            HashStreamCipher().decrypt(b"key", ct)
+
+    def test_long_payload(self):
+        cipher = HashStreamCipher()
+        data = bytes(range(256)) * 64  # 16 KiB
+        assert cipher.decrypt(b"k", cipher.encrypt(b"k", data)) == data

@@ -1,0 +1,79 @@
+"""Tests for policy-driven segmentation plans."""
+
+import pytest
+
+from repro.documents.model import Document
+from repro.documents.segmentation import segment
+from repro.errors import DocumentError
+from repro.policy.acp import parse_policy
+from repro.workloads.ehr import build_ehr_document, build_ehr_policies
+
+
+def doc():
+    return Document.of(
+        "d", {"s1": b"1", "s2": b"2", "s3": b"3", "s4": b"4"}
+    )
+
+
+class TestSegment:
+    def test_grouping_by_configuration(self):
+        policies = [
+            parse_policy("a = 1", ["s1", "s2"], "d"),
+            parse_policy("b = 2", ["s3"], "d"),
+        ]
+        plan = segment(doc(), policies)
+        ids = {name: plan.configuration_of(name)[0] for name in
+               ("s1", "s2", "s3", "s4")}
+        assert ids["s1"] == ids["s2"]          # same configuration
+        assert ids["s3"] != ids["s1"]
+        assert ids["s4"] == "pc0"              # empty configuration
+
+    def test_empty_config_last(self):
+        policies = [parse_policy("a = 1", ["s1"], "d")]
+        plan = segment(doc(), policies)
+        assert plan.groups[-1][0] == "pc0"
+        assert plan.groups[-1][1].is_empty
+
+    def test_other_documents_ignored(self):
+        policies = [parse_policy("a = 1", ["other"], "not-d")]
+        plan = segment(doc(), policies)
+        assert all(config.is_empty for _, config, _ in plan.groups)
+
+    def test_unknown_subdocument_rejected(self):
+        policies = [parse_policy("a = 1", ["ghost"], "d")]
+        with pytest.raises(DocumentError):
+            segment(doc(), policies)
+
+    def test_configuration_of_unknown(self):
+        plan = segment(doc(), [])
+        with pytest.raises(DocumentError):
+            plan.configuration_of("ghost")
+
+    def test_non_empty_groups(self):
+        policies = [parse_policy("a = 1", ["s1"], "d")]
+        plan = segment(doc(), policies)
+        non_empty = plan.non_empty_groups()
+        assert len(non_empty) == 1
+        assert non_empty[0][2] == ("s1",)
+
+
+class TestEhrPlan:
+    """The Example-4 plan: 5 distinct non-empty configurations + Pc6."""
+
+    def test_group_count(self):
+        plan = segment(build_ehr_document(), build_ehr_policies())
+        non_empty = plan.non_empty_groups()
+        assert len(non_empty) == 5
+        assert len(plan.groups) == 6
+
+    def test_physical_exams_and_plan_share_key_group(self):
+        plan = segment(build_ehr_document(), build_ehr_policies())
+        pe_id, _ = plan.configuration_of("PhysicalExams")
+        plan_id, _ = plan.configuration_of("Plan")
+        assert pe_id == plan_id
+
+    def test_rest_is_empty_config(self):
+        plan = segment(build_ehr_document(), build_ehr_policies())
+        rest_id, rest_config = plan.configuration_of("_rest")
+        assert rest_id == "pc0"
+        assert rest_config.is_empty

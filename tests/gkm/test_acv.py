@@ -1,0 +1,186 @@
+"""Tests for the ACV-BGKM core."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    CapacityError,
+    InvalidParameterError,
+    SerializationError,
+)
+from repro.gkm.acv import FAST_FIELD, PAPER_FIELD, AcvBgkm, AcvHeader, _auto_z_bytes
+from repro.mathx.field import PrimeField
+
+
+@pytest.fixture
+def gkm():
+    return AcvBgkm(FAST_FIELD)
+
+
+def make_rows(rng, count, arity=2):
+    return [
+        tuple(bytes(rng.randrange(256) for _ in range(8)) for _ in range(arity))
+        for _ in range(count)
+    ]
+
+
+class TestSoundness:
+    """Every qualified row derives exactly K (Section VI-B.1)."""
+
+    def test_all_rows_derive(self, gkm, rng):
+        rows = make_rows(rng, 6)
+        key, header = gkm.generate(rows, n_max=10, rng=rng)
+        for row in rows:
+            assert gkm.derive(header, row) == key
+
+    def test_mixed_arity_rows(self, gkm, rng):
+        rows = [make_rows(rng, 1, arity)[0] for arity in (1, 2, 3, 5)]
+        key, header = gkm.generate(rows, rng=rng)
+        for row in rows:
+            assert gkm.derive(header, row) == key
+
+    def test_unqualified_css_does_not_derive(self, gkm, rng):
+        rows = make_rows(rng, 4)
+        key, header = gkm.generate(rows, rng=rng)
+        assert gkm.derive(header, (b"not-a-css",)) != key
+
+    def test_partial_css_tuple_fails(self, gkm, rng):
+        """Holding only one of two CSSs in a conjunction must not help --
+        this is the collusion-relevant property at the row level."""
+        rows = make_rows(rng, 3, arity=2)
+        key, header = gkm.generate(rows, rng=rng)
+        assert gkm.derive(header, (rows[0][0],)) != key
+        assert gkm.derive(header, (rows[0][0], rows[1][1])) != key
+
+    def test_key_in_multiplicative_group(self, gkm, rng):
+        key, _ = gkm.generate(make_rows(rng, 2), rng=rng)
+        assert 1 <= key < gkm.field.p
+
+    @settings(max_examples=10)
+    @given(n_rows=st.integers(0, 8), slack=st.integers(0, 5), seed=st.integers(0, 99))
+    def test_property_soundness(self, n_rows, slack, seed):
+        rng = random.Random(seed)
+        gkm = AcvBgkm(FAST_FIELD)
+        rows = make_rows(rng, n_rows)
+        key, header = gkm.generate(rows, n_max=max(n_rows, 1) + slack, rng=rng)
+        for row in rows:
+            assert gkm.derive(header, row) == key
+
+
+class TestCapacityAndParameters:
+    def test_capacity_violation(self, gkm, rng):
+        rows = make_rows(rng, 5)
+        with pytest.raises(CapacityError):
+            gkm.generate(rows, n_max=4, rng=rng)
+
+    def test_default_capacity_is_row_count(self, gkm, rng):
+        rows = make_rows(rng, 5)
+        _, header = gkm.generate(rows, rng=rng)
+        assert header.capacity == 5
+
+    def test_empty_rows_supported(self, gkm, rng):
+        """No qualified subscriber: header exists, nobody derives."""
+        key, header = gkm.generate([], n_max=3, rng=rng)
+        assert gkm.derive(header, (b"anything",)) != key
+
+    def test_auto_z_bytes_follows_paper_rule(self):
+        """tau * N > 160 bits (Section V-C)."""
+        for n in (1, 2, 10, 100, 1000):
+            assert _auto_z_bytes(n) * 8 * n >= 160
+
+    def test_explicit_z_bytes(self, gkm, rng):
+        rows = make_rows(rng, 3)
+        _, header = gkm.generate(rows, rng=rng, z_bytes=16)
+        assert all(len(z) == 16 for z in header.zs)
+
+    def test_compress_terms_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AcvBgkm(FAST_FIELD, compress_terms=0)
+
+    def test_works_on_80bit_paper_field(self, rng):
+        gkm = AcvBgkm(PAPER_FIELD)
+        rows = make_rows(rng, 4)
+        key, header = gkm.generate(rows, n_max=6, rng=rng)
+        assert all(gkm.derive(header, row) == key for row in rows)
+
+    def test_fresh_keys_per_generate(self, gkm, rng):
+        rows = make_rows(rng, 3)
+        k1, h1 = gkm.generate(rows, rng=rng)
+        k2, h2 = gkm.generate(rows, rng=rng)
+        assert k1 != k2
+        assert h1.zs != h2.zs
+
+    def test_system_rng_path(self, gkm):
+        rows = make_rows(random.Random(0), 2)
+        key, header = gkm.generate(rows)  # secrets-based path
+        assert gkm.derive(header, rows[0]) == key
+
+
+class TestKevStructure:
+    def test_kev_first_entry_one(self, gkm, rng):
+        rows = make_rows(rng, 3)
+        _, header = gkm.generate(rows, rng=rng)
+        kev = gkm.key_extraction_vector(header, rows[0])
+        assert kev[0] == 1
+        assert len(kev) == header.capacity + 1
+
+    def test_kev_skips_zero_coordinates(self, rng):
+        gkm = AcvBgkm(FAST_FIELD, compress_terms=1)
+        rows = make_rows(rng, 2)
+        _, header = gkm.generate(rows, n_max=30, rng=rng)
+        kev = gkm.key_extraction_vector(header, rows[0])
+        for j in range(1, len(header.x)):
+            if header.x[j] == 0:
+                assert kev[j] == 0
+
+    def test_export_key_deterministic(self, gkm):
+        assert gkm.export_key(12345) == gkm.export_key(12345)
+        assert gkm.export_key(12345) != gkm.export_key(12346)
+        assert len(gkm.export_key(1, key_len=24)) == 24
+
+
+class TestHeaderSerialization:
+    def test_roundtrip(self, gkm, rng):
+        rows = make_rows(rng, 4)
+        _, header = gkm.generate(rows, n_max=8, rng=rng)
+        parsed = AcvHeader.from_bytes(header.to_bytes())
+        assert parsed == header
+
+    def test_roundtrip_sparse(self, rng):
+        gkm = AcvBgkm(FAST_FIELD, compress_terms=1)
+        rows = make_rows(rng, 2)
+        _, header = gkm.generate(rows, n_max=40, rng=rng)
+        assert AcvHeader.from_bytes(header.to_bytes()) == header
+
+    def test_roundtrip_empty_rows(self, gkm, rng):
+        _, header = gkm.generate([], n_max=2, rng=rng)
+        assert AcvHeader.from_bytes(header.to_bytes()) == header
+
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError):
+            AcvHeader.from_bytes(b"NOPE" + b"\x00" * 20)
+
+    def test_truncated(self, gkm, rng):
+        rows = make_rows(rng, 3)
+        _, header = gkm.generate(rows, rng=rng)
+        raw = header.to_bytes()
+        with pytest.raises(SerializationError):
+            AcvHeader.from_bytes(raw[: len(raw) // 2])
+
+    def test_compression_shrinks_sparse_headers(self, rng):
+        """The Figure-5 effect: fewer current subscribers => smaller ACV."""
+        sparse_gkm = AcvBgkm(PAPER_FIELD, compress_terms=1)
+        few_rows = make_rows(rng, 10)
+        many_rows = make_rows(rng, 80)
+        _, sparse_header = sparse_gkm.generate(few_rows, n_max=100, rng=rng)
+        _, dense_header = sparse_gkm.generate(many_rows, n_max=100, rng=rng)
+        assert sparse_header.byte_size() < dense_header.byte_size()
+
+    def test_derivation_after_serialization(self, gkm, rng):
+        rows = make_rows(rng, 3)
+        key, header = gkm.generate(rows, rng=rng)
+        parsed = AcvHeader.from_bytes(header.to_bytes())
+        assert gkm.derive(parsed, rows[1]) == key

@@ -1,0 +1,83 @@
+"""Tests for the bucketized ACV scheme (Section VIII-C)."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidParameterError, KeyDerivationError, SerializationError
+from repro.gkm.acv import FAST_FIELD
+from repro.gkm.buckets import BucketedAcvBgkm, BucketedHeader
+
+
+def make_rows(rng, count):
+    return [(bytes(rng.randrange(256) for _ in range(8)),) for _ in range(count)]
+
+
+@pytest.fixture
+def bucketed():
+    return BucketedAcvBgkm(bucket_size=4, field=FAST_FIELD)
+
+
+class TestGeneration:
+    def test_same_key_all_buckets(self, bucketed, rng):
+        rows = make_rows(rng, 11)
+        key, header = bucketed.generate(rows, rng=rng)
+        assert len(header.buckets) == 3  # 4 + 4 + 3
+        for i, row in enumerate(rows):
+            assert bucketed.derive(header, row, bucket=i // 4) == key
+
+    def test_single_bucket_when_small(self, bucketed, rng):
+        rows = make_rows(rng, 3)
+        key, header = bucketed.generate(rows, rng=rng)
+        assert len(header.buckets) == 1
+        assert bucketed.derive(header, rows[0], bucket=0) == key
+
+    def test_empty_rows(self, bucketed, rng):
+        key, header = bucketed.generate([], rng=rng)
+        assert len(header.buckets) == 1
+        assert bucketed.derive(header, (b"x",), bucket=0) != key
+
+    def test_wrong_bucket_wrong_key(self, bucketed, rng):
+        rows = make_rows(rng, 8)
+        key, header = bucketed.generate(rows, rng=rng)
+        assert bucketed.derive(header, rows[0], bucket=1) != key
+
+    def test_bucket_index_validation(self, bucketed, rng):
+        rows = make_rows(rng, 4)
+        _, header = bucketed.generate(rows, rng=rng)
+        with pytest.raises(KeyDerivationError):
+            bucketed.derive(header, rows[0], bucket=5)
+
+    def test_derive_candidates(self, bucketed, rng):
+        rows = make_rows(rng, 8)
+        key, header = bucketed.generate(rows, rng=rng)
+        candidates = bucketed.derive_candidates(header, rows[5])
+        assert key in candidates
+        assert len(candidates) == 2
+
+    def test_bucket_size_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BucketedAcvBgkm(bucket_size=0, field=FAST_FIELD)
+
+    def test_generate_for_key_binds_existing_key(self, bucketed, rng):
+        rows = make_rows(rng, 3)
+        header = bucketed.generate_for_key(rows, key=424242, rng=rng)
+        for row in rows:
+            assert bucketed._core.derive(header, row) == 424242
+
+
+class TestSerialization:
+    def test_roundtrip(self, bucketed, rng):
+        rows = make_rows(rng, 9)
+        _, header = bucketed.generate(rows, rng=rng)
+        assert BucketedHeader.from_bytes(header.to_bytes()) == header
+
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError):
+            BucketedHeader.from_bytes(b"XXXX\x00\x00\x00\x00")
+
+    def test_size_scales_with_rows_not_cube(self, bucketed, rng):
+        """Total header size stays linear in rows even when bucketed."""
+        small = bucketed.generate(make_rows(rng, 4), rng=rng)[1].byte_size()
+        large = bucketed.generate(make_rows(rng, 16), rng=rng)[1].byte_size()
+        assert large < small * 8  # linear-ish, not cubic

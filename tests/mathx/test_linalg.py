@@ -1,0 +1,198 @@
+"""Tests for F_q linear algebra: both kernels, null spaces, solving."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError, SingularMatrixError
+from repro.mathx.field import PrimeField
+from repro.mathx.linalg import (
+    NUMPY_MODULUS_LIMIT,
+    Matrix,
+    null_space,
+    random_null_vector,
+    solve,
+    vec_dot,
+)
+
+SMALL = PrimeField(10007)                       # numpy kernel
+BIG = PrimeField(604462909807314587353111)      # pure-Python kernel (80-bit)
+
+FIELDS = [SMALL, BIG]
+
+
+def random_matrix(field, nrows, ncols, seed=0):
+    return Matrix.random(field, nrows, ncols, random.Random(seed))
+
+
+class TestKernelSelection:
+    def test_threshold(self):
+        assert SMALL.p < NUMPY_MODULUS_LIMIT
+        assert BIG.p >= NUMPY_MODULUS_LIMIT
+
+    def test_kernels_agree(self):
+        """Same matrix mod a small prime: both kernels, same rref."""
+        rng = random.Random(42)
+        rows = [[rng.randrange(SMALL.p) for _ in range(7)] for _ in range(5)]
+        m_small = Matrix(SMALL, rows)
+        reduced_np, pivots_np = m_small.rref()
+
+        from repro.mathx.linalg import _rref_python
+
+        reduced_py, pivots_py = _rref_python(rows, 7, SMALL.p)
+        assert reduced_np.rows == reduced_py
+        assert list(reduced_np.rref()[1]) == list(pivots_py)
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=["numpy-kernel", "python-kernel"])
+class TestElimination:
+    def test_identity_rref(self, field):
+        eye = Matrix.identity(field, 4)
+        reduced, pivots = eye.rref()
+        assert reduced == eye
+        assert pivots == (0, 1, 2, 3)
+
+    def test_rank_of_random_square(self, field):
+        m = random_matrix(field, 5, 5, seed=1)
+        assert m.rank() == 5  # random square matrices are a.s. full rank
+
+    def test_rank_deficient(self, field):
+        base = random_matrix(field, 2, 5, seed=2)
+        # Third row = sum of the first two.
+        dup = Matrix(
+            field,
+            base.rows + [[(a + b) % field.p for a, b in zip(*base.rows)]],
+        )
+        assert dup.rank() == 2
+
+    def test_null_space_annihilates(self, field):
+        m = random_matrix(field, 3, 6, seed=3)
+        basis = m.null_space()
+        assert len(basis) == 6 - m.rank()
+        for v in basis:
+            assert all(x == 0 for x in m.mat_vec(v))
+
+    def test_null_space_full_rank_empty(self, field):
+        m = Matrix.identity(field, 3)
+        assert m.null_space() == []
+
+    def test_random_null_vector(self, field):
+        m = random_matrix(field, 3, 6, seed=4)
+        rng = random.Random(5)
+        v = random_null_vector(m, rng)
+        assert any(v)
+        assert all(x == 0 for x in m.mat_vec(v))
+
+    def test_random_null_vector_full_rank_raises(self, field):
+        with pytest.raises(SingularMatrixError):
+            random_null_vector(Matrix.identity(field, 3))
+
+    def test_solve(self, field):
+        m = random_matrix(field, 4, 4, seed=6)
+        rng = random.Random(7)
+        x_true = [rng.randrange(field.p) for _ in range(4)]
+        b = m.mat_vec(x_true)
+        assert list(solve(m, b)) == x_true
+
+    def test_solve_singular(self, field):
+        singular = Matrix(field, [[1, 2], [2, 4]])
+        with pytest.raises(SingularMatrixError):
+            singular.solve([1, 1])
+
+    def test_solve_non_square(self, field):
+        with pytest.raises(SingularMatrixError):
+            Matrix(field, [[1, 2, 3]]).solve([1])
+
+
+class TestMatrixOps:
+    def test_shape_and_accessors(self):
+        m = Matrix(SMALL, [[1, 2, 3], [4, 5, 6]])
+        assert m.shape == (2, 3)
+        assert m[1, 2] == 6
+        assert m.row(0) == (1, 2, 3)
+        assert m.column(1) == (2, 5)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Matrix(SMALL, [[1, 2], [3]])
+
+    def test_add_sub(self):
+        a = Matrix(SMALL, [[1, 2], [3, 4]])
+        b = Matrix(SMALL, [[5, 6], [7, 8]])
+        assert (a + b).rows == [[6, 8], [10, 12]]
+        assert (b - a).rows == [[4, 4], [4, 4]]
+        with pytest.raises(InvalidParameterError):
+            a + Matrix(SMALL, [[1, 2, 3]])
+
+    def test_matmul(self):
+        a = Matrix(SMALL, [[1, 2], [3, 4]])
+        b = Matrix(SMALL, [[5, 6], [7, 8]])
+        assert (a @ b).rows == [[19, 22], [43, 50]]
+
+    def test_matmul_identity(self):
+        a = random_matrix(SMALL, 3, 3, seed=8)
+        assert a @ Matrix.identity(SMALL, 3) == a
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            Matrix(SMALL, [[1, 2]]) @ Matrix(SMALL, [[1, 2]])
+
+    def test_transpose(self):
+        m = Matrix(SMALL, [[1, 2, 3], [4, 5, 6]])
+        assert m.transpose().rows == [[1, 4], [2, 5], [3, 6]]
+        assert m.transpose().transpose() == m
+
+    def test_scale(self):
+        m = Matrix(SMALL, [[1, 2]])
+        assert m.scale(3).rows == [[3, 6]]
+
+    def test_mat_vec_length_check(self):
+        with pytest.raises(InvalidParameterError):
+            Matrix(SMALL, [[1, 2]]).mat_vec([1])
+
+    def test_vec_dot(self):
+        assert vec_dot([1, 2, 3], [4, 5, 6], 7) == (4 + 10 + 18) % 7
+        with pytest.raises(InvalidParameterError):
+            vec_dot([1], [1, 2], 7)
+
+    def test_copy_independent(self):
+        m = Matrix(SMALL, [[1, 2]])
+        c = m.copy()
+        c.rows[0][0] = 99
+        assert m.rows[0][0] == 1
+
+    def test_zeros(self):
+        z = Matrix.zeros(SMALL, 2, 3)
+        assert z.shape == (2, 3)
+        assert all(all(x == 0 for x in row) for row in z.rows)
+
+
+@settings(max_examples=15)
+@given(
+    nrows=st.integers(1, 6),
+    ncols=st.integers(1, 6),
+    seed=st.integers(0, 1000),
+)
+def test_property_null_space_dimension_theorem(nrows, ncols, seed):
+    """rank + nullity == ncols, over both kernels."""
+    for field in FIELDS:
+        m = random_matrix(field, nrows, ncols, seed=seed)
+        assert m.rank() + len(m.null_space()) == ncols
+
+
+@settings(max_examples=15)
+@given(seed=st.integers(0, 1000))
+def test_property_acv_shape(seed):
+    """The exact shape ACV-BGKM relies on: a matrix with an all-ones first
+    column and fewer rows than columns always has a nontrivial null space,
+    and any null vector is orthogonal to every row."""
+    rng = random.Random(seed)
+    field = SMALL
+    n = rng.randrange(2, 7)
+    rows = [[1] + [rng.randrange(field.p) for _ in range(n)] for _ in range(n)]
+    m = Matrix(field, rows)
+    v = random_null_vector(m, rng)
+    for row in rows:
+        assert vec_dot(row, v, field.p) == 0

@@ -1,0 +1,81 @@
+"""Tests for Miller-Rabin and prime generation."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.mathx.primes import (
+    is_prime,
+    next_prime,
+    prev_prime,
+    random_prime,
+    random_safe_prime,
+)
+
+_PRIMES_UNDER_100 = {
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+    53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+}
+
+
+class TestIsPrime:
+    def test_small_exhaustive(self):
+        for n in range(-5, 100):
+            assert is_prime(n) == (n in _PRIMES_UNDER_100), n
+
+    @pytest.mark.parametrize(
+        "carmichael", [561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265]
+    )
+    def test_carmichael_numbers_rejected(self, carmichael):
+        assert not is_prime(carmichael)
+
+    def test_large_known_prime(self):
+        assert is_prime(2**127 - 1)          # Mersenne prime
+        assert is_prime(2**255 - 19)         # the curve25519 prime
+
+    def test_large_known_composite(self):
+        assert not is_prime(2**128 + 1)
+        assert not is_prime((2**61 - 1) * (2**31 - 1))
+
+    def test_paper_parameters(self):
+        assert is_prime(5 * 10**24 + 8503491)
+        assert is_prime(24999999999994130438600999402209463966197516075699)
+
+    @given(st.integers(2, 10**6))
+    def test_agrees_with_trial_division(self, n):
+        by_trial = n > 1 and all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_prime(n) == by_trial
+
+
+class TestGeneration:
+    def test_next_prime(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+        assert next_prime(14) == 17
+        assert next_prime(97) == 101
+
+    def test_prev_prime(self):
+        assert prev_prime(3) == 2
+        assert prev_prime(100) == 97
+        with pytest.raises(InvalidParameterError):
+            prev_prime(2)
+
+    def test_random_prime_bits(self):
+        rng = random.Random(1)
+        for bits in (8, 16, 32, 80):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_prime(p)
+
+    def test_random_prime_rejects_tiny(self):
+        with pytest.raises(InvalidParameterError):
+            random_prime(1)
+
+    def test_random_safe_prime(self):
+        rng = random.Random(2)
+        p = random_safe_prime(16, rng)
+        assert is_prime(p) and is_prime((p - 1) // 2)
+        assert p.bit_length() == 16

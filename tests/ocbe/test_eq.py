@@ -1,0 +1,103 @@
+"""Tests for EQ-OCBE."""
+
+import random
+
+import pytest
+
+from repro.errors import DecryptionError, ProtocolStateError
+from repro.ocbe.eq import EqOCBEReceiver, EqOCBESender
+from repro.ocbe.predicates import EqPredicate
+
+MESSAGE = b"the secret payload"
+
+
+def run(setup, x0, x, rng):
+    predicate = EqPredicate(x0)
+    commitment, r = setup.pedersen.commit(x, rng=rng)
+    sender = EqOCBESender(setup, predicate, rng)
+    receiver = EqOCBEReceiver(setup, predicate, x, r, commitment, rng)
+    envelope = sender.compose(commitment, receiver.commitment_message(), MESSAGE)
+    return receiver.open(envelope)
+
+
+class TestCorrectness:
+    def test_satisfied(self, ec_setup, rng):
+        assert run(ec_setup, 28, 28, rng) == MESSAGE
+
+    def test_unsatisfied(self, ec_setup, rng):
+        with pytest.raises(DecryptionError):
+            run(ec_setup, 28, 29, rng)
+
+    def test_zero_value(self, ec_setup, rng):
+        assert run(ec_setup, 0, 0, rng) == MESSAGE
+
+    def test_large_value(self, ec_setup, rng):
+        big = 2**127  # string-encoded attributes are up to 128 bits
+        assert run(ec_setup, big, big, rng) == MESSAGE
+
+    def test_off_by_large_amount(self, ec_setup, rng):
+        with pytest.raises(DecryptionError):
+            run(ec_setup, 5, 2**100, rng)
+
+    def test_empty_message(self, ec_setup, rng):
+        predicate = EqPredicate(1)
+        commitment, r = ec_setup.pedersen.commit(1, rng=rng)
+        sender = EqOCBESender(ec_setup, predicate, rng)
+        receiver = EqOCBEReceiver(ec_setup, predicate, 1, r, commitment, rng)
+        envelope = sender.compose(commitment, None, b"")
+        assert receiver.open(envelope) == b""
+
+
+class TestProtocolDetails:
+    def test_rejects_unexpected_aux(self, ec_setup, rng):
+        predicate = EqPredicate(1)
+        commitment, _ = ec_setup.pedersen.commit(1, rng=rng)
+        sender = EqOCBESender(ec_setup, predicate, rng)
+        with pytest.raises(ProtocolStateError):
+            sender.compose(commitment, object(), MESSAGE)
+
+    def test_envelope_freshness(self, ec_setup, rng):
+        """Two envelopes for the same commitment use fresh y."""
+        predicate = EqPredicate(1)
+        commitment, _ = ec_setup.pedersen.commit(1, rng=rng)
+        sender = EqOCBESender(ec_setup, predicate, rng)
+        e1 = sender.compose(commitment, None, MESSAGE)
+        e2 = sender.compose(commitment, None, MESSAGE)
+        assert e1.eta != e2.eta
+
+    def test_byte_size_accounting(self, ec_setup, rng):
+        predicate = EqPredicate(1)
+        commitment, _ = ec_setup.pedersen.commit(1, rng=rng)
+        sender = EqOCBESender(ec_setup, predicate, rng)
+        envelope = sender.compose(commitment, None, MESSAGE)
+        assert envelope.byte_size() == len(envelope.eta.to_bytes()) + len(
+            envelope.ciphertext
+        )
+
+    def test_sender_transcript_independent_of_value(self, ec_setup):
+        """The envelope distribution depends only on the commitment the Sub
+        presents, never on x -- same rng seed, satisfied vs not, produces
+        structurally identical transcripts (eta differs only through the
+        commitment input)."""
+        predicate = EqPredicate(5)
+        c_sat, _ = ec_setup.pedersen.commit(5, rng=random.Random(1))
+        c_unsat, _ = ec_setup.pedersen.commit(6, rng=random.Random(1))
+        env_sat = EqOCBESender(ec_setup, predicate, random.Random(2)).compose(
+            c_sat, None, MESSAGE
+        )
+        env_unsat = EqOCBESender(ec_setup, predicate, random.Random(2)).compose(
+            c_unsat, None, MESSAGE
+        )
+        # Same eta (same y, same h), same ciphertext length: nothing in the
+        # transcript's shape depends on whether the receiver qualifies.
+        assert env_sat.eta == env_unsat.eta
+        assert len(env_sat.ciphertext) == len(env_unsat.ciphertext)
+
+    def test_works_on_genus2(self, genus2_group, rng):
+        from repro.crypto.pedersen import PedersenParams
+        from repro.ocbe.base import OCBESetup
+
+        setup = OCBESetup(pedersen=PedersenParams(genus2_group))
+        assert run(setup, 28, 28, rng) == MESSAGE
+        with pytest.raises(DecryptionError):
+            run(setup, 28, 27, rng)

@@ -1,0 +1,101 @@
+"""Tests for the predicate objects."""
+
+import pytest
+
+from repro.errors import InvalidParameterError, PredicateError
+from repro.ocbe.predicates import (
+    DEFAULT_BIT_LENGTH,
+    EqPredicate,
+    GePredicate,
+    GtPredicate,
+    LePredicate,
+    LtPredicate,
+    NePredicate,
+    predicate_from_op,
+)
+
+
+class TestEvaluation:
+    def test_eq(self):
+        p = EqPredicate(5)
+        assert p.evaluate(5)
+        assert not p.evaluate(4)
+
+    @pytest.mark.parametrize(
+        "cls,x0,truths",
+        [
+            (GePredicate, 5, {4: False, 5: True, 6: True}),
+            (LePredicate, 5, {4: True, 5: True, 6: False}),
+            (GtPredicate, 5, {5: False, 6: True}),
+            (LtPredicate, 5, {4: True, 5: False}),
+            (NePredicate, 5, {4: True, 5: False, 6: True}),
+        ],
+    )
+    def test_bounded(self, cls, x0, truths):
+        p = cls(x0, ell=8)
+        for x, expected in truths.items():
+            assert p.evaluate(x) == expected
+
+    def test_describe_readable(self):
+        assert "=" in EqPredicate(3).describe()
+        assert ">= 5" in GePredicate(5, 8).describe()
+        assert repr(LtPredicate(9, 8))
+
+
+class TestValidation:
+    def test_threshold_outside_domain(self):
+        with pytest.raises(InvalidParameterError):
+            GePredicate(256, ell=8)
+        with pytest.raises(InvalidParameterError):
+            GePredicate(-1, ell=8)
+
+    def test_bad_ell(self):
+        with pytest.raises(InvalidParameterError):
+            GePredicate(0, ell=0)
+
+    def test_check_domain(self):
+        p = GePredicate(5, ell=8)
+        p.check_domain(255)
+        with pytest.raises(PredicateError):
+            p.check_domain(256)
+
+    def test_gt_unsatisfiable(self):
+        with pytest.raises(PredicateError):
+            GtPredicate((1 << 8) - 1, ell=8).as_ge()
+
+    def test_lt_unsatisfiable(self):
+        with pytest.raises(PredicateError):
+            LtPredicate(0, ell=8).as_le()
+
+    def test_gt_lt_conversions(self):
+        assert GtPredicate(5, 8).as_ge() == GePredicate(6, 8)
+        assert LtPredicate(5, 8).as_le() == LePredicate(4, 8)
+
+    def test_equality_semantics(self):
+        assert GePredicate(5, 8) == GePredicate(5, 8)
+        assert GePredicate(5, 8) != GePredicate(5, 9)
+        assert GePredicate(5, 8) != LePredicate(5, 8)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "op,cls",
+        [
+            ("=", EqPredicate),
+            ("==", EqPredicate),
+            ("!=", NePredicate),
+            (">=", GePredicate),
+            ("<=", LePredicate),
+            (">", GtPredicate),
+            ("<", LtPredicate),
+        ],
+    )
+    def test_dispatch(self, op, cls):
+        assert isinstance(predicate_from_op(op, 5), cls)
+
+    def test_unknown_op(self):
+        with pytest.raises(PredicateError):
+            predicate_from_op("~", 5)
+
+    def test_default_ell(self):
+        assert predicate_from_op(">=", 5).ell == DEFAULT_BIT_LENGTH

@@ -1,0 +1,105 @@
+"""Tests for attribute conditions and their parsing."""
+
+import pytest
+
+from repro.errors import PolicyParseError, PredicateError
+from repro.ocbe.predicates import (
+    EqPredicate,
+    GePredicate,
+    GtPredicate,
+    LePredicate,
+    LtPredicate,
+    NePredicate,
+)
+from repro.policy.condition import AttributeCondition, parse_condition
+from repro.policy.encoding import MAX_STRING_BITS, encode_value
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,name,op,value",
+        [
+            ("level >= 59", "level", ">=", 59),
+            ("level<=100", "level", "<=", 100),
+            ("age > 17", "age", ">", 17),
+            ("age<5", "age", "<", 5),
+            ("role = nur", "role", "=", "nur"),
+            ('role = "nurse"', "role", "=", "nurse"),
+            ("role='doc'", "role", "=", "doc"),
+            ("dept != ICU", "dept", "!=", "ICU"),
+            ("YoS >= 5", "YoS", ">=", 5),
+            ("x == 3", "x", "=", 3),
+        ],
+    )
+    def test_valid(self, text, name, op, value):
+        cond = parse_condition(text)
+        assert cond.name == name
+        assert cond.op == op
+        assert cond.value == value
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "level", ">= 5", "level >=", "level ~ 5", "1level >= 5", "a = b = c"],
+    )
+    def test_invalid(self, text):
+        with pytest.raises(PolicyParseError):
+            parse_condition(text)
+
+    def test_negative_literal_string_ops_only(self):
+        # Negative integers parse but violate the encoding's domain when
+        # used; order ops on strings are rejected at construction.
+        with pytest.raises(PolicyParseError):
+            AttributeCondition("level", ">=", "high")
+
+
+class TestSemantics:
+    def test_key_stability(self):
+        assert parse_condition("level >= 59").key() == "level >= 59"
+        assert str(parse_condition("role = nur")) == "role = nur"
+
+    def test_key_distinguishes_value_types(self):
+        # 5 the int and "5" the string encode differently...
+        c_int = AttributeCondition("a", "=", 5)
+        c_str = AttributeCondition("a", "=", "5")
+        assert encode_value(c_int.value) != encode_value(c_str.value)
+
+    def test_equality_and_hash(self):
+        assert parse_condition("a >= 1") == parse_condition("a >= 1")
+        assert parse_condition("a >= 1") != parse_condition("a >= 2")
+        assert len({parse_condition("a >= 1"), parse_condition("a >= 1")}) == 1
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(PolicyParseError):
+            AttributeCondition("a", "~~", 1)
+
+
+class TestPredicateConversion:
+    @pytest.mark.parametrize(
+        "text,cls",
+        [
+            ("a = 5", EqPredicate),
+            ("a != 5", NePredicate),
+            ("a >= 5", GePredicate),
+            ("a <= 5", LePredicate),
+            ("a > 5", GtPredicate),
+            ("a < 5", LtPredicate),
+        ],
+    )
+    def test_int_predicates(self, text, cls):
+        predicate = parse_condition(text).predicate(ell=16)
+        assert isinstance(predicate, cls)
+        assert predicate.evaluate(5) == (text.split()[1] in ("=", ">=", "<="))
+
+    def test_string_equality_predicate(self):
+        predicate = parse_condition("role = nur").predicate()
+        assert isinstance(predicate, EqPredicate)
+        assert predicate.x0 == encode_value("nur")
+
+    def test_string_inequality_predicate_uses_string_bits(self):
+        predicate = parse_condition("role != nur").predicate(ell=8)
+        assert isinstance(predicate, NePredicate)
+        assert predicate.ell == MAX_STRING_BITS
+
+    def test_ell_carried_for_ints(self):
+        predicate = parse_condition("a >= 5").predicate(ell=12)
+        assert predicate.ell == 12

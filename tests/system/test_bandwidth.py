@@ -1,0 +1,98 @@
+"""Bandwidth-overhead tests (Section VI-B.3).
+
+The paper claims O(l'N) broadcast overhead for the keying material and --
+the key operational win -- zero unicast traffic on rekey.
+"""
+
+import random
+
+import pytest
+
+from repro.documents.model import Document
+from repro.gkm.acv import FAST_FIELD
+from repro.groups import get_group
+from repro.policy.acp import parse_policy
+from repro.system.idmgr import IdentityManager
+from repro.system.idp import IdentityProvider
+from repro.system.publisher import Publisher
+from repro.system.registration import register_all_attributes
+from repro.system.subscriber import Subscriber
+from repro.system.transport import InMemoryTransport
+
+
+def build_population(n_subs, seed=0):
+    rng = random.Random(seed)
+    group = get_group("nist-p192")
+    idp = IdentityProvider("hr", group, rng=rng)
+    idmgr = IdentityManager(group, rng=rng)
+    idmgr.trust_idp(idp)
+    pub = Publisher(
+        "pub", idmgr.params, idmgr.public_key, gkm_field=FAST_FIELD,
+        attribute_bits=8, rng=rng,
+    )
+    pub.add_policy(parse_policy("clearance >= 3", ["body"], "doc"))
+    subs = []
+    transport = InMemoryTransport()
+    for i in range(n_subs):
+        name = "user%d" % i
+        idp.enroll(name, "clearance", 5)
+        nym = idmgr.assign_pseudonym()
+        sub = Subscriber(nym, pub.params, rng=rng)
+        token, x, r = idmgr.issue_token(
+            nym, idp.assert_attribute(name, "clearance"), rng=rng
+        )
+        sub.hold_token(token, x, r)
+        register_all_attributes(pub, sub, transport)
+        subs.append(sub)
+    return pub, subs, transport
+
+
+DOC = Document.of("doc", {"body": b"payload" * 10})
+
+
+class TestHeaderGrowth:
+    def test_header_linear_in_population(self):
+        sizes = {}
+        for n in (4, 8, 16):
+            pub, _, _ = build_population(n, seed=n)
+            package = pub.publish(DOC)
+            sizes[n] = package.header_overhead()
+        # Roughly linear: doubling n roughly doubles overhead, and never
+        # blows up quadratically.
+        assert sizes[8] > sizes[4]
+        assert sizes[16] > sizes[8]
+        assert sizes[16] < sizes[4] * 8
+
+    def test_payload_size_independent_of_population(self):
+        small_pub, _, _ = build_population(2, seed=1)
+        large_pub, _, _ = build_population(12, seed=2)
+        small = small_pub.publish(DOC)
+        large = large_pub.publish(DOC)
+        small_payload = small.byte_size() - small.header_overhead()
+        large_payload = large.byte_size() - large.header_overhead()
+        assert abs(small_payload - large_payload) < 64  # same ciphertext sizes
+
+
+class TestNoUnicastOnRekey:
+    def test_revocation_rekey_needs_no_registration_traffic(self):
+        pub, subs, transport = build_population(6, seed=3)
+        registration_bytes = transport.bytes_received_by("pub")
+        # Revoke one subscription and rekey (= publish again).
+        pub.revoke_subscription(subs[0].nym)
+        package = pub.publish(DOC)
+        # No new registration traffic was needed:
+        assert transport.bytes_received_by("pub") == registration_bytes
+        # And the remaining subscribers can still decrypt:
+        for sub in subs[1:]:
+            assert sub.receive(package)["body"] == DOC.get("body").content
+
+    def test_css_store_is_constant_size(self):
+        """Subscriber state: exactly one CSS per registered condition,
+        regardless of how many rekeys happen (O(1) vs LKH's O(log n))."""
+        pub, subs, _ = build_population(3, seed=4)
+        sub = subs[0]
+        state_before = dict(sub.css_store)
+        for _ in range(3):
+            package = pub.publish(DOC)
+            sub.receive(package)
+        assert sub.css_store == state_before

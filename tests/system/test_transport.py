@@ -1,0 +1,44 @@
+"""Tests for the accounting transport."""
+
+from repro.system.transport import InMemoryTransport, Message
+
+
+class TestAccounting:
+    def test_bytes_between(self):
+        t = InMemoryTransport()
+        t.send("a", "b", "k1", 100)
+        t.send("a", "b", "k1", 50)
+        t.send("b", "a", "k2", 10)
+        assert t.bytes_between("a", "b") == 150
+        assert t.bytes_between("b", "a") == 10
+        assert t.bytes_between("a", "c") == 0
+
+    def test_aggregates(self):
+        t = InMemoryTransport()
+        t.send("a", "b", "k", 100)
+        t.send("a", "c", "k", 20)
+        t.send("c", "a", "k", 5)
+        assert t.bytes_sent_by("a") == 120
+        assert t.bytes_received_by("a") == 5
+        assert t.bytes_received_by("b") == 100
+
+    def test_views(self):
+        t = InMemoryTransport()
+        t.send("a", "b", "k", 1, note="n1")
+        t.send("c", "d", "k", 1)
+        seen = t.messages_seen_by("a")
+        assert seen == [Message("a", "b", "k", 1, "n1")]
+
+    def test_kind_counts(self):
+        t = InMemoryTransport()
+        t.send("a", "b", "x", 1)
+        t.send("a", "b", "x", 1)
+        t.send("a", "b", "y", 1)
+        assert t.kinds_count() == {"x": 2, "y": 1}
+
+    def test_reset(self):
+        t = InMemoryTransport()
+        t.send("a", "b", "x", 1)
+        t.reset()
+        assert t.messages == []
+        assert t.bytes_between("a", "b") == 0

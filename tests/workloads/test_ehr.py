@@ -1,0 +1,62 @@
+"""Tests for the EHR scenario builder."""
+
+import random
+
+import pytest
+
+from repro.policy.evaluate import satisfies_policy
+from repro.workloads.ehr import (
+    DEFAULT_EMPLOYEES,
+    EHR_SUBDOCUMENT_TAGS,
+    build_ehr_document,
+    build_ehr_policies,
+    build_hospital,
+)
+
+
+class TestStaticArtifacts:
+    def test_document_contains_all_tags(self):
+        doc = build_ehr_document()
+        for tag in EHR_SUBDOCUMENT_TAGS:
+            assert doc.get(tag).size > 0
+        assert "_rest" in doc.subdocument_names()
+
+    def test_six_policies(self):
+        policies = build_ehr_policies()
+        assert len(policies) == 6
+        assert all(p.document == "EHR.xml" for p in policies)
+
+    def test_acp4_is_the_conjunction(self):
+        acp4 = build_ehr_policies()[3]
+        assert len(acp4.conditions) == 2
+        assert satisfies_policy({"role": "nur", "level": 59}, acp4)
+        assert not satisfies_policy({"role": "nur", "level": 58}, acp4)
+
+    def test_default_staff_covers_all_roles(self):
+        roles = {role for _, role, _ in DEFAULT_EMPLOYEES}
+        assert roles == {"rec", "cas", "doc", "nur", "dat", "pha"}
+
+
+class TestBuilder:
+    def test_registration_fills_table(self):
+        hospital = build_hospital(rng=random.Random(0))
+        table = hospital.publisher.table
+        assert len(table) == len(DEFAULT_EMPLOYEES)
+        # Everyone registered for every role condition (privacy practice).
+        for nym in table.pseudonyms():
+            for role in ("rec", "cas", "doc", "nur", "dat", "pha"):
+                assert table.has(nym, "role = %s" % role)
+
+    def test_no_registration_mode(self):
+        hospital = build_hospital(rng=random.Random(0), register=False)
+        assert len(hospital.publisher.table) == 0
+        assert len(hospital.subscribers) == len(DEFAULT_EMPLOYEES)
+
+    def test_custom_staff(self):
+        hospital = build_hospital(
+            employees=[("zoe", "doc", 80)], rng=random.Random(1)
+        )
+        assert list(hospital.subscribers) == ["zoe"]
+        package = hospital.publisher.publish(hospital.document)
+        got = set(hospital.subscribers["zoe"].receive(package))
+        assert got == {"Medication", "PhysicalExams", "LabRecords", "Plan"}
