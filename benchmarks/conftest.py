@@ -20,6 +20,22 @@ from repro.groups import get_group
 from repro.ocbe.base import OCBESetup
 
 
+import pathlib
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """The whole benchmark suite is excluded from the fast tier.
+
+    The hook fires session-wide, so restrict it to items collected from
+    this directory.
+    """
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture
 def rng():
     return random.Random(0xBE7C)

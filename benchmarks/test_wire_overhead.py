@@ -1,0 +1,137 @@
+"""Wire bandwidth: measured bytes on the router vs the paper's claims.
+
+The paper's cost model (Section VI-B.3): registration is interactive but
+per-(token, condition) -- a GE/LE exchange transmits ``l`` bit
+commitments and ``2l`` bit-ciphers, so registration bandwidth is O(l) in
+the attribute bit length; broadcast keying material is O(l'N) in the
+subscriber population N, and rekeying triggers **zero** unicast traffic.
+
+Unlike the Figure-5 benchmark (which sizes the ACV header object), these
+tests measure the *transport*: every byte counted here actually crossed
+the router as a serialized frame, so framing, tokens and acks are all
+included -- the number an operator would see on the network.
+"""
+
+import random
+
+import pytest
+
+from repro.documents.model import Document
+from repro.gkm.acv import FAST_FIELD
+from repro.groups import get_group
+from repro.policy.acp import parse_policy
+from repro.system.idmgr import IdentityManager
+from repro.system.idp import IdentityProvider
+from repro.system.publisher import Publisher
+from repro.system.service import DisseminationService, SubscriberClient, run_until_idle
+from repro.system.subscriber import Subscriber
+from repro.system.transport import BROADCAST, InMemoryTransport
+
+REGISTRATION_KINDS = (
+    "condition-query",
+    "condition-list",
+    "token+condition-request",
+    "registration-ack",
+    "ocbe-bit-commitments",
+    "ocbe-envelope",
+)
+
+
+def _build_world(n_subs, attribute_bits, seed, value=5, threshold=3):
+    rng = random.Random(seed)
+    group = get_group("nist-p192")
+    idp = IdentityProvider("hr", group, rng=rng)
+    idmgr = IdentityManager(group, rng=rng)
+    idmgr.trust_idp(idp)
+    pub = Publisher(
+        "pub", idmgr.params, idmgr.public_key, gkm_field=FAST_FIELD,
+        attribute_bits=attribute_bits, rng=rng,
+    )
+    pub.add_policy(parse_policy("clearance >= %d" % threshold, ["body"], "doc"))
+    transport = InMemoryTransport()
+    service = DisseminationService(pub, transport)
+    clients = []
+    for i in range(n_subs):
+        name = "user%d" % i
+        idp.enroll(name, "clearance", value)
+        sub = Subscriber(idmgr.assign_pseudonym(), pub.params, rng=rng)
+        token, x, r = idmgr.issue_token(
+            sub.nym, idp.assert_attribute(name, "clearance"), rng=rng
+        )
+        sub.hold_token(token, x, r)
+        clients.append(SubscriberClient(sub, transport, pub.name))
+    for client in clients:
+        client.register_all_attributes()
+    run_until_idle([service, *clients])
+    return service, clients, transport
+
+
+def _registration_bytes(transport):
+    return sum(
+        m.size for m in transport.messages if m.kind in REGISTRATION_KINDS
+    )
+
+
+class TestRegistrationBandwidth:
+    def test_linear_in_attribute_bits(self):
+        """GE-OCBE traffic is O(l): l commitments out, 2l bit-ciphers back."""
+        sizes = {}
+        for ell in (8, 16, 32):
+            _, _, transport = _build_world(1, ell, seed=ell)
+            sizes[ell] = _registration_bytes(transport)
+        print("registration bytes per l:", sizes)
+        assert sizes[16] > sizes[8]
+        assert sizes[32] > sizes[16]
+        # Linear, not quadratic: 4x the bits costs clearly less than 8x.
+        assert sizes[32] < 8 * sizes[8]
+        # And the growth is real: doubling l should add >= 50% traffic.
+        assert sizes[32] > 1.5 * sizes[16]
+
+    def test_proportional_to_population(self):
+        """Each subscriber pays the same interactive registration cost."""
+        sizes = {}
+        for n in (2, 6):
+            _, _, transport = _build_world(n, 16, seed=100 + n)
+            sizes[n] = _registration_bytes(transport)
+        per_sub = {n: size / n for n, size in sizes.items()}
+        print("registration bytes per subscriber:", per_sub)
+        assert abs(per_sub[2] - per_sub[6]) < 0.05 * per_sub[2]
+
+
+class TestBroadcastBandwidth:
+    def test_package_grows_linearly_in_population(self):
+        """The multicast frame is O(l'N): headers grow with N, payload
+        does not."""
+        document = Document.of("doc", {"body": b"payload" * 16})
+        sizes = {}
+        for n in (4, 8, 16):
+            service, clients, transport = _build_world(n, 8, seed=200 + n)
+            before = transport.bytes_sent_by(service.name)
+            service.publish(document)
+            run_until_idle([service, *clients])
+            broadcast = [
+                m for m in transport.messages
+                if m.kind == "broadcast-package" and m.receiver == BROADCAST
+            ]
+            assert len(broadcast) == 1  # multicast: accounted once, not per Sub
+            sizes[n] = broadcast[0].size
+            assert transport.bytes_sent_by(service.name) - before == sizes[n]
+        print("broadcast frame bytes per N:", sizes)
+        assert sizes[8] > sizes[4]
+        assert sizes[16] > sizes[8]
+        assert sizes[16] < 8 * sizes[4]  # linear-ish, never quadratic
+
+    def test_rekey_is_pure_broadcast(self):
+        """Revocation + rekey adds zero subscriber->publisher traffic."""
+        document = Document.of("doc", {"body": b"payload" * 16})
+        service, clients, transport = _build_world(5, 8, seed=400)
+        service.publish(document)
+        run_until_idle([service, *clients])
+        inbound_before = transport.bytes_received_by(service.name)
+        service.publisher.revoke_subscription(clients[0].subscriber.nym)
+        service.publish(document)  # the rekey
+        run_until_idle([service, *clients])
+        assert transport.bytes_received_by(service.name) == inbound_before
+        for client in clients[1:]:
+            assert client.latest_plaintexts()["body"] == b"payload" * 16
+        assert clients[0].latest_plaintexts() == {}

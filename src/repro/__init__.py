@@ -10,8 +10,11 @@ A from-scratch Python reproduction of Shang, Nabeel, Paci & Bertino,
   =, !=, >=, <=, >, < predicates over Pedersen commitments;
 * **groups** (:mod:`repro.groups`) -- Schnorr, elliptic-curve and the
   paper's genus-2 hyperelliptic Jacobian backends;
+* **wire** (:mod:`repro.wire`) -- the versioned wire protocol: every
+  inter-entity interaction as a serializable message, plus the session
+  state machines that speak it;
 * **system** (:mod:`repro.system`) -- IdP, IdMgr, Publisher and Subscriber
-  wired end to end;
+  as endpoints exchanging bytes over a routing transport;
 * **documents / policy / workloads / bench** -- segmentation, the policy
   language, the EHR scenario and the evaluation harness.
 
@@ -38,14 +41,20 @@ from repro.policy import (
     parse_policy,
 )
 from repro.system import (
+    DisseminationService,
     IdentityManager,
+    IdentityManagerEndpoint,
     IdentityProvider,
     InMemoryTransport,
     Publisher,
     Subscriber,
+    SubscriberClient,
+    Transport,
     register_all_attributes,
     register_for_attribute,
+    run_until_idle,
 )
+from repro.wire import decode_message, encode_message
 
 __version__ = "1.0.0"
 
@@ -71,8 +80,15 @@ __all__ = [
     "IdentityManager",
     "IdentityProvider",
     "InMemoryTransport",
+    "Transport",
     "Publisher",
     "Subscriber",
+    "DisseminationService",
+    "SubscriberClient",
+    "IdentityManagerEndpoint",
+    "run_until_idle",
+    "encode_message",
+    "decode_message",
     "register_all_attributes",
     "register_for_attribute",
 ]

@@ -17,41 +17,21 @@ need nothing else besides their CSSs.
 
 from __future__ import annotations
 
-import struct
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.errors import SerializationError
 from repro.gkm.acv import AcvHeader
+from repro.wire.codec import (
+    Cursor,
+    pack_bytes as _pack_bytes,
+    pack_str as _pack_str,
+    pack_u16 as _pack_u16,
+)
 
 __all__ = ["ConfigHeader", "EncryptedSubdocument", "BroadcastPackage"]
 
 _MAGIC = b"BPK1"
-
-
-def _pack_str(text: str) -> bytes:
-    raw = text.encode("utf-8")
-    return struct.pack(">H", len(raw)) + raw
-
-
-def _unpack_str(data: bytes, offset: int) -> Tuple[str, int]:
-    (length,) = struct.unpack_from(">H", data, offset)
-    offset += 2
-    if offset + length > len(data):
-        raise SerializationError("truncated string field")
-    return data[offset : offset + length].decode("utf-8"), offset + length
-
-
-def _pack_bytes(raw: bytes) -> bytes:
-    return struct.pack(">I", len(raw)) + raw
-
-
-def _unpack_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
-    (length,) = struct.unpack_from(">I", data, offset)
-    offset += 4
-    if offset + length > len(data):
-        raise SerializationError("truncated bytes field")
-    return data[offset : offset + length], offset + length
 
 
 @dataclass(frozen=True)
@@ -65,9 +45,9 @@ class ConfigHeader:
     def to_bytes(self) -> bytes:
         out = bytearray()
         out += _pack_str(self.config_id)
-        out += struct.pack(">H", len(self.policies))
+        out += _pack_u16(len(self.policies))
         for policy in self.policies:
-            out += struct.pack(">H", len(policy))
+            out += _pack_u16(len(policy))
             for key in policy:
                 out += _pack_str(key)
         if self.acv is None:
@@ -78,23 +58,18 @@ class ConfigHeader:
 
     @classmethod
     def from_bytes_at(cls, data: bytes, offset: int) -> Tuple["ConfigHeader", int]:
-        config_id, offset = _unpack_str(data, offset)
-        (n_policies,) = struct.unpack_from(">H", data, offset)
-        offset += 2
+        cursor = Cursor(data, offset)
+        config_id = cursor.read_str()
+        n_policies = cursor.read_u16()
         policies: List[Tuple[str, ...]] = []
         for _ in range(n_policies):
-            (n_conds,) = struct.unpack_from(">H", data, offset)
-            offset += 2
-            conds = []
-            for _ in range(n_conds):
-                key, offset = _unpack_str(data, offset)
-                conds.append(key)
-            policies.append(tuple(conds))
-        acv_raw, offset = _unpack_bytes(data, offset)
+            n_conds = cursor.read_u16()
+            policies.append(tuple(cursor.read_str() for _ in range(n_conds)))
+        acv_raw = cursor.read_bytes()
         acv = AcvHeader.from_bytes(acv_raw) if acv_raw else None
         return (
             cls(config_id=config_id, policies=tuple(policies), acv=acv),
-            offset,
+            cursor.offset,
         )
 
     def byte_size(self) -> int:
@@ -118,10 +93,11 @@ class EncryptedSubdocument:
     def from_bytes_at(
         cls, data: bytes, offset: int
     ) -> Tuple["EncryptedSubdocument", int]:
-        name, offset = _unpack_str(data, offset)
-        config_id, offset = _unpack_str(data, offset)
-        ciphertext, offset = _unpack_bytes(data, offset)
-        return cls(name=name, config_id=config_id, ciphertext=ciphertext), offset
+        cursor = Cursor(data, offset)
+        name = cursor.read_str()
+        config_id = cursor.read_str()
+        ciphertext = cursor.read_bytes()
+        return cls(name=name, config_id=config_id, ciphertext=ciphertext), cursor.offset
 
 
 @dataclass(frozen=True)
@@ -135,41 +111,41 @@ class BroadcastPackage:
     def to_bytes(self) -> bytes:
         out = bytearray(_MAGIC)
         out += _pack_str(self.document)
-        out += struct.pack(">H", len(self.headers))
+        out += _pack_u16(len(self.headers))
         for header in self.headers:
             out += _pack_bytes(header.to_bytes())
-        out += struct.pack(">H", len(self.subdocuments))
+        out += _pack_u16(len(self.subdocuments))
         for sub in self.subdocuments:
             out += sub.to_bytes()
         return bytes(out)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "BroadcastPackage":
-        try:
-            if data[:4] != _MAGIC:
-                raise SerializationError("bad magic")
-            offset = 4
-            document, offset = _unpack_str(data, offset)
-            (n_headers,) = struct.unpack_from(">H", data, offset)
-            offset += 2
-            headers = []
-            for _ in range(n_headers):
-                raw, offset = _unpack_bytes(data, offset)
-                header, _ = ConfigHeader.from_bytes_at(raw, 0)
-                headers.append(header)
-            (n_subs,) = struct.unpack_from(">H", data, offset)
-            offset += 2
-            subs = []
-            for _ in range(n_subs):
-                sub, offset = EncryptedSubdocument.from_bytes_at(data, offset)
-                subs.append(sub)
-            return cls(
-                document=document,
-                headers=tuple(headers),
-                subdocuments=tuple(subs),
+        cursor = Cursor(data)
+        if cursor.take(4) != _MAGIC:
+            raise SerializationError("bad magic")
+        document = cursor.read_str()
+        n_headers = cursor.read_u16()
+        headers = []
+        for _ in range(n_headers):
+            raw = cursor.read_bytes()
+            header, end = ConfigHeader.from_bytes_at(raw, 0)
+            if end != len(raw):
+                raise SerializationError("trailing bytes inside config header")
+            headers.append(header)
+        n_subs = cursor.read_u16()
+        subs = []
+        for _ in range(n_subs):
+            sub, cursor.offset = EncryptedSubdocument.from_bytes_at(
+                cursor.data, cursor.offset
             )
-        except (IndexError, struct.error, UnicodeDecodeError) as exc:
-            raise SerializationError("truncated broadcast package") from exc
+            subs.append(sub)
+        cursor.expect_end()  # canonical encodings only: reject trailing bytes
+        return cls(
+            document=document,
+            headers=tuple(headers),
+            subdocuments=tuple(subs),
+        )
 
     def header_for(self, config_id: str) -> ConfigHeader:
         """Look up a configuration header by id."""

@@ -38,9 +38,16 @@ from repro.ocbe.derived import (
     GtOCBESender,
     LtOCBEReceiver,
     LtOCBESender,
+    NeCommitMessage,
     NeEnvelope,
     NeOCBEReceiver,
     NeOCBESender,
+)
+from repro.ocbe.serial import (
+    decode_aux,
+    decode_envelope,
+    encode_aux,
+    encode_envelope,
 )
 from repro.ocbe.predicates import (
     EqPredicate,
@@ -73,7 +80,12 @@ __all__ = [
     "LtOCBEReceiver",
     "NeOCBESender",
     "NeOCBEReceiver",
+    "NeCommitMessage",
     "NeEnvelope",
+    "encode_aux",
+    "decode_aux",
+    "encode_envelope",
+    "decode_envelope",
     "Predicate",
     "EqPredicate",
     "GePredicate",

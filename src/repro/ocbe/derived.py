@@ -16,7 +16,8 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.crypto.pedersen import PedersenCommitment
-from repro.errors import DecryptionError, PredicateError
+from repro.errors import DecryptionError, PredicateError, SerializationError
+from repro.groups.base import CyclicGroup
 from repro.ocbe.base import Envelope, OCBESetup
 from repro.ocbe.ge import BitCommitMessage, BitwiseEnvelope, GeOCBEReceiver, GeOCBESender
 from repro.ocbe.le import LeOCBEReceiver, LeOCBESender
@@ -25,16 +26,38 @@ from repro.ocbe.predicates import (
     LtPredicate,
     NePredicate,
 )
+from repro.wire.codec import Cursor, pack_u8
 
 __all__ = [
     "GtOCBESender",
     "GtOCBEReceiver",
     "LtOCBESender",
     "LtOCBEReceiver",
+    "NeCommitMessage",
     "NeEnvelope",
     "NeOCBESender",
     "NeOCBEReceiver",
 ]
+
+
+def _pack_halves(gt_part, lt_part) -> bytes:
+    """Flags byte + the live halves' encodings (each self-delimiting)."""
+    flags = (1 if gt_part is not None else 0) | (2 if lt_part is not None else 0)
+    out = bytearray(pack_u8(flags))
+    if gt_part is not None:
+        out += gt_part.to_bytes()
+    if lt_part is not None:
+        out += lt_part.to_bytes()
+    return bytes(out)
+
+
+def _read_halves(cursor: Cursor, group: CyclicGroup, part_cls):
+    flags = cursor.read_u8()
+    if flags > 3:
+        raise SerializationError("invalid disjunction flags byte %#x" % flags)
+    gt_part = part_cls.read_from(cursor, group) if flags & 1 else None
+    lt_part = part_cls.read_from(cursor, group) if flags & 2 else None
+    return gt_part, lt_part
 
 
 class GtOCBESender(GeOCBESender):
@@ -111,13 +134,24 @@ class NeEnvelope(Envelope):
     gt_envelope: Optional[BitwiseEnvelope]
     lt_envelope: Optional[BitwiseEnvelope]
 
+    def to_bytes(self) -> bytes:
+        return _pack_halves(self.gt_envelope, self.lt_envelope)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, group: CyclicGroup) -> "NeEnvelope":
+        cursor = Cursor(data)
+        envelope = cls.read_from(cursor, group)
+        cursor.expect_end()
+        return envelope
+
+    @classmethod
+    def read_from(cls, cursor: Cursor, group: CyclicGroup) -> "NeEnvelope":
+        gt_envelope, lt_envelope = _read_halves(cursor, group, BitwiseEnvelope)
+        return cls(gt_envelope=gt_envelope, lt_envelope=lt_envelope)
+
     def byte_size(self) -> int:
-        total = 0
-        if self.gt_envelope is not None:
-            total += self.gt_envelope.byte_size()
-        if self.lt_envelope is not None:
-            total += self.lt_envelope.byte_size()
-        return total
+        """Exact wire size: ``len(self.to_bytes())``."""
+        return len(self.to_bytes())
 
 
 @dataclass(frozen=True)
@@ -127,13 +161,24 @@ class NeCommitMessage:
     gt_message: Optional[BitCommitMessage]
     lt_message: Optional[BitCommitMessage]
 
+    def to_bytes(self) -> bytes:
+        return _pack_halves(self.gt_message, self.lt_message)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, group: CyclicGroup) -> "NeCommitMessage":
+        cursor = Cursor(data)
+        message = cls.read_from(cursor, group)
+        cursor.expect_end()
+        return message
+
+    @classmethod
+    def read_from(cls, cursor: Cursor, group: CyclicGroup) -> "NeCommitMessage":
+        gt_message, lt_message = _read_halves(cursor, group, BitCommitMessage)
+        return cls(gt_message=gt_message, lt_message=lt_message)
+
     def byte_size(self) -> int:
-        total = 0
-        if self.gt_message is not None:
-            total += self.gt_message.byte_size()
-        if self.lt_message is not None:
-            total += self.lt_message.byte_size()
-        return total
+        """Exact wire size: ``len(self.to_bytes())``."""
+        return len(self.to_bytes())
 
 
 def _ne_halves(predicate: NePredicate) -> Tuple[bool, bool]:

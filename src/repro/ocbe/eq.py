@@ -20,9 +20,10 @@ from typing import Optional
 
 from repro.crypto.pedersen import PedersenCommitment
 from repro.errors import ProtocolStateError
-from repro.groups.base import GroupElement
+from repro.groups.base import CyclicGroup, GroupElement
 from repro.ocbe.base import Envelope, OCBESetup
 from repro.ocbe.predicates import EqPredicate
+from repro.wire.codec import Cursor, pack_bytes, pack_element, read_element
 
 __all__ = ["EqEnvelope", "EqOCBESender", "EqOCBEReceiver"]
 
@@ -34,8 +35,27 @@ class EqEnvelope(Envelope):
     eta: GroupElement
     ciphertext: bytes
 
+    def to_bytes(self) -> bytes:
+        """Canonical wire encoding: ``eta`` then the ciphertext."""
+        return pack_element(self.eta) + pack_bytes(self.ciphertext)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, group: CyclicGroup) -> "EqEnvelope":
+        """Decode within ``group`` (which validates element membership)."""
+        cursor = Cursor(data)
+        envelope = cls.read_from(cursor, group)
+        cursor.expect_end()
+        return envelope
+
+    @classmethod
+    def read_from(cls, cursor: Cursor, group: CyclicGroup) -> "EqEnvelope":
+        eta = read_element(cursor, group)
+        ciphertext = cursor.read_bytes()
+        return cls(eta=eta, ciphertext=ciphertext)
+
     def byte_size(self) -> int:
-        return len(self.eta.to_bytes()) + len(self.ciphertext)
+        """Exact wire size: ``len(self.to_bytes())``."""
+        return len(self.to_bytes())
 
 
 class EqOCBESender:

@@ -26,9 +26,16 @@ from typing import List, Optional, Tuple
 
 from repro.crypto.pedersen import PedersenCommitment
 from repro.errors import DecryptionError, PredicateError, ProtocolStateError
-from repro.groups.base import GroupElement
+from repro.groups.base import CyclicGroup, GroupElement
 from repro.ocbe.base import Envelope, OCBESetup
 from repro.ocbe.predicates import GePredicate, LePredicate
+from repro.wire.codec import (
+    Cursor,
+    pack_bytes,
+    pack_element,
+    pack_u16,
+    read_element,
+)
 
 __all__ = [
     "BitCommitMessage",
@@ -44,8 +51,31 @@ class BitCommitMessage:
 
     commitments: Tuple[PedersenCommitment, ...]
 
+    def to_bytes(self) -> bytes:
+        """Canonical wire encoding: count, then each ``c_i`` in order."""
+        out = bytearray(pack_u16(len(self.commitments)))
+        for commitment in self.commitments:
+            out += pack_element(commitment.value)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, group: CyclicGroup) -> "BitCommitMessage":
+        cursor = Cursor(data)
+        message = cls.read_from(cursor, group)
+        cursor.expect_end()
+        return message
+
+    @classmethod
+    def read_from(cls, cursor: Cursor, group: CyclicGroup) -> "BitCommitMessage":
+        count = cursor.read_u16()
+        commitments = tuple(
+            PedersenCommitment(read_element(cursor, group)) for _ in range(count)
+        )
+        return cls(commitments=commitments)
+
     def byte_size(self) -> int:
-        return sum(len(c.to_bytes()) for c in self.commitments)
+        """Exact wire size: ``len(self.to_bytes())``."""
+        return len(self.to_bytes())
 
 
 @dataclass(frozen=True)
@@ -56,9 +86,35 @@ class BitwiseEnvelope(Envelope):
     bit_ciphers: Tuple[Tuple[bytes, bytes], ...]  # (C_i^0, C_i^1) per position
     ciphertext: bytes
 
+    def to_bytes(self) -> bytes:
+        out = bytearray(pack_element(self.eta))
+        out += pack_u16(len(self.bit_ciphers))
+        for c0, c1 in self.bit_ciphers:
+            out += pack_bytes(c0)
+            out += pack_bytes(c1)
+        out += pack_bytes(self.ciphertext)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, group: CyclicGroup) -> "BitwiseEnvelope":
+        cursor = Cursor(data)
+        envelope = cls.read_from(cursor, group)
+        cursor.expect_end()
+        return envelope
+
+    @classmethod
+    def read_from(cls, cursor: Cursor, group: CyclicGroup) -> "BitwiseEnvelope":
+        eta = read_element(cursor, group)
+        count = cursor.read_u16()
+        bit_ciphers = tuple(
+            (cursor.read_bytes(), cursor.read_bytes()) for _ in range(count)
+        )
+        ciphertext = cursor.read_bytes()
+        return cls(eta=eta, bit_ciphers=bit_ciphers, ciphertext=ciphertext)
+
     def byte_size(self) -> int:
-        table = sum(len(c0) + len(c1) for c0, c1 in self.bit_ciphers)
-        return len(self.eta.to_bytes()) + table + len(self.ciphertext)
+        """Exact wire size: ``len(self.to_bytes())``."""
+        return len(self.to_bytes())
 
 
 class _BitwiseSenderBase:

@@ -12,9 +12,15 @@
   (learning CSSs exactly for the conditions its hidden values satisfy) and
   decrypts the authorized portions of broadcasts.
 
-:mod:`~repro.system.registration` drives the interactive registration over
-an accounting :class:`~repro.system.transport.InMemoryTransport`, so tests
-and examples can audit precisely what the publisher observes.
+Entities interact exclusively through serialized wire messages
+(:mod:`repro.wire`) routed by a :class:`~repro.system.transport.Transport`:
+the :class:`~repro.system.service.DisseminationService` /
+:class:`~repro.system.service.SubscriberClient` /
+:class:`~repro.system.service.IdentityManagerEndpoint` endpoints drive the
+session state machines, and the transport's accounting log lets tests and
+examples audit precisely what the publisher observes.
+:mod:`~repro.system.registration` keeps the seed's one-call registration
+helpers as shims over that machinery.
 """
 
 from repro.system.css import CssTable
@@ -23,8 +29,14 @@ from repro.system.idmgr import IdentityManager
 from repro.system.idp import IdentityProvider
 from repro.system.publisher import Publisher, SystemParams
 from repro.system.registration import register_all_attributes, register_for_attribute
+from repro.system.service import (
+    DisseminationService,
+    IdentityManagerEndpoint,
+    SubscriberClient,
+    run_until_idle,
+)
 from repro.system.subscriber import Subscriber
-from repro.system.transport import InMemoryTransport
+from repro.system.transport import BROADCAST, Delivery, InMemoryTransport, Transport
 
 __all__ = [
     "CssTable",
@@ -35,7 +47,14 @@ __all__ = [
     "Publisher",
     "SystemParams",
     "Subscriber",
+    "BROADCAST",
+    "Delivery",
+    "Transport",
     "InMemoryTransport",
+    "DisseminationService",
+    "SubscriberClient",
+    "IdentityManagerEndpoint",
+    "run_until_idle",
     "register_for_attribute",
     "register_all_attributes",
 ]

@@ -14,9 +14,62 @@ from typing import Optional
 
 from repro.crypto.pedersen import PedersenCommitment
 from repro.crypto.schnorr_sig import SchnorrSignature
+from repro.errors import SerializationError
+from repro.groups.base import CyclicGroup
 from repro.policy.encoding import AttributeValue
+from repro.wire.codec import (
+    Cursor,
+    pack_element,
+    pack_scalar,
+    pack_str,
+    pack_u8,
+    read_element,
+)
 
-__all__ = ["AttributeAssertion", "IdentityToken", "token_signing_bytes"]
+__all__ = [
+    "AttributeAssertion",
+    "IdentityToken",
+    "token_signing_bytes",
+    "pack_attribute_value",
+    "read_attribute_value",
+]
+
+
+def pack_attribute_value(value: AttributeValue) -> bytes:
+    """An attribute value: tag 0 = signed int, tag 1 = string."""
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise SerializationError("attribute value must be int or str")
+    if isinstance(value, int):
+        return pack_u8(0) + pack_u8(1 if value < 0 else 0) + pack_scalar(abs(value))
+    return pack_u8(1) + pack_str(value)
+
+
+def read_attribute_value(cursor: Cursor) -> AttributeValue:
+    tag = cursor.read_u8()
+    if tag == 0:
+        negative = cursor.read_bool()  # rejects non-canonical sign bytes
+        magnitude = cursor.read_scalar()
+        if negative and magnitude == 0:
+            raise SerializationError("non-canonical negative zero")
+        return -magnitude if negative else magnitude
+    if tag == 1:
+        return cursor.read_str()
+    raise SerializationError("unknown attribute value tag %d" % tag)
+
+
+def _pack_signature(signature: SchnorrSignature) -> bytes:
+    """Length-delimited signature scalars.
+
+    Only used where transcript sizes are *not* privacy-relevant (IdP
+    assertions travel on the trusted Sub--IdMgr channel); identity tokens
+    use the fixed-width group encoding so registration transcripts have
+    value-independent sizes.
+    """
+    return pack_scalar(signature.e) + pack_scalar(signature.s)
+
+
+def _read_signature(cursor: Cursor) -> SchnorrSignature:
+    return SchnorrSignature(cursor.read_scalar(), cursor.read_scalar())
 
 
 @dataclass(frozen=True)
@@ -38,6 +91,33 @@ class AttributeAssertion:
         return b"repro/assertion" + b"|".join(
             part.encode("utf-8")
             for part in (self.subject, self.name, str(self.value), self.issuer)
+        )
+
+    def to_bytes(self) -> bytes:
+        """Wire encoding for the Sub -> IdMgr token request."""
+        return (
+            pack_str(self.subject)
+            + pack_str(self.name)
+            + pack_attribute_value(self.value)
+            + pack_str(self.issuer)
+            + _pack_signature(self.signature)
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AttributeAssertion":
+        cursor = Cursor(data)
+        assertion = cls.read_from(cursor)
+        cursor.expect_end()
+        return assertion
+
+    @classmethod
+    def read_from(cls, cursor: Cursor) -> "AttributeAssertion":
+        return cls(
+            subject=cursor.read_str(),
+            name=cursor.read_str(),
+            value=read_attribute_value(cursor),
+            issuer=cursor.read_str(),
+            signature=_read_signature(cursor),
         )
 
 
@@ -68,10 +148,45 @@ class IdentityToken:
         """The bytes the IdMgr's signature covers."""
         return token_signing_bytes(self.nym, self.tag, self.commitment)
 
+    def to_bytes(self) -> bytes:
+        """Canonical wire encoding.
+
+        Signature scalars use the *fixed* width of the commitment group, so
+        every token for the same (nym, tag, group) has the same size -- the
+        registration transcript must not leak through length variation.
+        """
+        scalar_len = self.commitment.value.group.scalar_byte_length()
+        return (
+            pack_str(self.nym)
+            + pack_str(self.tag)
+            + pack_element(self.commitment.value)
+            + self.signature.to_bytes(scalar_len)
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes, group: CyclicGroup) -> "IdentityToken":
+        cursor = Cursor(data)
+        token = cls.read_from(cursor, group)
+        cursor.expect_end()
+        return token
+
+    @classmethod
+    def read_from(cls, cursor: Cursor, group: CyclicGroup) -> "IdentityToken":
+        nym = cursor.read_str()
+        tag = cursor.read_str()
+        commitment = PedersenCommitment(read_element(cursor, group))
+        scalar_len = group.scalar_byte_length()
+        raw_sig = cursor.take(2 * scalar_len)
+        return cls(
+            nym=nym,
+            tag=tag,
+            commitment=commitment,
+            signature=SchnorrSignature.from_bytes(raw_sig, scalar_len),
+        )
+
     def byte_size(self) -> int:
-        """Approximate wire size (commitment + signature + strings)."""
-        sig_len = 2 * ((max(self.signature.e, self.signature.s).bit_length() + 7) // 8)
-        return len(self.signing_bytes()) + sig_len
+        """Exact wire size: ``len(self.to_bytes())``."""
+        return len(self.to_bytes())
 
     def __repr__(self) -> str:
         return "IdentityToken(nym=%r, tag=%r)" % (self.nym, self.tag)

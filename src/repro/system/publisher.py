@@ -63,7 +63,12 @@ class SystemParams:
 
 @dataclass
 class RegistrationOffer:
-    """One pending OCBE delivery of a CSS for (token, condition)."""
+    """One pending OCBE delivery of a CSS for (token, condition).
+
+    This is Pub-internal state: :class:`~repro.wire.sessions.PublisherRegistrationSession`
+    holds one per in-flight registration while it waits for the receiver's
+    auxiliary commitments to arrive over the wire.
+    """
 
     condition: AttributeCondition
     sender: object  # an OCBE sender session
@@ -71,8 +76,21 @@ class RegistrationOffer:
     css: bytes
 
     def compose(self, aux, rng: Optional[random.Random] = None):
-        """Produce the envelope for the receiver's auxiliary commitments."""
-        return self.sender.compose(self.token.commitment, aux, self.css)
+        """Deprecated live-object registration path.
+
+        Composing an envelope directly against a subscriber-held ``aux``
+        object bypassed the wire boundary (and used to be monkey-patched
+        for traffic metering).  Registration is now driven by serialized
+        messages: see :class:`~repro.wire.sessions.PublisherRegistrationSession`
+        and the :class:`~repro.system.service.DisseminationService` /
+        :class:`~repro.system.service.SubscriberClient` facade.
+        """
+        raise RegistrationError(
+            "RegistrationOffer.compose() is deprecated: registration is now a "
+            "wire protocol.  Use repro.system.service.DisseminationService / "
+            "SubscriberClient (or the register_for_attribute / "
+            "register_all_attributes helpers) instead."
+        )
 
 
 class Publisher:
@@ -106,6 +124,7 @@ class Publisher:
         )
         self.table = CssTable()
         self.policies: List[AccessControlPolicy] = []
+        self._condition_map: Optional[Dict[str, AttributeCondition]] = None
         self.css_bytes = css_bytes
         self.capacity_slack = capacity_slack
         self._gkm = AcvBgkm(gkm_field, self.params.hash_fn)
@@ -125,18 +144,36 @@ class Publisher:
     def add_policy(self, policy: AccessControlPolicy) -> None:
         """Install an access control policy."""
         self.policies.append(policy)
+        self._condition_map = None  # invalidate the key -> condition cache
+
+    def condition_map(self) -> Dict[str, AttributeCondition]:
+        """Distinct conditions keyed by their stable key (cached; rebuilt on
+        ``add_policy``).  Every RegistrationRequest resolves through this."""
+        if self._condition_map is None:
+            seen: Dict[str, AttributeCondition] = {}
+            for policy in self.policies:
+                for condition in policy.conditions:
+                    seen.setdefault(condition.key(), condition)
+            self._condition_map = seen
+        return self._condition_map
 
     def conditions(self) -> List[AttributeCondition]:
         """All distinct conditions across installed policies."""
-        seen: Dict[str, AttributeCondition] = {}
-        for policy in self.policies:
-            for condition in policy.conditions:
-                seen.setdefault(condition.key(), condition)
+        seen = self.condition_map()
         return [seen[k] for k in sorted(seen)]
 
     def conditions_for_attribute(self, attribute: str) -> List[AttributeCondition]:
         """Conditions mentioning ``attribute`` (what a Sub registers for)."""
         return [c for c in self.conditions() if c.name == attribute]
+
+    def condition_by_key(self, condition_key: str) -> AttributeCondition:
+        """Resolve a wire-carried condition key to the installed condition."""
+        condition = self.condition_map().get(condition_key)
+        if condition is None:
+            raise RegistrationError(
+                "no installed policy mentions condition %r" % condition_key
+            )
+        return condition
 
     # -- registration (Section V-B) -------------------------------------------
 

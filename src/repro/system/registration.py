@@ -1,22 +1,50 @@
-"""Driving the interactive registration over an accounting transport.
+"""Compatibility helpers driving the wire-protocol registration.
 
 The paper's privacy practice (Section V-B / Example 3): a Sub registers
 its identity token for **every** condition whose attribute name matches
 the token's tag -- including mutually exclusive ones -- so the Pub cannot
 infer from registration behaviour which condition the Sub actually
-satisfies.  These helpers implement exactly that loop and record all
-traffic in an :class:`~repro.system.transport.InMemoryTransport`.
+satisfies.
+
+These helpers preserve the seed API (`register_for_attribute` /
+`register_all_attributes`) but are now thin shims over the wire protocol:
+they stand up a :class:`~repro.system.service.DisseminationService` and a
+:class:`~repro.system.service.SubscriberClient` on a shared
+:class:`~repro.system.transport.InMemoryTransport` and pump frames until
+the exchange quiesces.  Every inter-entity interaction crosses the
+transport as serialized bytes -- the seed's ``offer.compose``
+monkey-patch metering is gone because the transport now *routes* the real
+messages and accounts them as a side effect.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
+from repro.errors import RegistrationError
 from repro.system.publisher import Publisher
+from repro.system.service import DisseminationService, SubscriberClient, run_until_idle
 from repro.system.subscriber import Subscriber
 from repro.system.transport import InMemoryTransport
 
 __all__ = ["register_for_attribute", "register_all_attributes"]
+
+
+def _wire_pair(publisher: Publisher, subscriber: Subscriber, transport):
+    service = DisseminationService(publisher, transport)
+    client = SubscriberClient(subscriber, transport, publisher.name)
+    return service, client
+
+
+def _raise_on_rejection(client: SubscriberClient) -> None:
+    """Preserve the seed semantics: a publisher-side *rejection* (bad
+    signature, misconfigured keys) is an error, not a quiet ``False`` --
+    only "value does not satisfy the condition" may fail silently."""
+    if client.failures:
+        details = "; ".join(
+            "%s: %s" % (key, reason) for key, reason in sorted(client.failures.items())
+        )
+        raise RegistrationError("publisher rejected registration (%s)" % details)
 
 
 def register_for_attribute(
@@ -30,45 +58,12 @@ def register_for_attribute(
     Returns ``{condition key: css extracted?}`` -- knowledge only the Sub
     has; the Pub's transcript (in ``transport``) is identical either way.
     """
-    token = subscriber.token_for(attribute)
-    results: Dict[str, bool] = {}
-    for condition in publisher.conditions_for_attribute(attribute):
-        if transport is not None:
-            transport.send(
-                subscriber.nym,
-                publisher.name,
-                "token+condition-request",
-                token.byte_size() + len(condition.key()),
-                note=condition.key(),
-            )
-        offer = publisher.open_registration(token, condition)
-
-        # Wrap the offer so the interactive messages are metered.
-        if transport is not None:
-            original_compose = offer.compose
-
-            def metered_compose(aux, rng=None, _orig=original_compose, _cond=condition):
-                if aux is not None:
-                    transport.send(
-                        subscriber.nym,
-                        publisher.name,
-                        "ocbe-bit-commitments",
-                        aux.byte_size(),
-                        note=_cond.key(),
-                    )
-                envelope = _orig(aux, rng)
-                transport.send(
-                    publisher.name,
-                    subscriber.nym,
-                    "ocbe-envelope",
-                    envelope.byte_size(),
-                    note=_cond.key(),
-                )
-                return envelope
-
-            offer.compose = metered_compose  # type: ignore[method-assign]
-        results[condition.key()] = subscriber.accept_offer(offer)
-    return results
+    transport = transport if transport is not None else InMemoryTransport()
+    service, client = _wire_pair(publisher, subscriber, transport)
+    client.register_attribute(attribute)
+    run_until_idle((service, client))
+    _raise_on_rejection(client)
+    return dict(client.results.get(attribute, {}))
 
 
 def register_all_attributes(
@@ -77,10 +72,13 @@ def register_all_attributes(
     transport: Optional[InMemoryTransport] = None,
 ) -> Dict[str, Dict[str, bool]]:
     """Register every token the Sub holds against every matching condition."""
-    outcome: Dict[str, Dict[str, bool]] = {}
-    for attribute in subscriber.attribute_tags():
-        if publisher.conditions_for_attribute(attribute):
-            outcome[attribute] = register_for_attribute(
-                publisher, subscriber, attribute, transport
-            )
-    return outcome
+    transport = transport if transport is not None else InMemoryTransport()
+    service, client = _wire_pair(publisher, subscriber, transport)
+    client.register_all_attributes()
+    run_until_idle((service, client))
+    _raise_on_rejection(client)
+    return {
+        attribute: dict(outcomes)
+        for attribute, outcomes in client.results.items()
+        if outcomes
+    }

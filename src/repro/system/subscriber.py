@@ -23,7 +23,7 @@ from repro.documents.package import BroadcastPackage, ConfigHeader
 from repro.errors import DecryptionError, RegistrationError
 from repro.gkm.acv import AcvBgkm
 from repro.mathx.field import PrimeField
-from repro.ocbe.base import OCBESetup, receiver_for
+from repro.ocbe.base import OCBESetup
 from repro.policy.condition import AttributeCondition
 from repro.system.identity import IdentityToken
 from repro.system.publisher import RegistrationOffer, SystemParams
@@ -62,6 +62,16 @@ class Subscriber:
         )
         self._rng = rng
 
+    @property
+    def rng(self) -> Optional[random.Random]:
+        """The deterministic RNG this subscriber was built with (or None)."""
+        return self._rng
+
+    @property
+    def ocbe_setup(self) -> OCBESetup:
+        """The OCBE parameters shared with the publisher."""
+        return self._ocbe
+
     # -- identity ------------------------------------------------------------
 
     def hold_token(self, token: IdentityToken, x: int, r: int) -> None:
@@ -75,9 +85,17 @@ class Subscriber:
 
     def token_for(self, attribute: str) -> IdentityToken:
         """The held token for an attribute tag."""
+        return self.wallet_for(attribute).token
+
+    def wallet_for(self, attribute: str) -> TokenWallet:
+        """The held token *with its private opening* for an attribute tag.
+
+        Only this Sub's own registration sessions may call this; the
+        opening never crosses the wire.
+        """
         if attribute not in self._wallet:
             raise RegistrationError("no token for attribute %r" % attribute)
-        return self._wallet[attribute].token
+        return self._wallet[attribute]
 
     def attribute_tags(self) -> List[str]:
         """Tags of all held tokens."""
@@ -86,32 +104,21 @@ class Subscriber:
     # -- registration (receiver side of Section V-B) ----------------------------
 
     def accept_offer(self, offer: RegistrationOffer) -> bool:
-        """Run the OCBE receiver side for one registration offer.
+        """Deprecated live-object registration path.
 
-        Returns True when the CSS was extracted (predicate satisfied) and
-        stores it; False otherwise.  The publisher cannot observe which.
+        The in-process offer/accept handshake was replaced by the wire
+        protocol: registration now runs as serialized messages through
+        :class:`~repro.wire.sessions.SubscriberRegistrationSession` (or the
+        high-level :class:`~repro.system.service.SubscriberClient`), and the
+        compatibility helpers ``repro.system.registration.register_for_attribute``
+        / ``register_all_attributes`` drive that for you.
         """
-        condition = offer.condition
-        wallet = self._wallet.get(condition.name)
-        if wallet is None:
-            raise RegistrationError("no token for attribute %r" % condition.name)
-        predicate = condition.predicate(self.params.attribute_bits)
-        receiver = receiver_for(
-            self._ocbe,
-            predicate,
-            wallet.x,
-            wallet.r,
-            wallet.token.commitment,
-            self._rng,
+        raise RegistrationError(
+            "Subscriber.accept_offer() is deprecated: registration is now a "
+            "wire protocol.  Use repro.system.service.SubscriberClient / "
+            "DisseminationService (or the register_for_attribute / "
+            "register_all_attributes helpers) instead."
         )
-        aux = receiver.commitment_message()
-        envelope = offer.compose(aux)
-        try:
-            css = receiver.open(envelope)
-        except DecryptionError:
-            return False
-        self.css_store[condition.key()] = css
-        return True
 
     # -- broadcast consumption ---------------------------------------------------
 

@@ -1,25 +1,40 @@
-"""An accounting in-memory transport.
+"""Message transports: routing bytes between entities, with accounting.
 
-The paper's bandwidth claims (O(l'N) broadcast overhead, zero unicast on
-rekey) become testable by routing every inter-entity message through this
-transport: it records direction, kind and size, and exposes per-channel
-byte counters.  It also doubles as the privacy-audit log -- everything the
-publisher ever "sees" is a message recorded here, so tests can assert the
-publisher's view is independent of subscribers' attribute values.
+The seed version of this module was an accounting *log*; it is now a real
+router.  :class:`InMemoryTransport` keeps one FIFO inbox per entity and
+delivers opaque byte payloads, so publisher and subscriber can run as
+independent endpoints that communicate exclusively through serialized
+messages -- the same call pattern a socket or HTTP backend would expose.
+The :class:`Transport` protocol pins down that surface so such a backend
+can slot in without touching the session layer.
+
+The accounting remains a layer on top of delivery: every transmission is
+recorded as a :class:`Message` (direction, kind, size), which keeps the
+paper's bandwidth claims testable (O(l'N) broadcast overhead, zero unicast
+on rekey) and doubles as the privacy-audit log -- everything the publisher
+ever "sees" crossed this boundary.
+
+``broadcast`` models the paper's multicast: one accounted transmission
+(receiver ``"*"``), delivered into every registered inbox.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Protocol, Tuple, runtime_checkable
 
-__all__ = ["Message", "InMemoryTransport"]
+from repro.errors import SystemError_
+
+__all__ = ["Message", "Delivery", "Transport", "InMemoryTransport", "BROADCAST"]
+
+#: The pseudo-receiver used to account one multicast transmission.
+BROADCAST = "*"
 
 
 @dataclass(frozen=True)
 class Message:
-    """One recorded transmission."""
+    """One recorded transmission (the accounting view)."""
 
     sender: str
     receiver: str
@@ -28,17 +43,138 @@ class Message:
     note: str = ""
 
 
+@dataclass(frozen=True)
+class Delivery:
+    """One queued payload awaiting pickup (the routing view)."""
+
+    sender: str
+    receiver: str
+    kind: str
+    payload: bytes
+    note: str = ""
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What the session/facade layer requires of any message backend.
+
+    Implementations route opaque ``bytes`` between named entities; they
+    must preserve per-sender ordering but need not provide any global
+    order.  A socket/HTTP backend implements exactly these methods (all
+    five -- ``requeue`` included: endpoints call it on handler failure).
+    """
+
+    def deliver(
+        self, sender: str, receiver: str, kind: str, payload: bytes, note: str = ""
+    ) -> None:
+        """Enqueue ``payload`` into ``receiver``'s inbox."""
+        ...
+
+    def broadcast(
+        self, sender: str, kind: str, payload: bytes, note: str = ""
+    ) -> None:
+        """Deliver one payload to every registered entity except ``sender``."""
+        ...
+
+    def poll(self, entity: str, limit: Optional[int] = None) -> List[Delivery]:
+        """Drain (up to ``limit``) pending deliveries for ``entity``."""
+        ...
+
+    def requeue(self, entity: str, deliveries: List[Delivery]) -> None:
+        """Push already-polled deliveries back to the *front* of the inbox
+        (in order) -- used when a handler fails mid-batch."""
+        ...
+
+    def register(self, entity: str) -> None:
+        """Create ``entity``'s inbox (broadcasts only reach registered names)."""
+        ...
+
+
 class InMemoryTransport:
-    """Records messages and aggregates byte counts."""
+    """In-process router with byte accounting.
+
+    Routing: per-entity FIFO inboxes of :class:`Delivery`.  Accounting:
+    the historical :class:`Message` log and per-channel byte counters,
+    preserved verbatim from the seed API (including the accounting-only
+    :meth:`send` used by older callers and tests).
+    """
 
     def __init__(self) -> None:
         self.messages: List[Message] = []
         self._bytes: Dict[Tuple[str, str], int] = defaultdict(int)
+        self._inboxes: Dict[str, Deque[Delivery]] = {}
+
+    # -- routing ------------------------------------------------------------
+
+    def register(self, entity: str) -> None:
+        """Idempotently create an inbox for ``entity``."""
+        self._inboxes.setdefault(entity, deque())
+
+    def entities(self) -> List[str]:
+        """All registered entity names."""
+        return sorted(self._inboxes)
+
+    @staticmethod
+    def _coerce_payload(payload) -> bytes:
+        if not isinstance(payload, (bytes, bytearray)):
+            raise SystemError_(
+                "transport payloads must be bytes, got %s" % type(payload).__name__
+            )
+        return bytes(payload)
+
+    def deliver(
+        self, sender: str, receiver: str, kind: str, payload: bytes, note: str = ""
+    ) -> None:
+        """Route ``payload`` to ``receiver`` and account the transmission."""
+        payload = self._coerce_payload(payload)
+        self.register(sender)
+        self.register(receiver)
+        self.send(sender, receiver, kind, len(payload), note=note)
+        self._inboxes[receiver].append(
+            Delivery(sender=sender, receiver=receiver, kind=kind, payload=payload,
+                     note=note)
+        )
+
+    def broadcast(
+        self, sender: str, kind: str, payload: bytes, note: str = ""
+    ) -> None:
+        """One multicast: accounted once, delivered to every other inbox."""
+        payload = self._coerce_payload(payload)
+        self.register(sender)
+        self.send(sender, BROADCAST, kind, len(payload), note=note)
+        for receiver, inbox in self._inboxes.items():
+            if receiver != sender:
+                inbox.append(
+                    Delivery(sender=sender, receiver=receiver, kind=kind,
+                             payload=payload, note=note)
+                )
+
+    def poll(self, entity: str, limit: Optional[int] = None) -> List[Delivery]:
+        """Drain pending deliveries for ``entity`` (FIFO)."""
+        inbox = self._inboxes.get(entity)
+        if not inbox:
+            return []
+        count = len(inbox) if limit is None else min(limit, len(inbox))
+        return [inbox.popleft() for _ in range(count)]
+
+    def requeue(self, entity: str, deliveries: List[Delivery]) -> None:
+        """Return unprocessed deliveries to the front of the inbox, keeping
+        their original order.  Not accounted: the bytes already were."""
+        inbox = self._inboxes.setdefault(entity, deque())
+        inbox.extendleft(reversed(deliveries))
+
+    def pending(self, entity: Optional[str] = None) -> int:
+        """Queued deliveries for one entity, or across the whole router."""
+        if entity is not None:
+            return len(self._inboxes.get(entity, ()))
+        return sum(len(inbox) for inbox in self._inboxes.values())
+
+    # -- accounting ---------------------------------------------------------
 
     def send(
         self, sender: str, receiver: str, kind: str, size: int, note: str = ""
     ) -> None:
-        """Record a message of ``size`` bytes."""
+        """Record a transmission of ``size`` bytes (accounting only)."""
         self.messages.append(
             Message(sender=sender, receiver=receiver, kind=kind, size=size, note=note)
         )
@@ -74,6 +210,7 @@ class InMemoryTransport:
         return dict(counts)
 
     def reset(self) -> None:
-        """Clear the log and counters."""
+        """Clear the log, counters and all inboxes."""
         self.messages.clear()
         self._bytes.clear()
+        self._inboxes.clear()

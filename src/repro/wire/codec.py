@@ -1,0 +1,232 @@
+"""Low-level wire codec: bounded readers, field packers, versioned frames.
+
+Every inter-entity message in the system serializes through this module so
+that a single set of rules governs the whole protocol surface:
+
+* all integers are big-endian and explicitly sized;
+* every variable-length field is length-prefixed (``u16`` for short
+  strings/scalars, ``u32`` for payloads), so a frame can be skipped
+  without understanding its interior;
+* a frame is ``MAGIC || version || type || u32 length || payload`` --
+  length-prefixed at the top level so frames can be concatenated on a
+  stream transport and split back apart;
+* malformed input of any shape raises
+  :class:`~repro.errors.SerializationError` -- never ``struct.error`` or
+  ``IndexError`` -- so remote peers cannot crash an entity with garbage.
+
+The :class:`Cursor` reader enforces the bounds checking; the ``pack_*`` /
+``Cursor.read_*`` pairs are inverses by construction.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Tuple
+
+from repro.errors import SerializationError
+
+__all__ = [
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "Cursor",
+    "pack_u8",
+    "pack_u16",
+    "pack_u32",
+    "pack_bool",
+    "pack_str",
+    "pack_bytes",
+    "pack_scalar",
+    "pack_element",
+    "read_element",
+    "encode_frame",
+    "decode_frame",
+    "iter_frames",
+]
+
+#: Two-byte frame magic ("repro wire").
+WIRE_MAGIC = b"RW"
+#: Current protocol version; bumped on any incompatible layout change.
+WIRE_VERSION = 1
+
+_FRAME_HEADER = struct.Struct(">2sBBI")  # magic, version, type, payload length
+
+
+# -- field packers ----------------------------------------------------------
+
+
+def pack_u8(value: int) -> bytes:
+    if not 0 <= value < (1 << 8):
+        raise SerializationError("u8 out of range: %r" % value)
+    return struct.pack(">B", value)
+
+
+def pack_u16(value: int) -> bytes:
+    if not 0 <= value < (1 << 16):
+        raise SerializationError("u16 out of range: %r" % value)
+    return struct.pack(">H", value)
+
+
+def pack_u32(value: int) -> bytes:
+    if not 0 <= value < (1 << 32):
+        raise SerializationError("u32 out of range: %r" % value)
+    return struct.pack(">I", value)
+
+
+def pack_bool(value: bool) -> bytes:
+    return pack_u8(1 if value else 0)
+
+
+def pack_str(text: str) -> bytes:
+    """``u16`` length-prefixed UTF-8."""
+    raw = text.encode("utf-8")
+    return pack_u16(len(raw)) + raw
+
+
+def pack_bytes(raw: bytes) -> bytes:
+    """``u32`` length-prefixed octets."""
+    return pack_u32(len(raw)) + raw
+
+
+def pack_scalar(value: int) -> bytes:
+    """A non-negative big integer, ``u16`` length-prefixed big-endian.
+
+    Used for openings ``(x, r)`` and signature scalars whose magnitude is
+    not bounded by the wire layer (decoy values exceed every group order).
+    """
+    if value < 0:
+        raise SerializationError("scalars on the wire are non-negative")
+    raw = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+    return pack_u16(len(raw)) + raw
+
+
+def pack_element(element) -> bytes:
+    """A group element via its canonical encoding, length-prefixed."""
+    return pack_bytes(element.to_bytes())
+
+
+def read_element(cursor: "Cursor", group):
+    """Read one group element; decode errors surface as library errors.
+
+    ``group.element_from_bytes`` validates membership and raises
+    :class:`~repro.errors.GroupError` subclasses itself; anything else a
+    hostile encoding provokes is normalized to :class:`SerializationError`.
+    """
+    from repro.errors import ReproError
+
+    raw = cursor.read_bytes()
+    try:
+        return group.element_from_bytes(raw)
+    except ReproError:
+        raise
+    except Exception as exc:  # defensive: backends must not leak raw errors
+        raise SerializationError("undecodable group element") from exc
+
+
+# -- bounded reader ---------------------------------------------------------
+
+
+class Cursor:
+    """A bounds-checked sequential reader over immutable bytes.
+
+    Every ``read_*`` raises :class:`SerializationError` on truncation; a
+    fully-parsed message should end with :meth:`expect_end` so trailing
+    garbage is rejected rather than silently ignored.
+    """
+
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes, offset: int = 0):
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise SerializationError(
+                "wire input must be bytes, got %s" % type(data).__name__
+            )
+        self.data = bytes(data)
+        self.offset = offset
+
+    def remaining(self) -> int:
+        return len(self.data) - self.offset
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.remaining() < n:
+            raise SerializationError(
+                "truncated input: need %d bytes at offset %d, have %d"
+                % (n, self.offset, self.remaining())
+            )
+        out = self.data[self.offset : self.offset + n]
+        self.offset += n
+        return out
+
+    def read_u8(self) -> int:
+        return self.take(1)[0]
+
+    def read_u16(self) -> int:
+        return int.from_bytes(self.take(2), "big")
+
+    def read_u32(self) -> int:
+        return int.from_bytes(self.take(4), "big")
+
+    def read_bool(self) -> bool:
+        flag = self.read_u8()
+        if flag not in (0, 1):
+            raise SerializationError("bad boolean byte %#x" % flag)
+        return bool(flag)
+
+    def read_str(self) -> str:
+        length = self.read_u16()
+        raw = self.take(length)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SerializationError("invalid UTF-8 in string field") from exc
+
+    def read_bytes(self) -> bytes:
+        return self.take(self.read_u32())
+
+    def read_scalar(self) -> int:
+        return int.from_bytes(self.take(self.read_u16()), "big")
+
+    def expect_end(self) -> None:
+        if self.remaining():
+            raise SerializationError(
+                "%d trailing bytes after message" % self.remaining()
+            )
+
+
+# -- frames -----------------------------------------------------------------
+
+
+def encode_frame(type_id: int, payload: bytes) -> bytes:
+    """Wrap a message payload in the versioned, length-prefixed frame."""
+    if not 0 <= type_id < (1 << 8):
+        raise SerializationError("frame type out of range: %r" % type_id)
+    return _FRAME_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, type_id, len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> Tuple[int, bytes]:
+    """Parse exactly one frame; rejects bad magic/version/length."""
+    type_id, payload, end = _decode_frame_at(data, 0)
+    if end != len(data):
+        raise SerializationError("%d trailing bytes after frame" % (len(data) - end))
+    return type_id, payload
+
+
+def iter_frames(data: bytes) -> Iterator[Tuple[int, bytes]]:
+    """Split a concatenation of frames (a stream read) back into messages."""
+    offset = 0
+    while offset < len(data):
+        type_id, payload, offset = _decode_frame_at(data, offset)
+        yield type_id, payload
+
+
+def _decode_frame_at(data: bytes, offset: int) -> Tuple[int, bytes, int]:
+    cursor = Cursor(data, offset)
+    header = cursor.take(_FRAME_HEADER.size)
+    magic, version, type_id, length = _FRAME_HEADER.unpack(header)
+    if magic != WIRE_MAGIC:
+        raise SerializationError("bad frame magic %r" % magic)
+    if version != WIRE_VERSION:
+        raise SerializationError(
+            "unsupported wire version %d (speaking %d)" % (version, WIRE_VERSION)
+        )
+    payload = cursor.take(length)
+    return type_id, payload, cursor.offset

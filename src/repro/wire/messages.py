@@ -1,0 +1,386 @@
+"""Typed, versioned wire messages for the whole dissemination protocol.
+
+Every inter-entity interaction in the system is one of the frozen message
+classes below, each with a stable numeric ``TYPE_ID``, a transport
+accounting ``KIND`` string, and an exact byte encoding.  :func:`encode_message`
+wraps a message in the versioned frame from :mod:`repro.wire.codec`;
+:func:`decode_message` is its inverse (it needs the commitment group to
+validate embedded group elements).
+
+Message flow (also in ``DESIGN.md``)::
+
+    Sub -> IdMgr   TokenRequest        (assertion, or decoy flag)
+    IdMgr -> Sub   TokenGrant          (token + private opening (x, r))
+    Sub -> Pub     ConditionQuery      (attribute name)
+    Pub -> Sub     ConditionList       (matching policy conditions)
+    Sub -> Pub     RegistrationRequest (token + condition key)
+    Pub -> Sub     RegistrationAck     (token verified, CSS minted)
+    Sub -> Pub     AuxCommitments      (OCBE receiver commitments)
+    Pub -> Sub     OCBEEnvelope        (OCBE sender envelope)
+    Pub -> *       BroadcastMessage    (the encrypted document package)
+
+All of a registration's per-condition messages carry ``(nym,
+condition_key)`` so the publisher can interleave any number of concurrent
+registrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Type
+
+from repro.documents.package import BroadcastPackage
+from repro.errors import PolicyParseError, SerializationError
+from repro.groups.base import CyclicGroup
+from repro.ocbe.serial import (
+    AuxMessage,
+    OcbeEnvelope,
+    decode_aux,
+    decode_envelope,
+    encode_aux,
+    encode_envelope,
+)
+from repro.policy.condition import AttributeCondition
+from repro.system.identity import (
+    AttributeAssertion,
+    IdentityToken,
+    pack_attribute_value,
+    read_attribute_value,
+)
+from repro.wire.codec import (
+    Cursor,
+    decode_frame,
+    encode_frame,
+    pack_bool,
+    pack_bytes,
+    pack_scalar,
+    pack_str,
+    pack_u16,
+)
+
+__all__ = [
+    "WireMessage",
+    "ConditionQuery",
+    "ConditionList",
+    "RegistrationRequest",
+    "RegistrationAck",
+    "AuxCommitments",
+    "OCBEEnvelope",
+    "TokenRequest",
+    "TokenGrant",
+    "BroadcastMessage",
+    "encode_message",
+    "decode_message",
+    "MESSAGE_TYPES",
+]
+
+
+def _pack_condition(condition: AttributeCondition) -> bytes:
+    return (
+        pack_str(condition.name)
+        + pack_str(condition.op)
+        + pack_attribute_value(condition.value)
+    )
+
+
+def _read_condition(cursor: Cursor) -> AttributeCondition:
+    name = cursor.read_str()
+    op = cursor.read_str()
+    value = read_attribute_value(cursor)
+    try:
+        return AttributeCondition(name=name, op=op, value=value)
+    except PolicyParseError as exc:
+        # Keep the codec contract: malformed wire input is always a
+        # SerializationError, whatever layer detects it.
+        raise SerializationError("invalid condition on the wire: %s" % exc) from exc
+
+
+class WireMessage:
+    """Base class: subclasses define ``TYPE_ID``, ``KIND`` and the codec."""
+
+    TYPE_ID: int = -1
+    KIND: str = "?"
+
+    def payload_bytes(self) -> bytes:
+        raise NotImplementedError
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "WireMessage":
+        raise NotImplementedError
+
+    def encode(self) -> bytes:
+        """The complete frame for this message."""
+        return encode_frame(self.TYPE_ID, self.payload_bytes())
+
+
+@dataclass(frozen=True)
+class ConditionQuery(WireMessage):
+    """Sub -> Pub: which conditions mention this attribute?"""
+
+    attribute: str
+
+    TYPE_ID = 1
+    KIND = "condition-query"
+
+    def payload_bytes(self) -> bytes:
+        return pack_str(self.attribute)
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "ConditionQuery":
+        cursor = Cursor(payload)
+        attribute = cursor.read_str()
+        cursor.expect_end()
+        return cls(attribute=attribute)
+
+
+@dataclass(frozen=True)
+class ConditionList(WireMessage):
+    """Pub -> Sub: the (public) conditions for a queried attribute."""
+
+    attribute: str
+    conditions: Tuple[AttributeCondition, ...]
+
+    TYPE_ID = 2
+    KIND = "condition-list"
+
+    def payload_bytes(self) -> bytes:
+        out = bytearray(pack_str(self.attribute))
+        out += pack_u16(len(self.conditions))
+        for condition in self.conditions:
+            out += _pack_condition(condition)
+        return bytes(out)
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "ConditionList":
+        cursor = Cursor(payload)
+        attribute = cursor.read_str()
+        count = cursor.read_u16()
+        conditions = tuple(_read_condition(cursor) for _ in range(count))
+        cursor.expect_end()
+        return cls(attribute=attribute, conditions=conditions)
+
+
+@dataclass(frozen=True)
+class RegistrationRequest(WireMessage):
+    """Sub -> Pub: register ``token`` for the condition named by its key."""
+
+    nym: str
+    condition_key: str
+    token: IdentityToken
+
+    TYPE_ID = 3
+    KIND = "token+condition-request"
+
+    def payload_bytes(self) -> bytes:
+        return (
+            pack_str(self.nym)
+            + pack_str(self.condition_key)
+            + pack_bytes(self.token.to_bytes())
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "RegistrationRequest":
+        cursor = Cursor(payload)
+        nym = cursor.read_str()
+        condition_key = cursor.read_str()
+        token = IdentityToken.from_bytes(cursor.read_bytes(), group)
+        cursor.expect_end()
+        return cls(nym=nym, condition_key=condition_key, token=token)
+
+
+@dataclass(frozen=True)
+class RegistrationAck(WireMessage):
+    """Pub -> Sub: request outcome.  ``ok`` means the token verified and a
+    CSS was minted; it never reveals whether the OCBE transfer will open."""
+
+    nym: str
+    condition_key: str
+    ok: bool
+    reason: str = ""
+
+    TYPE_ID = 4
+    KIND = "registration-ack"
+
+    def payload_bytes(self) -> bytes:
+        return (
+            pack_str(self.nym)
+            + pack_str(self.condition_key)
+            + pack_bool(self.ok)
+            + pack_str(self.reason)
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "RegistrationAck":
+        cursor = Cursor(payload)
+        nym = cursor.read_str()
+        condition_key = cursor.read_str()
+        ok = cursor.read_bool()
+        reason = cursor.read_str()
+        cursor.expect_end()
+        return cls(nym=nym, condition_key=condition_key, ok=ok, reason=reason)
+
+
+@dataclass(frozen=True)
+class AuxCommitments(WireMessage):
+    """Sub -> Pub: the OCBE receiver's auxiliary commitments (``None``
+    payload for EQ-OCBE, which needs no first message)."""
+
+    nym: str
+    condition_key: str
+    aux: AuxMessage
+
+    TYPE_ID = 5
+    KIND = "ocbe-bit-commitments"
+
+    def payload_bytes(self) -> bytes:
+        return (
+            pack_str(self.nym)
+            + pack_str(self.condition_key)
+            + pack_bytes(encode_aux(self.aux))
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "AuxCommitments":
+        cursor = Cursor(payload)
+        nym = cursor.read_str()
+        condition_key = cursor.read_str()
+        aux = decode_aux(cursor.read_bytes(), group)
+        cursor.expect_end()
+        return cls(nym=nym, condition_key=condition_key, aux=aux)
+
+
+@dataclass(frozen=True)
+class OCBEEnvelope(WireMessage):
+    """Pub -> Sub: the OCBE sender's envelope carrying the encrypted CSS."""
+
+    nym: str
+    condition_key: str
+    envelope: OcbeEnvelope
+
+    TYPE_ID = 6
+    KIND = "ocbe-envelope"
+
+    def payload_bytes(self) -> bytes:
+        return (
+            pack_str(self.nym)
+            + pack_str(self.condition_key)
+            + pack_bytes(encode_envelope(self.envelope))
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "OCBEEnvelope":
+        cursor = Cursor(payload)
+        nym = cursor.read_str()
+        condition_key = cursor.read_str()
+        envelope = decode_envelope(cursor.read_bytes(), group)
+        cursor.expect_end()
+        return cls(nym=nym, condition_key=condition_key, envelope=envelope)
+
+
+@dataclass(frozen=True)
+class TokenRequest(WireMessage):
+    """Sub -> IdMgr: issue a token for an asserted (or decoy) attribute."""
+
+    nym: str
+    attribute: str
+    assertion: Optional[AttributeAssertion]  # None for decoy requests
+    decoy: bool = False
+
+    TYPE_ID = 7
+    KIND = "token-request"
+
+    def payload_bytes(self) -> bytes:
+        out = bytearray(pack_str(self.nym))
+        out += pack_str(self.attribute)
+        out += pack_bool(self.decoy)
+        out += pack_bool(self.assertion is not None)
+        if self.assertion is not None:
+            out += pack_bytes(self.assertion.to_bytes())
+        return bytes(out)
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "TokenRequest":
+        cursor = Cursor(payload)
+        nym = cursor.read_str()
+        attribute = cursor.read_str()
+        decoy = cursor.read_bool()
+        assertion = (
+            AttributeAssertion.from_bytes(cursor.read_bytes())
+            if cursor.read_bool()
+            else None
+        )
+        cursor.expect_end()
+        return cls(nym=nym, attribute=attribute, assertion=assertion, decoy=decoy)
+
+
+@dataclass(frozen=True)
+class TokenGrant(WireMessage):
+    """IdMgr -> Sub (private channel): the token and its opening."""
+
+    token: IdentityToken
+    x: int
+    r: int
+
+    TYPE_ID = 8
+    KIND = "token-grant"
+
+    def payload_bytes(self) -> bytes:
+        return pack_bytes(self.token.to_bytes()) + pack_scalar(self.x) + pack_scalar(
+            self.r
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "TokenGrant":
+        cursor = Cursor(payload)
+        token = IdentityToken.from_bytes(cursor.read_bytes(), group)
+        x = cursor.read_scalar()
+        r = cursor.read_scalar()
+        cursor.expect_end()
+        return cls(token=token, x=x, r=r)
+
+
+@dataclass(frozen=True)
+class BroadcastMessage(WireMessage):
+    """Pub -> everyone: one encrypted document broadcast."""
+
+    package: BroadcastPackage
+
+    TYPE_ID = 9
+    KIND = "broadcast-package"
+
+    def payload_bytes(self) -> bytes:
+        return self.package.to_bytes()
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "BroadcastMessage":
+        return cls(package=BroadcastPackage.from_bytes(payload))
+
+
+MESSAGE_TYPES: Dict[int, Type[WireMessage]] = {
+    cls.TYPE_ID: cls
+    for cls in (
+        ConditionQuery,
+        ConditionList,
+        RegistrationRequest,
+        RegistrationAck,
+        AuxCommitments,
+        OCBEEnvelope,
+        TokenRequest,
+        TokenGrant,
+        BroadcastMessage,
+    )
+}
+
+
+def encode_message(message: WireMessage) -> bytes:
+    """Frame any wire message for transmission."""
+    return message.encode()
+
+
+def decode_message(data: bytes, group: CyclicGroup) -> WireMessage:
+    """Parse one frame back into its typed message."""
+    type_id, payload = decode_frame(data)
+    cls = MESSAGE_TYPES.get(type_id)
+    if cls is None:
+        raise SerializationError("unknown message type %d" % type_id)
+    return cls.from_payload(payload, group)

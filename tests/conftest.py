@@ -23,6 +23,17 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+def pytest_collection_modifyitems(items):
+    """Auto-mark genus-2/Jacobian cases slow (the pure-Python hyperelliptic
+    backend is orders of magnitude slower than the EC one); explicit
+    ``@pytest.mark.slow`` marks cover large-N GKM cases and slow examples."""
+    for item in items:
+        nodeid = item.nodeid.lower()
+        fixturenames = getattr(item, "fixturenames", ())
+        if "genus2" in nodeid or "genus2_group" in fixturenames:
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture
 def rng() -> random.Random:
     """Deterministic RNG; reseeded per test."""

@@ -130,6 +130,7 @@ class TestSizeScaling:
             large = self._size(factory, 16, rng)
             assert large > small * 2, factory
 
+    @pytest.mark.slow  # n=32 LKH build: the large-N case of this suite
     def test_lkh_steady_state_is_logarithmic(self, rng):
         """With no membership change, an LKH rekey broadcasts only the root
         refresh: O(1) messages regardless of n."""

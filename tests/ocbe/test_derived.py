@@ -63,7 +63,9 @@ class TestNe:
         envelope = sender.compose(commitment, aux, MESSAGE)
         assert envelope.gt_envelope is not None
         assert envelope.lt_envelope is not None
-        assert envelope.byte_size() == (
+        # Exact wire size: both halves plus the one-byte presence flags.
+        assert envelope.byte_size() == len(envelope.to_bytes())
+        assert envelope.byte_size() == 1 + (
             envelope.gt_envelope.byte_size() + envelope.lt_envelope.byte_size()
         )
 

@@ -70,7 +70,9 @@ class TestProtocolDetails:
         commitment, _ = ec_setup.pedersen.commit(1, rng=rng)
         sender = EqOCBESender(ec_setup, predicate, rng)
         envelope = sender.compose(commitment, None, MESSAGE)
-        assert envelope.byte_size() == len(envelope.eta.to_bytes()) + len(
+        # byte_size is the exact wire size: components + framing overhead.
+        assert envelope.byte_size() == len(envelope.to_bytes())
+        assert envelope.byte_size() > len(envelope.eta.to_bytes()) + len(
             envelope.ciphertext
         )
 

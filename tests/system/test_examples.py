@@ -14,8 +14,9 @@ FAST_EXAMPLES = [
     "ehr_hospital.py",
     "subscription_lifecycle.py",
     "privacy_audit.py",
-    "scalability_buckets.py",
+    pytest.param("scalability_buckets.py", marks=pytest.mark.slow),  # large-N GKM sweep
     "hierarchical_access.py",
+    "wire_protocol.py",
 ]
 
 
