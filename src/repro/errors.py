@@ -103,6 +103,11 @@ class SystemError_(ReproError):
     """Errors in the system layer (entities, transport, registration)."""
 
 
+class NetworkError(SystemError_):
+    """A socket-transport operation failed (connect, handshake, I/O,
+    broker unreachable, or a peer closed the connection)."""
+
+
 class RegistrationError(SystemError_):
     """Identity-token registration was rejected by the publisher."""
 

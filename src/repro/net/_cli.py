@@ -1,0 +1,43 @@
+"""Shared plumbing for the ``python -m repro.net.*`` entity servers."""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import threading
+from typing import Tuple
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["add_common_arguments", "install_stop_signals", "parse_endpoint"]
+
+
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)``."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise InvalidParameterError("endpoint must be host:port, got %r" % text)
+    return host, int(port)
+
+
+def add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--broker", required=True, metavar="HOST:PORT",
+                        help="the repro.net.broker endpoint to connect to")
+    parser.add_argument("--scenario", required=True,
+                        help="scenario JSON (see repro.net.bootstrap)")
+    parser.add_argument("--bundle", required=True,
+                        help="parameter bundle path (IdMgr writes, others read)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="overall deadline for lifecycle phases")
+
+
+def install_stop_signals() -> threading.Event:
+    """A stop event set by SIGTERM/SIGINT (the supervisor's shutdown path)."""
+    stop = threading.Event()
+
+    def _handler(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _handler)
+    signal.signal(signal.SIGINT, _handler)
+    return stop

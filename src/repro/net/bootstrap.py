@@ -1,0 +1,219 @@
+"""Scenario/bundle files: how separate OS processes agree on a world.
+
+A networked deployment must establish out of band what the in-process
+examples share as live Python objects:
+
+* the **scenario** (written by the operator, read by every process) --
+  group name, GKM field, attribute bit-length, entity names, policies,
+  the user population with their attribute values, and the demo
+  lifecycle script (documents to publish, users to revoke).  Everything
+  in it is public or IdP-side knowledge.
+* the **bundle** (written by the IdMgr process once its keys exist, read
+  by publisher and subscribers) -- the IdMgr's *public* signature key,
+  each user's assigned pseudonym, and each user's signed attribute
+  assertions.  Assertions are Sub-private credentials; shipping them
+  through a file stands in for the Sub<->IdP enrollment channel the
+  paper assumes, which a production deployment would encrypt per user.
+
+The Pedersen base ``(g, h)`` needs no file: both generators are derived
+deterministically from the named group (``h`` by hashing into the group,
+so nobody knows ``log_g h``), hence every process reconstructs identical
+``PedersenParams`` locally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.crypto.pedersen import PedersenParams
+from repro.errors import InvalidParameterError
+from repro.gkm.acv import FAST_FIELD, PAPER_FIELD
+from repro.groups import get_group
+from repro.groups.base import CyclicGroup, GroupElement
+from repro.mathx.field import PrimeField
+from repro.policy.acp import parse_policy
+from repro.system.identity import AttributeAssertion
+from repro.system.idmgr import IdentityManager
+from repro.system.idp import IdentityProvider
+from repro.system.publisher import Publisher, SystemParams
+from repro.system.subscriber import Subscriber
+
+__all__ = [
+    "Bundle",
+    "build_identity_stack",
+    "build_publisher",
+    "build_subscriber",
+    "build_system_params",
+    "conditions_per_attribute",
+    "expected_registrations",
+    "load_scenario",
+    "read_bundle",
+    "write_bundle",
+    "write_json",
+]
+
+_GKM_FIELDS: Dict[str, PrimeField] = {"fast": FAST_FIELD, "paper": PAPER_FIELD}
+
+
+def write_json(path: str, payload: dict) -> None:
+    """Write JSON atomically (readers poll for the completed file)."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def load_scenario(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        scenario = json.load(handle)
+    for key in ("group", "seed", "users", "policies"):
+        if key not in scenario:
+            raise InvalidParameterError("scenario is missing %r" % key)
+    scenario.setdefault("attribute_bits", 8)
+    scenario.setdefault("gkm_field", "fast")
+    scenario.setdefault("idp", "idp")
+    scenario.setdefault("idmgr", "idmgr")
+    scenario.setdefault("publisher", "pub")
+    scenario.setdefault("documents", [])
+    scenario.setdefault("revoke", [])
+    if scenario["gkm_field"] not in _GKM_FIELDS:
+        raise InvalidParameterError(
+            "gkm_field must be one of %s" % sorted(_GKM_FIELDS)
+        )
+    return scenario
+
+
+def _group(scenario: dict) -> CyclicGroup:
+    return get_group(scenario["group"])
+
+
+def build_identity_stack(scenario: dict):
+    """The IdMgr process's world: IdP, IdMgr, pseudonyms, assertions.
+
+    Deterministic in ``scenario["seed"]`` so a restarted IdMgr issues the
+    same pseudonyms/keys (users are processed in sorted order).
+    """
+    rng = random.Random(scenario["seed"])
+    group = _group(scenario)
+    idp = IdentityProvider(scenario["idp"], group, rng=rng)
+    idmgr = IdentityManager(group, rng=rng)
+    idmgr.trust_idp(idp)
+    nyms: Dict[str, str] = {}
+    assertions: Dict[str, Dict[str, AttributeAssertion]] = {}
+    for user in sorted(scenario["users"]):
+        nyms[user] = idmgr.assign_pseudonym()
+        assertions[user] = {}
+        for attribute, value in sorted(scenario["users"][user].items()):
+            idp.enroll(user, attribute, value)
+            assertions[user][attribute] = idp.assert_attribute(user, attribute)
+    return idp, idmgr, nyms, assertions
+
+
+@dataclass(frozen=True)
+class Bundle:
+    """The published parameters every non-IdMgr process needs."""
+
+    group_name: str
+    public_key: GroupElement
+    nyms: Dict[str, str]
+    assertions: Dict[str, Dict[str, AttributeAssertion]]
+
+
+def write_bundle(path: str, scenario: dict, idmgr: IdentityManager,
+                 nyms: Dict[str, str],
+                 assertions: Dict[str, Dict[str, AttributeAssertion]]) -> None:
+    write_json(path, {
+        "group": scenario["group"],
+        "idmgr_public_key": idmgr.public_key.to_bytes().hex(),
+        "nyms": nyms,
+        "assertions": {
+            user: {attr: a.to_bytes().hex() for attr, a in per_user.items()}
+            for user, per_user in assertions.items()
+        },
+    })
+
+
+def read_bundle(path: str) -> Bundle:
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    group = get_group(raw["group"])
+    return Bundle(
+        group_name=raw["group"],
+        public_key=group.element_from_bytes(bytes.fromhex(raw["idmgr_public_key"])),
+        nyms=dict(raw["nyms"]),
+        assertions={
+            user: {
+                attr: AttributeAssertion.from_bytes(bytes.fromhex(encoded))
+                for attr, encoded in per_user.items()
+            }
+            for user, per_user in raw["assertions"].items()
+        },
+    )
+
+
+def build_system_params(scenario: dict, public_key: GroupElement) -> SystemParams:
+    """The ``SystemParams`` a subscriber process reconstructs locally.
+
+    Built through :func:`build_publisher` so the defaults (hash, cipher,
+    key length) can never drift between the two sides.
+    """
+    return build_publisher(scenario, public_key).params
+
+
+def build_publisher(scenario: dict, public_key: GroupElement) -> Publisher:
+    publisher = Publisher(
+        scenario["publisher"],
+        PedersenParams(_group(scenario)),
+        public_key,
+        gkm_field=_GKM_FIELDS[scenario["gkm_field"]],
+        attribute_bits=scenario["attribute_bits"],
+        rng=random.Random("%s/publisher" % scenario["seed"]),
+    )
+    for policy in scenario["policies"]:
+        publisher.add_policy(
+            parse_policy(policy["condition"], policy["segments"], policy["document"])
+        )
+    return publisher
+
+
+def build_subscriber(scenario: dict, bundle: Bundle, user: str) -> Subscriber:
+    if user not in bundle.nyms:
+        raise InvalidParameterError("user %r is not in the bundle" % user)
+    params = build_system_params(scenario, bundle.public_key)
+    return Subscriber(
+        bundle.nyms[user], params,
+        rng=random.Random("%s/%s" % (scenario["seed"], user)),
+    )
+
+
+def conditions_per_attribute(scenario: dict) -> Dict[str, int]:
+    """Distinct policy conditions naming each attribute (0 if unmentioned)."""
+    conditions = {}
+    for policy in scenario["policies"]:
+        parsed = parse_policy(
+            policy["condition"], policy["segments"], policy["document"]
+        )
+        for condition in parsed.conditions:
+            conditions[condition.key()] = condition.name
+    counts: Dict[str, int] = {}
+    for name in conditions.values():
+        counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def expected_registrations(scenario: dict) -> int:
+    """Table cells once every user registered every matching condition.
+
+    Following Section V-B, each subscriber registers its token for every
+    condition over an attribute it holds a token for, satisfiable or not.
+    """
+    per_attribute = conditions_per_attribute(scenario)
+    return sum(
+        per_attribute.get(name, 0)
+        for attributes in scenario["users"].values()
+        for name in attributes
+    )

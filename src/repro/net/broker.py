@@ -1,0 +1,508 @@
+"""The asyncio broker: socket routing with in-memory-router semantics.
+
+:class:`BrokerServer` is ``InMemoryTransport`` behind a TCP listener --
+literally: it *contains* one, and every routing and accounting decision
+(per-entity FIFO inboxes, ``"*"`` multicast fan-out, byte accounting of
+each transmission) is delegated to it, so the network deployment and the
+single-process tests share one behaviour by construction.  The paper's
+bandwidth claims (O(l'N) broadcast frames, zero unicast on rekey) and the
+privacy-audit log therefore remain measurable on the real network path:
+clients fetch the accounting with a ``StatsRequest``.
+
+Connection lifecycle (protocol in :mod:`repro.net.protocol`):
+
+1. first frame must be :class:`~repro.net.protocol.Hello`; the name must
+   not be in use (one live connection per entity -- spoof-on-connect is
+   refused) and is answered with ``Welcome``;
+2. queued traffic for the entity (accumulated while offline) is pushed,
+   then new deliveries as they arrive, each as a ``NetDeliver`` frame;
+3. every routed frame's declared sender must equal the connection's
+   entity -- a client cannot forge another entity's outgoing traffic;
+4. any malformed frame, oversized length declaration, or protocol
+   violation drops the connection (a byte stream cannot be resynchronized
+   after garbage) without disturbing other connections or routed state.
+
+Disconnection keeps the entity's inbox: a reconnecting entity drains the
+backlog.  Deliveries pushed but unacked at disconnect time are forgotten
+(at-most-once delivery); per-entity inboxes are bounded by ``max_inbox``
+(oldest dropped first), so hostile or dead peers cannot grow broker
+memory without bound.
+
+Run standalone::
+
+    python -m repro.net.broker --port 7812 [--port-file PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import os
+import signal
+import sys
+from typing import Dict, Optional, Tuple
+
+from repro.errors import NetworkError, ReproError, SerializationError
+from repro.net.protocol import (
+    ENVELOPE_OVERHEAD,
+    Ack,
+    Hello,
+    NetBroadcast,
+    NetDeliver,
+    NetMessage,
+    Shutdown,
+    StatsReply,
+    StatsRequest,
+    TrafficRecord,
+    Welcome,
+    decode_net_payload,
+)
+from repro.net.stream import FrameStream
+from repro.system.transport import BROADCAST, InMemoryTransport
+from repro.wire.codec import DEFAULT_MAX_FRAME_PAYLOAD
+
+__all__ = ["BrokerServer", "main"]
+
+logger = logging.getLogger("repro.net.broker")
+
+#: Deliveries pushed per inbox poll (bounds per-connection burst size).
+PUSH_BATCH = 32
+
+
+class _Connection:
+    """Broker-side state for one live entity connection."""
+
+    __slots__ = ("entity", "stream", "in_flight", "mail", "pusher")
+
+    def __init__(self, entity: str, stream: FrameStream):
+        self.entity = entity
+        self.stream = stream
+        #: Deliveries pushed down this connection but not yet acked
+        #: (i.e. not yet processed by the remote endpoint).
+        self.in_flight = 0
+        self.mail = asyncio.Event()
+        self.pusher: Optional[asyncio.Task] = None
+
+
+async def _send(stream: FrameStream, message: NetMessage) -> None:
+    await stream.send(message.TYPE_ID, message.payload_bytes())
+
+
+class BrokerServer:
+    """Routes wire frames between named entities over TCP."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame: int = DEFAULT_MAX_FRAME_PAYLOAD,
+        max_inbox: int = 10_000,
+        max_entities: int = 10_000,
+        handshake_timeout: float = 10.0,
+        max_log: int = 100_000,
+    ):
+        self.host = host
+        self.port = port  # updated to the bound port by start()
+        self.max_frame = max_frame
+        self.max_inbox = max_inbox
+        #: Bound on distinct entity names (inboxes): together with
+        #: ``max_inbox`` and ``max_frame`` this caps total queued state, so
+        #: a connected peer cannot grow broker memory by spraying
+        #: deliveries at fabricated receiver names.
+        self.max_entities = max_entities
+        #: A connection must complete its Hello within this budget, or a
+        #: peer could park unlimited pre-authentication connections (each
+        #: holding a socket and buffers) that none of the entity bounds
+        #: ever see.
+        self.handshake_timeout = handshake_timeout
+        #: Accounting-log record bound: a long-running broker trims the
+        #: oldest records (flagged via ``log_complete=False`` in stats)
+        #: rather than growing per-delivery state forever.
+        self.max_log = max_log
+        #: Routing + accounting: the same router the in-process tests use.
+        self.route = InMemoryTransport()
+        self.delivered_total = 0
+        self.dropped_total = 0
+        self._log_trimmed = False
+        self._connections: Dict[str, _Connection] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the (host, port) actually bound."""
+        self._server = await asyncio.start_server(
+            self._on_connect, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("broker listening on %s:%d", self.host, self.port)
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (or a Shutdown frame) then close."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.aclose()
+
+    def shutdown(self) -> None:
+        """Request a graceful stop (idempotent, callable from any task)."""
+        self._shutdown.set()
+
+    async def aclose(self) -> None:
+        """Stop accepting, drop every connection, cancel pushers."""
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._connections.values()):
+            if conn.pusher is not None:
+                conn.pusher.cancel()
+            await conn.stream.aclose()
+        self._connections.clear()
+
+    # -- per-connection handling ---------------------------------------------
+
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Envelope headroom: an application frame at exactly max_frame must
+        # survive NetDeliver wrapping; the routed payload itself is bounded
+        # separately in _require_payload.
+        stream = FrameStream(reader, writer, self.max_frame + ENVELOPE_OVERHEAD)
+        conn: Optional[_Connection] = None
+        try:
+            conn = await asyncio.wait_for(
+                self._handshake(stream), self.handshake_timeout
+            )
+            if conn is None:
+                return
+            await self._read_loop(conn)
+        except asyncio.TimeoutError:
+            logger.warning(
+                "dropping connection %s: no Hello within %.1fs",
+                stream.peername(), self.handshake_timeout,
+            )
+        except (ReproError, ConnectionError, OSError) as exc:
+            # Hostile/garbage input or a vanished peer: drop this
+            # connection, never the broker.
+            logger.warning(
+                "dropping connection %s (%s): %s",
+                stream.peername(),
+                conn.entity if conn else "pre-hello",
+                exc,
+            )
+        finally:
+            if conn is not None:
+                self._unregister(conn)
+            await stream.aclose()
+
+    async def _handshake(self, stream: FrameStream) -> Optional[_Connection]:
+        first = await stream.recv()
+        if first is None:
+            return None  # connected and left; not an error
+        hello = decode_net_payload(*first)
+        if not isinstance(hello, Hello):
+            raise SerializationError(
+                "first frame must be Hello, got %s" % type(hello).__name__
+            )
+        entity = hello.entity
+        refusal = None
+        if not entity:
+            refusal = "entity name must be non-empty"
+        elif entity == BROADCAST:
+            refusal = "entity name %r is reserved for multicast" % BROADCAST
+        elif entity in self._connections:
+            # Spoof-on-connect: the name is bound to a live connection.
+            refusal = "entity %r is already connected" % entity
+        elif (
+            not self.route.registered(entity)
+            and self.route.entity_count() >= self.max_entities
+        ):
+            # The same bound _admit_entity applies to receivers: inboxes
+            # survive disconnects, so churning Hellos under fresh names
+            # must not mint unbounded broker state either.
+            refusal = "entity bound (%d) reached" % self.max_entities
+        if refusal is not None:
+            logger.warning("refusing hello from %s: %s", stream.peername(), refusal)
+            await _send(stream, Welcome(ok=False, entity=entity, reason=refusal))
+            return None
+        self.route.register(entity)
+        conn = _Connection(entity, stream)
+        self._connections[entity] = conn
+        try:
+            await _send(stream, Welcome(ok=True, entity=entity))
+        except BaseException:
+            # Covers the handshake deadline cancelling us mid-send: the
+            # name was already claimed above and must not stay bound to a
+            # connection the caller will never learn about.
+            self._unregister(conn)
+            raise
+        conn.pusher = asyncio.get_running_loop().create_task(self._push_loop(conn))
+        conn.mail.set()  # flush any backlog queued while offline
+        logger.info("entity %r connected from %s", entity, stream.peername())
+        return conn
+
+    def _unregister(self, conn: _Connection) -> None:
+        if self._connections.get(conn.entity) is conn:
+            del self._connections[conn.entity]
+        if conn.pusher is not None:
+            conn.pusher.cancel()
+        # in_flight pushes die with the connection (at-most-once); the
+        # entity's unpushed inbox survives for a reconnect.
+        logger.info("entity %r disconnected", conn.entity)
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        while True:
+            frame = await conn.stream.recv()
+            if frame is None:
+                return
+            message = decode_net_payload(*frame)
+            if isinstance(message, NetDeliver):
+                self._require_sender(conn, message.sender)
+                self._require_payload(message.payload)
+                if message.receiver == BROADCAST:
+                    raise SerializationError(
+                        "unicast frame addressed to %r" % BROADCAST
+                    )
+                if not self._admit_entity(message.receiver):
+                    continue  # over the name bound: accounted as dropped
+                self.route.deliver(
+                    message.sender,
+                    message.receiver,
+                    message.kind,
+                    message.payload,
+                    note=message.note,
+                )
+                self.delivered_total += 1
+                self._trim_inbox(message.receiver)
+                self._kick(message.receiver)
+            elif isinstance(message, NetBroadcast):
+                self._require_sender(conn, message.sender)
+                self._require_payload(message.payload)
+                before = self.route.pending()
+                self.route.broadcast(
+                    message.sender, message.kind, message.payload, note=message.note
+                )
+                self.delivered_total += self.route.pending() - before
+                for entity in self.route.entities():
+                    if entity != message.sender:
+                        self._trim_inbox(entity)
+                        self._kick(entity)
+            elif isinstance(message, Ack):
+                conn.in_flight = max(0, conn.in_flight - message.count)
+            elif isinstance(message, StatsRequest):
+                await _send(conn.stream, self._stats(message.include_log))
+            elif isinstance(message, Shutdown):
+                logger.info("shutdown requested by %r", conn.entity)
+                self.shutdown()
+                return
+            else:
+                raise SerializationError(
+                    "client may not send %s" % type(message).__name__
+                )
+
+    @staticmethod
+    def _require_sender(conn: _Connection, sender: str) -> None:
+        if sender != conn.entity:
+            raise SerializationError(
+                "connection %r tried to send as %r" % (conn.entity, sender)
+            )
+
+    def _require_payload(self, payload: bytes) -> None:
+        """The *routed* frame must fit ``max_frame`` on its own, so every
+        admitted delivery survives re-wrapping toward any receiver name."""
+        if len(payload) > self.max_frame:
+            raise SerializationError(
+                "routed payload of %d bytes exceeds the %d-byte cap"
+                % (len(payload), self.max_frame)
+            )
+
+    def _admit_entity(self, receiver: str) -> bool:
+        """Allow routing to ``receiver``, creating its inbox if room.
+
+        ``route.deliver`` auto-registers unknown receivers; without this
+        gate a hostile-but-authenticated peer could mint one bounded inbox
+        per fabricated name, unbounded names.
+        """
+        if self.route.registered(receiver) or self.route.entity_count() < self.max_entities:
+            return True
+        self.dropped_total += 1
+        logger.warning(
+            "dropping delivery to %r: entity bound (%d) reached",
+            receiver, self.max_entities,
+        )
+        return False
+
+    def _trim_inbox(self, entity: str) -> None:
+        """Hold the per-entity queue bound by discarding the oldest."""
+        excess = self.route.pending(entity) - self.max_inbox
+        if excess > 0:
+            self.route.poll(entity, excess)
+            self.dropped_total += excess
+            logger.warning("inbox %r over bound: dropped %d oldest", entity, excess)
+        log_excess = len(self.route.messages) - self.max_log
+        if log_excess > 0:
+            del self.route.messages[:log_excess]
+            self._log_trimmed = True
+
+    def _kick(self, entity: str) -> None:
+        conn = self._connections.get(entity)
+        if conn is not None:
+            conn.mail.set()
+
+    async def _push_loop(self, conn: _Connection) -> None:
+        """Drain the entity's router inbox down its connection, in order.
+
+        ``send`` awaits ``drain()``, so a slow consumer backpressures this
+        task while its inbox absorbs (bounded) backlog -- exactly the
+        failure containment a per-entity queue is for.
+        """
+        pending: list = []
+        try:
+            while True:
+                await conn.mail.wait()
+                conn.mail.clear()
+                while True:
+                    pending = self.route.poll(conn.entity, PUSH_BATCH)
+                    if not pending:
+                        break
+                    while pending:
+                        delivery = pending[0]
+                        conn.in_flight += 1  # before send: the ack may race it
+                        try:
+                            await _send(
+                                conn.stream,
+                                NetDeliver(
+                                    sender=delivery.sender,
+                                    receiver=delivery.receiver,
+                                    kind=delivery.kind,
+                                    note=delivery.note,
+                                    payload=delivery.payload,
+                                ),
+                            )
+                        except SerializationError:
+                            # The routed payload fit under the inbound cap
+                            # but the outbound envelope (payload + routing
+                            # fields) does not.  Drop this one delivery and
+                            # keep the connection: the sender, not this
+                            # receiver, is at fault.
+                            conn.in_flight -= 1
+                            self.dropped_total += 1
+                            logger.warning(
+                                "dropping undeliverable frame for %r "
+                                "(envelope over the %d-byte cap)",
+                                conn.entity, self.max_frame,
+                            )
+                        except (NetworkError, ConnectionError, OSError):
+                            # Never transmitted: the whole remainder
+                            # (current delivery included) survives for a
+                            # reconnect.
+                            conn.in_flight -= 1
+                            self.route.requeue(conn.entity, pending)
+                            return
+                        pending.pop(0)
+        except asyncio.CancelledError:
+            # Cancelled by _unregister while a send was in flight: the
+            # current delivery may be partially written (at-most-once --
+            # forget it), but the rest was never touched and must not be
+            # silently lost.
+            self.route.requeue(conn.entity, pending[1:])
+            raise
+
+    # -- stats ---------------------------------------------------------------
+
+    def _stats(self, include_log: bool) -> StatsReply:
+        log: tuple = ()
+        log_complete = not self._log_trimmed
+        if include_log:
+            # The reply must itself fit one frame: fill a byte budget from
+            # the newest record backwards and flag truncation rather than
+            # blow the cap (which would drop the requester's connection).
+            budget = self.max_frame - 64
+            records = []
+            for m in reversed(self.route.messages):
+                record = TrafficRecord(m.sender, m.receiver, m.kind, m.size, m.note)
+                budget -= len(record.to_bytes())
+                if budget < 0:
+                    log_complete = False
+                    break
+                records.append(record)
+            log = tuple(reversed(records))
+        return StatsReply(
+            pending=self.route.pending(),
+            in_flight=sum(c.in_flight for c in self._connections.values()),
+            delivered_total=self.delivered_total,
+            dropped=self.dropped_total,
+            log_complete=log_complete,
+            log=log,
+        )
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _write_port_file(path: str, host: str, port: int) -> None:
+    """Atomically publish the bound endpoint (readers poll for the file)."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write("%s:%d\n" % (host, port))
+    os.replace(tmp, path)
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    broker = BrokerServer(
+        args.host, args.port, max_frame=args.max_frame,
+        max_inbox=args.max_inbox, max_entities=args.max_entities,
+        handshake_timeout=args.handshake_timeout,
+    )
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, broker.shutdown)
+    host, port = await broker.start()
+    if args.port_file:
+        _write_port_file(args.port_file, host, port)
+    print("broker listening on %s:%d" % (host, port), flush=True)
+    try:
+        await broker.serve_forever()
+    finally:
+        await broker.aclose()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.broker",
+        description="Run the frame broker all networked entities connect to.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = ephemeral; see --port-file)")
+    parser.add_argument("--port-file", default=None,
+                        help="write the bound host:port here once listening")
+    parser.add_argument("--max-frame", type=int, default=DEFAULT_MAX_FRAME_PAYLOAD,
+                        help="maximum accepted frame payload in bytes")
+    parser.add_argument("--max-inbox", type=int, default=10_000,
+                        help="per-entity queued-delivery bound")
+    parser.add_argument("--max-entities", type=int, default=10_000,
+                        help="bound on distinct entity names (inboxes)")
+    parser.add_argument("--handshake-timeout", type=float, default=10.0,
+                        help="seconds a connection gets to send its Hello")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stderr,
+    )
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

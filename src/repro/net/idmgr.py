@@ -1,0 +1,52 @@
+"""``python -m repro.net.idmgr``: the identity manager as a server process.
+
+Builds the IdP/IdMgr pair from the scenario (deterministic in its seed),
+publishes the parameter bundle (public signature key, pseudonyms, signed
+assertions) for the other processes, then serves ``TokenRequest`` frames
+from the broker until stopped.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.net._cli import add_common_arguments, install_stop_signals, parse_endpoint
+from repro.net.bootstrap import build_identity_stack, load_scenario, write_bundle
+from repro.net.runtime import pump_forever
+from repro.net.transport import TcpTransport
+from repro.system.service import IdentityManagerEndpoint
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.idmgr",
+        description="Serve identity-token issuance over the broker.",
+    )
+    add_common_arguments(parser)
+    args = parser.parse_args(argv)
+
+    scenario = load_scenario(args.scenario)
+    idp, idmgr, nyms, assertions = build_identity_stack(scenario)
+    write_bundle(args.bundle, scenario, idmgr, nyms, assertions)
+    print("bundle written to %s (%d users)" % (args.bundle, len(nyms)), flush=True)
+
+    stop = install_stop_signals()
+    host, port = parse_endpoint(args.broker)
+    with TcpTransport(host, port) as transport:
+        endpoint = IdentityManagerEndpoint(
+            idmgr, transport, name=scenario["idmgr"]
+        )
+        print("idmgr serving as %r on %s" % (endpoint.name, args.broker), flush=True)
+        errors = []
+        pump_forever([endpoint], stop, errors=errors)
+        for error in errors:
+            print("absorbed: %s" % error, flush=True)
+        if endpoint.rejections:
+            print("rejected %d token requests" % len(endpoint.rejections), flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

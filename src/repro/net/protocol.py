@@ -1,0 +1,371 @@
+"""Net-level control messages between clients and the broker.
+
+These frames share the :mod:`repro.wire.codec` format with the
+application's messages but occupy a disjoint type-ID range (64+), so a
+stream can carry either and a misrouted frame is always identifiable.
+The broker speaks *only* this protocol; the application frames it routes
+ride inside :class:`NetDeliver` / :class:`NetBroadcast` as opaque bytes
+the broker never parses -- what the broker learns about a registration is
+exactly what ``InMemoryTransport`` accounting records (sender, receiver,
+kind label, size), no more.
+
+Handshake: a client's first frame must be :class:`Hello`; the broker
+answers :class:`Welcome`.  One live connection per entity name -- a
+second Hello for a connected name is refused, so a peer cannot hijack an
+entity's inbox by connecting under its nym (spoof-on-connect).  After the
+handshake the broker enforces that every routed frame's declared sender
+equals the connection's entity.
+
+:class:`Ack` implements processed-message accounting for quiescence
+detection: a client acknowledges deliveries only after its endpoint has
+*handled* them, so ``pending == 0 and in_flight == 0`` at the broker
+means the whole system is idle (no frames queued, in transit, or being
+processed) -- the networked analogue of ``run_until_idle`` returning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple, Type
+
+from repro.errors import SerializationError
+from repro.wire.codec import (
+    Cursor,
+    decode_frame,
+    encode_frame,
+    pack_bool,
+    pack_bytes,
+    pack_str,
+    pack_u32,
+)
+
+__all__ = [
+    "ENVELOPE_OVERHEAD",
+    "NetMessage",
+    "Hello",
+    "Welcome",
+    "NetDeliver",
+    "NetBroadcast",
+    "Ack",
+    "StatsRequest",
+    "StatsReply",
+    "TrafficRecord",
+    "Shutdown",
+    "NET_MESSAGE_TYPES",
+    "decode_net_message",
+    "decode_net_payload",
+]
+
+
+#: Worst-case bytes a NetDeliver/NetBroadcast envelope adds around the
+#: routed application frame: four u16-length-prefixed strings (sender,
+#: receiver, kind, note; <= 65535 bytes each) plus the u32 payload
+#: prefix.  Streams carrying envelopes allow ``max_frame +
+#: ENVELOPE_OVERHEAD`` so any application frame legal under ``max_frame``
+#: survives wrapping; the routed payload itself is checked against
+#: ``max_frame`` explicitly on both sides.
+ENVELOPE_OVERHEAD = 4 * (2 + 65535) + 4
+
+
+class NetMessage:
+    """Base class: subclasses define ``TYPE_ID`` and the payload codec."""
+
+    TYPE_ID: int = -1
+
+    def payload_bytes(self) -> bytes:
+        raise NotImplementedError
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "NetMessage":
+        raise NotImplementedError
+
+    def encode(self) -> bytes:
+        return encode_frame(self.TYPE_ID, self.payload_bytes())
+
+
+@dataclass(frozen=True)
+class Hello(NetMessage):
+    """Client -> broker: bind this connection to an entity name."""
+
+    entity: str
+
+    TYPE_ID = 64
+
+    def payload_bytes(self) -> bytes:
+        return pack_str(self.entity)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Hello":
+        cursor = Cursor(payload)
+        message = cls(entity=cursor.read_str())
+        cursor.expect_end()
+        return message
+
+
+@dataclass(frozen=True)
+class Welcome(NetMessage):
+    """Broker -> client: handshake outcome (refusals carry a reason)."""
+
+    ok: bool
+    entity: str
+    reason: str = ""
+
+    TYPE_ID = 65
+
+    def payload_bytes(self) -> bytes:
+        return pack_bool(self.ok) + pack_str(self.entity) + pack_str(self.reason)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Welcome":
+        cursor = Cursor(payload)
+        message = cls(
+            ok=cursor.read_bool(),
+            entity=cursor.read_str(),
+            reason=cursor.read_str(),
+        )
+        cursor.expect_end()
+        return message
+
+
+@dataclass(frozen=True)
+class NetDeliver(NetMessage):
+    """One routed application frame (client->broker and broker->client).
+
+    ``payload`` is the application's complete wire frame, opaque to the
+    broker; ``kind``/``note`` are the accounting labels the in-memory
+    router records.
+    """
+
+    sender: str
+    receiver: str
+    kind: str
+    note: str
+    payload: bytes
+
+    TYPE_ID = 66
+
+    def payload_bytes(self) -> bytes:
+        return (
+            pack_str(self.sender)
+            + pack_str(self.receiver)
+            + pack_str(self.kind)
+            + pack_str(self.note)
+            + pack_bytes(self.payload)
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "NetDeliver":
+        cursor = Cursor(payload)
+        message = cls(
+            sender=cursor.read_str(),
+            receiver=cursor.read_str(),
+            kind=cursor.read_str(),
+            note=cursor.read_str(),
+            payload=cursor.read_bytes(),
+        )
+        cursor.expect_end()
+        return message
+
+
+@dataclass(frozen=True)
+class NetBroadcast(NetMessage):
+    """Client -> broker: one multicast, fanned out broker-side."""
+
+    sender: str
+    kind: str
+    note: str
+    payload: bytes
+
+    TYPE_ID = 67
+
+    def payload_bytes(self) -> bytes:
+        return (
+            pack_str(self.sender)
+            + pack_str(self.kind)
+            + pack_str(self.note)
+            + pack_bytes(self.payload)
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "NetBroadcast":
+        cursor = Cursor(payload)
+        message = cls(
+            sender=cursor.read_str(),
+            kind=cursor.read_str(),
+            note=cursor.read_str(),
+            payload=cursor.read_bytes(),
+        )
+        cursor.expect_end()
+        return message
+
+
+@dataclass(frozen=True)
+class Ack(NetMessage):
+    """Client -> broker: ``count`` pushed deliveries have been processed."""
+
+    count: int
+
+    TYPE_ID = 68
+
+    def payload_bytes(self) -> bytes:
+        return pack_u32(self.count)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Ack":
+        cursor = Cursor(payload)
+        message = cls(count=cursor.read_u32())
+        cursor.expect_end()
+        return message
+
+
+@dataclass(frozen=True)
+class StatsRequest(NetMessage):
+    """Client -> broker: report routing/accounting state."""
+
+    include_log: bool = False
+
+    TYPE_ID = 69
+
+    def payload_bytes(self) -> bytes:
+        return pack_bool(self.include_log)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "StatsRequest":
+        cursor = Cursor(payload)
+        message = cls(include_log=cursor.read_bool())
+        cursor.expect_end()
+        return message
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """One accounted transmission, as reported in :class:`StatsReply`."""
+
+    sender: str
+    receiver: str
+    kind: str
+    size: int
+    note: str = ""
+
+    def to_bytes(self) -> bytes:
+        return (
+            pack_str(self.sender)
+            + pack_str(self.receiver)
+            + pack_str(self.kind)
+            + pack_u32(self.size)
+            + pack_str(self.note)
+        )
+
+    @classmethod
+    def read_from(cls, cursor: Cursor) -> "TrafficRecord":
+        return cls(
+            sender=cursor.read_str(),
+            receiver=cursor.read_str(),
+            kind=cursor.read_str(),
+            size=cursor.read_u32(),
+            note=cursor.read_str(),
+        )
+
+
+@dataclass(frozen=True)
+class StatsReply(NetMessage):
+    """Broker -> client: routing state + (optionally) the accounting log.
+
+    * ``pending`` -- deliveries queued broker-side, not yet pushed;
+    * ``in_flight`` -- deliveries pushed to clients but not yet acked
+      (i.e. not yet *processed* by the receiving endpoint);
+    * ``delivered_total`` -- monotonic count of enqueued deliveries, so a
+      caller can detect that traffic has genuinely stopped;
+    * ``dropped`` -- deliveries discarded to hold broker state bounds;
+    * ``log_complete`` -- False when the accounting log was too large to
+      fit one frame and only its newest suffix is included.
+    """
+
+    pending: int
+    in_flight: int
+    delivered_total: int
+    dropped: int = 0
+    log_complete: bool = True
+    log: Tuple[TrafficRecord, ...] = field(default_factory=tuple)
+
+    TYPE_ID = 70
+
+    def payload_bytes(self) -> bytes:
+        out = (
+            pack_u32(self.pending)
+            + pack_u32(self.in_flight)
+            + pack_u32(self.delivered_total)
+            + pack_u32(self.dropped)
+            + pack_bool(self.log_complete)
+            + pack_u32(len(self.log))
+        )
+        return out + b"".join(record.to_bytes() for record in self.log)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "StatsReply":
+        cursor = Cursor(payload)
+        pending = cursor.read_u32()
+        in_flight = cursor.read_u32()
+        delivered_total = cursor.read_u32()
+        dropped = cursor.read_u32()
+        log_complete = cursor.read_bool()
+        count = cursor.read_u32()
+        log = tuple(TrafficRecord.read_from(cursor) for _ in range(count))
+        cursor.expect_end()
+        return cls(
+            pending=pending,
+            in_flight=in_flight,
+            delivered_total=delivered_total,
+            dropped=dropped,
+            log_complete=log_complete,
+            log=log,
+        )
+
+
+@dataclass(frozen=True)
+class Shutdown(NetMessage):
+    """Client -> broker: stop serving and close every connection.
+
+    An operator convenience for supervised deployments (the loopback
+    examples and tests); an internet-facing broker would gate this behind
+    authentication, which the demo runtime does not have.
+    """
+
+    TYPE_ID = 71
+
+    def payload_bytes(self) -> bytes:
+        return b""
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Shutdown":
+        Cursor(payload).expect_end()
+        return cls()
+
+
+NET_MESSAGE_TYPES: Dict[int, Type[NetMessage]] = {
+    cls.TYPE_ID: cls
+    for cls in (
+        Hello,
+        Welcome,
+        NetDeliver,
+        NetBroadcast,
+        Ack,
+        StatsRequest,
+        StatsReply,
+        Shutdown,
+    )
+}
+
+
+def decode_net_payload(type_id: int, payload: bytes) -> NetMessage:
+    """Decode an already-split frame (the stream layer's output)."""
+    cls = NET_MESSAGE_TYPES.get(type_id)
+    if cls is None:
+        raise SerializationError("unknown net frame type %d" % type_id)
+    return cls.from_payload(payload)
+
+
+def decode_net_message(frame: bytes) -> NetMessage:
+    """Decode one complete net frame from bytes."""
+    type_id, payload = decode_frame(frame)
+    return decode_net_payload(type_id, payload)

@@ -1,0 +1,146 @@
+"""``python -m repro.net.publisher``: the dissemination service process.
+
+Two modes:
+
+* ``--serve``: answer condition queries and OCBE registrations forever
+  (the long-running deployment shape).
+* default (lifecycle): additionally run the scenario's demo script --
+  wait until every expected registration landed in the CSS table and the
+  broker is quiet, publish the scenario documents, revoke the scenario's
+  users, publish again (the rekey **is** the next broadcast: zero
+  unicast), then write a JSON report with the broker-measured byte
+  accounting and exit.  ``examples/networked_service.py`` drives this
+  mode and asserts on the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.documents.model import Document
+from repro.net._cli import add_common_arguments, install_stop_signals, parse_endpoint
+from repro.net.bootstrap import (
+    build_publisher,
+    expected_registrations,
+    load_scenario,
+    read_bundle,
+    write_json,
+)
+from repro.net.runtime import (
+    StopRequested,
+    pump_forever,
+    pump_until,
+    wait_for_file,
+    wait_until_quiet,
+)
+from repro.net.transport import TcpTransport
+from repro.system.service import DisseminationService
+
+__all__ = ["main"]
+
+
+def _scenario_documents(scenario: dict):
+    for spec in scenario["documents"]:
+        yield Document.of(
+            spec["name"],
+            {seg: text.encode("utf-8") for seg, text in spec["segments"].items()},
+        )
+
+
+def _run_lifecycle(args, scenario, bundle, service, transport, stop) -> dict:
+    publisher = service.publisher
+    expected = expected_registrations(scenario)
+    print("waiting for %d registrations..." % expected, flush=True)
+    pump_until(
+        [service],
+        lambda: publisher.table.cell_count() >= expected,
+        timeout=args.timeout,
+        stop=stop,
+    )
+    # Table completeness is necessary, not sufficient: CSS cells are
+    # minted at request time, while the OCBE envelopes that let the Subs
+    # *extract* them may still be in flight.  Quiescence closes that gap.
+    wait_until_quiet(transport, [service], timeout=args.timeout)
+    cells_registered = publisher.table.cell_count()
+    print("all registrations complete", flush=True)
+
+    documents = list(_scenario_documents(scenario))
+    for document in documents:
+        service.publish(document)
+    wait_until_quiet(transport, [service], timeout=args.timeout)
+    print("published %d documents" % len(documents), flush=True)
+
+    inbound_before = transport.snapshot().bytes_received_by(publisher.name)
+    for user in scenario["revoke"]:
+        if not publisher.revoke_subscription(bundle.nyms[user]):
+            raise SystemExit("revocation of %r found no subscription" % user)
+    for document in documents:  # re-publish: this is the rekey
+        service.publish(document)
+    wait_until_quiet(transport, [service], timeout=args.timeout)
+    snapshot = transport.snapshot()
+    inbound_after = snapshot.bytes_received_by(publisher.name)
+    print("revoked %s and rekeyed via re-broadcast" % (scenario["revoke"],),
+          flush=True)
+    return {
+        "publisher": publisher.name,
+        "table_cells_registered": cells_registered,
+        "table_cells_after_revoke": publisher.table.cell_count(),
+        "expected_registrations": expected,
+        "revoked": scenario["revoke"],
+        "inbound_bytes_before_rekey": inbound_before,
+        "inbound_bytes_after_rekey": inbound_after,
+        "broadcast_frame_sizes": [
+            record.size
+            for record in snapshot.messages
+            if record.kind == "broadcast-package" and record.receiver == "*"
+        ],
+        "bytes_by_kind": {
+            kind: sum(
+                record.size for record in snapshot.messages if record.kind == kind
+            )
+            for kind in snapshot.kinds_count()
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.publisher",
+        description="Serve registrations and broadcasts over the broker.",
+    )
+    add_common_arguments(parser)
+    parser.add_argument("--serve", action="store_true",
+                        help="serve forever instead of running the scenario "
+                             "lifecycle")
+    parser.add_argument("--report", default=None,
+                        help="write the lifecycle report JSON here")
+    args = parser.parse_args(argv)
+
+    scenario = load_scenario(args.scenario)
+    wait_for_file(args.bundle, timeout=args.timeout)
+    bundle = read_bundle(args.bundle)
+    publisher = build_publisher(scenario, bundle.public_key)
+
+    stop = install_stop_signals()
+    host, port = parse_endpoint(args.broker)
+    with TcpTransport(host, port) as transport:
+        service = DisseminationService(publisher, transport)
+        print("publisher serving as %r on %s" % (publisher.name, args.broker),
+              flush=True)
+        if args.serve:
+            pump_forever([service], stop)
+            return 0
+        try:
+            report = _run_lifecycle(args, scenario, bundle, service, transport, stop)
+        except StopRequested:
+            print("stop signal received; exiting without a report", flush=True)
+            return 0
+        if args.report:
+            write_json(args.report, report)
+        print(json.dumps(report, indent=2, sort_keys=True), flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

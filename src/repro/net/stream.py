@@ -1,0 +1,162 @@
+"""Frame streams: the wire codec's frames over byte streams.
+
+Two layers, so the same parsing rules serve every I/O style:
+
+* :class:`FrameDecoder` is sans-I/O: feed it arbitrary chunks of bytes as
+  they arrive and it yields complete ``(type_id, payload)`` frames.  It
+  validates the header (magic, version) as soon as 8 bytes are buffered
+  and rejects an oversized *declared* length immediately -- before any
+  payload arrives -- so a hostile peer cannot make a receiver wait on or
+  allocate gigabytes.  Malformed input raises
+  :class:`~repro.errors.SerializationError`; a byte stream cannot be
+  resynchronized after garbage, so callers must drop the connection.
+* :class:`FrameStream` binds a decoder to an asyncio reader/writer pair:
+  ``recv`` returns the next frame (``None`` on clean EOF), ``send``
+  writes a frame and awaits ``drain()`` so a slow peer exerts real write
+  backpressure instead of growing an unbounded buffer.
+
+The frame format and the size cap live in :mod:`repro.wire.codec`
+(``DEFAULT_MAX_FRAME_PAYLOAD``); this module adds no format of its own.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Tuple
+
+from repro.errors import NetworkError, SerializationError
+from repro.wire.codec import (
+    DEFAULT_MAX_FRAME_PAYLOAD,
+    FRAME_HEADER_SIZE,
+    check_frame_length,
+    encode_frame,
+    parse_frame_header,
+)
+
+__all__ = ["FrameDecoder", "FrameStream", "open_frame_stream", "READ_CHUNK"]
+
+#: How much to read from the socket per iteration.
+READ_CHUNK = 64 * 1024
+
+
+class FrameDecoder:
+    """Incremental, bounded parser of concatenated wire frames."""
+
+    __slots__ = ("max_payload", "_buffer", "_expect", "_type_id")
+
+    def __init__(self, max_payload: int = DEFAULT_MAX_FRAME_PAYLOAD):
+        self.max_payload = max_payload
+        self._buffer = bytearray()
+        self._expect: Optional[int] = None  # payload length once header parsed
+        self._type_id: Optional[int] = None
+
+    def buffered(self) -> int:
+        """Bytes held but not yet returned as frames."""
+        return len(self._buffer)
+
+    def at_frame_boundary(self) -> bool:
+        """True iff no partial frame is buffered (a clean EOF point)."""
+        return not self._buffer and self._expect is None
+
+    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+        """Consume ``data``, returning every frame it completes.
+
+        The header is validated the moment 8 bytes are available; a
+        declared length above ``max_payload`` raises immediately.  After
+        any raise the decoder is poisoned garbage-in-buffer and must be
+        discarded along with the connection.
+        """
+        self._buffer += data
+        frames: List[Tuple[int, bytes]] = []
+        while True:
+            if self._expect is None:
+                if len(self._buffer) < FRAME_HEADER_SIZE:
+                    break
+                header = bytes(self._buffer[:FRAME_HEADER_SIZE])
+                type_id, length = parse_frame_header(header)
+                check_frame_length(length, self.max_payload)
+                del self._buffer[:FRAME_HEADER_SIZE]
+                self._type_id, self._expect = type_id, length
+            if len(self._buffer) < self._expect:
+                break
+            payload = bytes(self._buffer[: self._expect])
+            del self._buffer[: self._expect]
+            frames.append((self._type_id, payload))
+            self._type_id, self._expect = None, None
+        return frames
+
+
+class FrameStream:
+    """Asyncio reader/writer pair speaking length-prefixed wire frames."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_payload: int = DEFAULT_MAX_FRAME_PAYLOAD,
+    ):
+        self.reader = reader
+        self.writer = writer
+        self._decoder = FrameDecoder(max_payload)
+        self._ready: List[Tuple[int, bytes]] = []
+        #: Serializes write+drain: two tasks sharing one connection (the
+        #: broker's pusher and its read-loop stats replies, or two caller
+        #: threads of a TcpTransport) must not await drain() concurrently
+        #: -- asyncio's flow-control helper forbids a second waiter.
+        self._write_lock = asyncio.Lock()
+
+    @property
+    def max_payload(self) -> int:
+        return self._decoder.max_payload
+
+    def peername(self) -> str:
+        peer = self.writer.get_extra_info("peername")
+        return "%s:%s" % peer[:2] if peer else "?"
+
+    async def recv(self) -> Optional[Tuple[int, bytes]]:
+        """The next ``(type_id, payload)`` frame, or ``None`` on clean EOF.
+
+        EOF in the middle of a frame raises :class:`SerializationError`
+        (a truncated frame is malformed input, not a clean close).
+        """
+        while not self._ready:
+            chunk = await self.reader.read(READ_CHUNK)
+            if not chunk:
+                if self._decoder.at_frame_boundary():
+                    return None
+                raise SerializationError(
+                    "connection closed mid-frame (%d bytes pending)"
+                    % self._decoder.buffered()
+                )
+            self._ready.extend(self._decoder.feed(chunk))
+        return self._ready.pop(0)
+
+    async def send(self, type_id: int, payload: bytes) -> None:
+        """Write one frame and wait for the transport buffer to drain."""
+        frame = encode_frame(type_id, payload, self.max_payload)  # before the
+        # lock: an oversized frame must not leave the stream half-written
+        # or the lock held in an error path.
+        async with self._write_lock:
+            try:
+                self.writer.write(frame)
+                await self.writer.drain()
+            except (ConnectionError, OSError) as exc:
+                raise NetworkError("send failed: %s" % exc) from exc
+
+    async def aclose(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass  # the peer may already be gone; closing is best-effort
+
+
+async def open_frame_stream(
+    host: str, port: int, max_payload: int = DEFAULT_MAX_FRAME_PAYLOAD
+) -> FrameStream:
+    """Connect to ``host:port`` and wrap the connection in a FrameStream."""
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except (ConnectionError, OSError) as exc:
+        raise NetworkError("cannot connect to %s:%d: %s" % (host, port, exc)) from exc
+    return FrameStream(reader, writer, max_payload)

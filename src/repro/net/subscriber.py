@@ -1,0 +1,133 @@
+"""``python -m repro.net.subscriber``: one subscriber as a client process.
+
+Runs a full subscriber lifecycle against the broker: request a token for
+every attribute the scenario gives this user, register each token for
+every matching condition (the Section V-B privacy practice), then wait
+for ``--expect-broadcasts`` broadcast packages, decrypting whatever the
+hidden attribute values authorize.  Finally writes a JSON report (per
+broadcast: which segments decrypted) that the orchestrating example
+asserts on -- the only channel back, since everything else this process
+knows is private.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.net._cli import add_common_arguments, install_stop_signals, parse_endpoint
+from repro.net.bootstrap import (
+    build_subscriber,
+    conditions_per_attribute,
+    load_scenario,
+    read_bundle,
+    write_json,
+)
+from repro.net.runtime import StopRequested, pump_until, wait_for_file
+from repro.net.transport import TcpTransport
+from repro.system.service import SubscriberClient
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.subscriber",
+        description="Run one subscriber's lifecycle against the broker.",
+    )
+    add_common_arguments(parser)
+    parser.add_argument("--user", required=True,
+                        help="which scenario user this process plays")
+    parser.add_argument("--expect-broadcasts", type=int, default=1,
+                        help="exit after receiving this many broadcasts")
+    parser.add_argument("--report", default=None,
+                        help="write the lifecycle report JSON here")
+    args = parser.parse_args(argv)
+
+    scenario = load_scenario(args.scenario)
+    attributes = scenario["users"].get(args.user)
+    if attributes is None:
+        raise SystemExit("user %r is not in the scenario" % args.user)
+    wait_for_file(args.bundle, timeout=args.timeout)
+    bundle = read_bundle(args.bundle)
+    subscriber = build_subscriber(scenario, bundle, args.user)
+
+    stop = install_stop_signals()
+    host, port = parse_endpoint(args.broker)
+    with TcpTransport(host, port) as transport:
+        client = SubscriberClient(
+            subscriber,
+            transport,
+            publisher_name=scenario["publisher"],
+            idmgr_name=scenario["idmgr"],
+        )
+        print("subscriber %r connected as nym %r" % (args.user, subscriber.nym),
+              flush=True)
+
+        try:
+            for attribute in sorted(attributes):
+                client.request_token(
+                    attribute, assertion=bundle.assertions[args.user][attribute]
+                )
+            pump_until(
+                [client],
+                lambda: set(subscriber.attribute_tags()) == set(attributes),
+                timeout=args.timeout,
+                stop=stop,
+            )
+            print("tokens held: %s" % subscriber.attribute_tags(), flush=True)
+
+            client.register_all_attributes()
+            # Done when every session finished AND each attribute saw as
+            # many condition outcomes as the policies define for it -- an
+            # attribute no condition mentions expects zero, so a scenario
+            # containing one cannot wedge this phase.
+            expected = conditions_per_attribute(scenario)
+            pump_until(
+                [client],
+                lambda: not client.registering()
+                and all(
+                    len(client.results.get(a, {})) >= expected.get(a, 0)
+                    for a in attributes
+                ),
+                timeout=args.timeout,
+                stop=stop,
+            )
+            print("registrations done (outcomes stay private to this process)",
+                  flush=True)
+
+            pump_until(
+                [client],
+                lambda: len(client.packages) >= args.expect_broadcasts,
+                timeout=args.timeout,
+                stop=stop,
+            )
+        except StopRequested:
+            print("stop signal received; exiting without a report", flush=True)
+            return 0
+        transport.flush_acks()
+
+        report = {
+            "user": args.user,
+            "nym": subscriber.nym,
+            "results": client.results,
+            "failures": client.failures,
+            "broadcasts": [
+                {
+                    "document": package.document,
+                    "segments": {
+                        name: content.decode("utf-8", "replace")
+                        for name, content in plaintexts.items()
+                    },
+                }
+                for package, plaintexts in zip(client.packages, client.broadcasts)
+            ],
+        }
+        if args.report:
+            write_json(args.report, report)
+        print(json.dumps(report, indent=2, sort_keys=True), flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -169,6 +169,12 @@ class SubscriberClient(_Endpoint):
         self.failures: Dict[str, str] = {}
         self.documents: Dict[str, Dict[str, bytes]] = {}
         self.packages: List[BroadcastPackage] = []
+        #: Decryption outcome of every received broadcast, in arrival order
+        #: (parallel to :attr:`packages`).  ``documents`` keys by document
+        #: name, so a re-publish of the same name -- the rekey path --
+        #: overwrites; this history preserves the per-broadcast view a
+        #: networked subscriber reports.
+        self.broadcasts: List[Dict[str, bytes]] = []
         self._sessions: Dict[str, SubscriberRegistrationSession] = {}
         self._group = subscriber.params.pedersen.group
 
@@ -303,6 +309,7 @@ class SubscriberClient(_Endpoint):
             # header) must fail this broadcast, never the pump loop.
             self.documents[package.document] = {}
             self.failures["broadcast:%s" % package.document] = str(exc)
+        self.broadcasts.append(self.documents[package.document])
 
     # -- conveniences -------------------------------------------------------
 

@@ -114,6 +114,14 @@ class InMemoryTransport:
         """All registered entity names."""
         return sorted(self._inboxes)
 
+    def registered(self, entity: str) -> bool:
+        """Whether ``entity`` has an inbox."""
+        return entity in self._inboxes
+
+    def entity_count(self) -> int:
+        """How many inboxes exist (the state a router must bound)."""
+        return len(self._inboxes)
+
     @staticmethod
     def _coerce_payload(payload) -> bytes:
         if not isinstance(payload, (bytes, bytearray)):

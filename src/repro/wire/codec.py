@@ -28,6 +28,9 @@ from repro.errors import SerializationError
 __all__ = [
     "WIRE_MAGIC",
     "WIRE_VERSION",
+    "FRAME_HEADER_SIZE",
+    "DEFAULT_MAX_FRAME_PAYLOAD",
+    "check_frame_length",
     "Cursor",
     "pack_u8",
     "pack_u16",
@@ -41,6 +44,7 @@ __all__ = [
     "encode_frame",
     "decode_frame",
     "iter_frames",
+    "parse_frame_header",
 ]
 
 #: Two-byte frame magic ("repro wire").
@@ -49,6 +53,26 @@ WIRE_MAGIC = b"RW"
 WIRE_VERSION = 1
 
 _FRAME_HEADER = struct.Struct(">2sBBI")  # magic, version, type, payload length
+
+#: Fixed size of the frame header (magic + version + type + u32 length).
+FRAME_HEADER_SIZE = _FRAME_HEADER.size
+
+#: Hard ceiling on a frame's declared payload length (16 MiB).  A u32
+#: length field lets a hostile peer declare ~4 GiB and force the receiver
+#: to allocate it; every decode path rejects lengths above this cap
+#: *before* touching (or, on a stream, waiting for) the payload.  Callers
+#: with a genuine need can pass a different ``max_payload`` explicitly.
+DEFAULT_MAX_FRAME_PAYLOAD = 16 * 1024 * 1024
+
+
+def check_frame_length(length: int, max_payload: int = DEFAULT_MAX_FRAME_PAYLOAD) -> int:
+    """Validate a declared frame payload length against the cap."""
+    if length > max_payload:
+        raise SerializationError(
+            "frame payload of %d bytes exceeds the %d-byte cap"
+            % (length, max_payload)
+        )
+    return length
 
 
 # -- field packers ----------------------------------------------------------
@@ -195,32 +219,47 @@ class Cursor:
 # -- frames -----------------------------------------------------------------
 
 
-def encode_frame(type_id: int, payload: bytes) -> bytes:
+def encode_frame(
+    type_id: int, payload: bytes, max_payload: int = DEFAULT_MAX_FRAME_PAYLOAD
+) -> bytes:
     """Wrap a message payload in the versioned, length-prefixed frame."""
     if not 0 <= type_id < (1 << 8):
         raise SerializationError("frame type out of range: %r" % type_id)
+    check_frame_length(len(payload), max_payload)
     return _FRAME_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, type_id, len(payload)) + payload
 
 
-def decode_frame(data: bytes) -> Tuple[int, bytes]:
+def decode_frame(
+    data: bytes, max_payload: int = DEFAULT_MAX_FRAME_PAYLOAD
+) -> Tuple[int, bytes]:
     """Parse exactly one frame; rejects bad magic/version/length."""
-    type_id, payload, end = _decode_frame_at(data, 0)
+    type_id, payload, end = _decode_frame_at(data, 0, max_payload)
     if end != len(data):
         raise SerializationError("%d trailing bytes after frame" % (len(data) - end))
     return type_id, payload
 
 
-def iter_frames(data: bytes) -> Iterator[Tuple[int, bytes]]:
+def iter_frames(
+    data: bytes, max_payload: int = DEFAULT_MAX_FRAME_PAYLOAD
+) -> Iterator[Tuple[int, bytes]]:
     """Split a concatenation of frames (a stream read) back into messages."""
     offset = 0
     while offset < len(data):
-        type_id, payload, offset = _decode_frame_at(data, offset)
+        type_id, payload, offset = _decode_frame_at(data, offset, max_payload)
         yield type_id, payload
 
 
-def _decode_frame_at(data: bytes, offset: int) -> Tuple[int, bytes, int]:
-    cursor = Cursor(data, offset)
-    header = cursor.take(_FRAME_HEADER.size)
+def parse_frame_header(header: bytes) -> Tuple[int, int]:
+    """Validate a raw frame header, returning ``(type_id, payload length)``.
+
+    Shared by the in-memory decoders below and the incremental stream
+    decoder in :mod:`repro.net.stream`, so magic/version/length policy
+    lives in exactly one place.  The length is *not* checked against any
+    cap here -- callers apply :func:`check_frame_length` so a stream can
+    reject an oversized declaration before waiting for its payload.
+    """
+    if len(header) != FRAME_HEADER_SIZE:
+        raise SerializationError("frame header must be %d bytes" % FRAME_HEADER_SIZE)
     magic, version, type_id, length = _FRAME_HEADER.unpack(header)
     if magic != WIRE_MAGIC:
         raise SerializationError("bad frame magic %r" % magic)
@@ -228,5 +267,15 @@ def _decode_frame_at(data: bytes, offset: int) -> Tuple[int, bytes, int]:
         raise SerializationError(
             "unsupported wire version %d (speaking %d)" % (version, WIRE_VERSION)
         )
+    return type_id, length
+
+
+def _decode_frame_at(
+    data: bytes, offset: int, max_payload: int = DEFAULT_MAX_FRAME_PAYLOAD
+) -> Tuple[int, bytes, int]:
+    cursor = Cursor(data, offset)
+    header = cursor.take(FRAME_HEADER_SIZE)
+    type_id, length = parse_frame_header(header)
+    check_frame_length(length, max_payload)
     payload = cursor.take(length)
     return type_id, payload, cursor.offset

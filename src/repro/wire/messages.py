@@ -48,6 +48,7 @@ from repro.system.identity import (
     read_attribute_value,
 )
 from repro.wire.codec import (
+    DEFAULT_MAX_FRAME_PAYLOAD,
     Cursor,
     decode_frame,
     encode_frame,
@@ -108,9 +109,18 @@ class WireMessage:
     def from_payload(cls, payload: bytes, group: CyclicGroup) -> "WireMessage":
         raise NotImplementedError
 
-    def encode(self) -> bytes:
-        """The complete frame for this message."""
-        return encode_frame(self.TYPE_ID, self.payload_bytes())
+    def encode(self, max_payload: int = DEFAULT_MAX_FRAME_PAYLOAD) -> bytes:
+        """The complete frame for this message.
+
+        The default frame-size cap (16 MiB) bounds what any peer can be
+        made to buffer.  The endpoint/session layer always uses this
+        default, so in practice a single message cannot exceed it --
+        documents larger than the cap must be segmented
+        (:mod:`repro.documents.segmentation`), which is also what the
+        ACP model wants.  The parameter exists for direct codec users
+        (tools, tests) working with raw frames.
+        """
+        return encode_frame(self.TYPE_ID, self.payload_bytes(), max_payload)
 
 
 @dataclass(frozen=True)
@@ -372,14 +382,22 @@ MESSAGE_TYPES: Dict[int, Type[WireMessage]] = {
 }
 
 
-def encode_message(message: WireMessage) -> bytes:
+def encode_message(
+    message: WireMessage, max_payload: int = DEFAULT_MAX_FRAME_PAYLOAD
+) -> bytes:
     """Frame any wire message for transmission."""
-    return message.encode()
+    return message.encode(max_payload)
 
 
-def decode_message(data: bytes, group: CyclicGroup) -> WireMessage:
-    """Parse one frame back into its typed message."""
-    type_id, payload = decode_frame(data)
+def decode_message(
+    data: bytes, group: CyclicGroup, max_payload: int = DEFAULT_MAX_FRAME_PAYLOAD
+) -> WireMessage:
+    """Parse one frame back into its typed message.
+
+    ``max_payload`` mirrors :meth:`WireMessage.encode` (and its caveat:
+    the endpoint layer always decodes at the default cap).
+    """
+    type_id, payload = decode_frame(data, max_payload)
     cls = MESSAGE_TYPES.get(type_id)
     if cls is None:
         raise SerializationError("unknown message type %d" % type_id)

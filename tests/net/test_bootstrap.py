@@ -1,0 +1,108 @@
+"""Scenario/bundle bootstrap: separate processes must rebuild one world."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.net.bootstrap import (
+    build_identity_stack,
+    build_publisher,
+    build_subscriber,
+    expected_registrations,
+    load_scenario,
+    read_bundle,
+    write_bundle,
+    write_json,
+)
+
+SCENARIO = {
+    "group": "nist-p192",
+    "seed": 99,
+    "attribute_bits": 8,
+    "gkm_field": "fast",
+    "idp": "hr",
+    "idmgr": "idmgr",
+    "publisher": "pub",
+    "policies": [
+        {"condition": "role = doc", "segments": ["clinical"], "document": "report"},
+        {"condition": "level >= 50", "segments": ["billing"], "document": "report"},
+    ],
+    "users": {
+        "carol": {"role": "doc", "level": 70},
+        "dave": {"role": "doc"},
+    },
+}
+
+
+def _loaded(tmp_path, scenario=SCENARIO):
+    path = tmp_path / "scenario.json"
+    write_json(str(path), scenario)
+    return load_scenario(str(path))
+
+
+def test_identity_stack_is_deterministic(tmp_path):
+    scenario = _loaded(tmp_path)
+    _, idmgr_a, nyms_a, _ = build_identity_stack(scenario)
+    _, idmgr_b, nyms_b, _ = build_identity_stack(scenario)
+    assert idmgr_a.public_key == idmgr_b.public_key  # a restart re-derives keys
+    assert nyms_a == nyms_b
+
+
+def test_bundle_round_trip_and_cross_process_interop(tmp_path):
+    scenario = _loaded(tmp_path)
+    idp, idmgr, nyms, assertions = build_identity_stack(scenario)
+    bundle_path = str(tmp_path / "bundle.json")
+    write_bundle(bundle_path, scenario, idmgr, nyms, assertions)
+    bundle = read_bundle(bundle_path)
+    assert bundle.public_key == idmgr.public_key
+    assert bundle.nyms == nyms
+
+    # The publisher process (bundle only) can verify a token the IdMgr
+    # process issues against a bundle-carried assertion: same Pedersen
+    # bases, same public key -- reconstructed, never transmitted.
+    publisher = build_publisher(scenario, bundle.public_key)
+    token, x, r = idmgr.issue_token(
+        nyms["carol"], bundle.assertions["carol"]["role"]
+    )
+    assert publisher.params.pedersen.group is idmgr.group
+    assert publisher.params.pedersen.verify_open(token.commitment, x, r)
+
+    # And the subscriber process rebuilds compatible SystemParams.
+    subscriber = build_subscriber(scenario, bundle, "carol")
+    assert subscriber.nym == nyms["carol"]
+    subscriber.hold_token(token, x, r)
+    assert subscriber.attribute_tags() == ["role"]
+
+
+def test_subscriber_rngs_differ_per_user(tmp_path):
+    scenario = _loaded(tmp_path)
+    _, idmgr, nyms, assertions = build_identity_stack(scenario)
+    bundle_path = str(tmp_path / "bundle.json")
+    write_bundle(bundle_path, scenario, idmgr, nyms, assertions)
+    bundle = read_bundle(bundle_path)
+    carol = build_subscriber(scenario, bundle, "carol")
+    dave = build_subscriber(scenario, bundle, "dave")
+    assert carol.rng.getrandbits(64) != dave.rng.getrandbits(64)
+
+
+def test_expected_registrations_counts_matching_conditions(tmp_path):
+    scenario = _loaded(tmp_path)
+    # carol holds role+level (2 conditions), dave only role (1 condition).
+    assert expected_registrations(scenario) == 3
+
+
+def test_scenario_validation(tmp_path):
+    with pytest.raises(InvalidParameterError, match="users"):
+        _loaded(tmp_path, {"group": "nist-p192", "seed": 1, "policies": []})
+    bad = dict(SCENARIO, gkm_field="nope")
+    with pytest.raises(InvalidParameterError, match="gkm_field"):
+        _loaded(tmp_path, bad)
+
+
+def test_unknown_user_rejected(tmp_path):
+    scenario = _loaded(tmp_path)
+    _, idmgr, nyms, assertions = build_identity_stack(scenario)
+    bundle_path = str(tmp_path / "bundle.json")
+    write_bundle(bundle_path, scenario, idmgr, nyms, assertions)
+    bundle = read_bundle(bundle_path)
+    with pytest.raises(InvalidParameterError, match="not in the bundle"):
+        build_subscriber(scenario, bundle, "mallory")

@@ -1,0 +1,458 @@
+"""Hostile network peers against the broker.
+
+The broker faces raw TCP: anyone can connect and send anything.  Every
+case here must end with the offending *connection* dropped and the
+broker (and any entity endpoints it serves) fully functional -- and
+broker-side state bounded, so a hostile peer cannot grow memory by
+queueing traffic at a victim's name.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.protocol import (
+    Hello,
+    NetDeliver,
+    StatsReply,
+    StatsRequest,
+    Welcome,
+    decode_net_payload,
+)
+from repro.net.runtime import BrokerThread
+from repro.net.stream import FrameDecoder
+from repro.net.transport import TcpTransport
+from repro.wire.codec import WIRE_MAGIC, WIRE_VERSION
+
+
+@pytest.fixture
+def broker():
+    with BrokerThread() as thread:
+        yield thread
+
+
+def raw_connect(broker):
+    return socket.create_connection((broker.host, broker.port), timeout=5)
+
+
+def read_frames(sock, count, timeout=5.0):
+    """Read ``count`` frames off a raw socket (EOF returns what arrived)."""
+    decoder = FrameDecoder()
+    frames = []
+    sock.settimeout(timeout)
+    while len(frames) < count:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        frames.extend(decoder.feed(chunk))
+    return frames
+
+
+def assert_closed(sock, timeout=5.0):
+    sock.settimeout(timeout)
+    assert sock.recv(65536) == b"", "expected the broker to close the connection"
+
+
+def assert_broker_healthy(broker):
+    """A well-behaved client can still do a full deliver/poll round trip."""
+    with TcpTransport(broker.host, broker.port) as transport:
+        transport.register("healthy-a")
+        transport.register("healthy-b")
+        transport.deliver("healthy-a", "healthy-b", "probe", b"ping")
+        deadline = time.monotonic() + 5
+        arrived = []
+        while not arrived and time.monotonic() < deadline:
+            arrived = transport.poll("healthy-b")
+            time.sleep(0.005)
+        assert [d.payload for d in arrived] == [b"ping"]
+
+
+def hello(sock, entity):
+    sock.sendall(Hello(entity=entity).encode())
+    [frame] = read_frames(sock, 1)
+    welcome = decode_net_payload(*frame)
+    assert isinstance(welcome, Welcome)
+    return welcome
+
+
+class TestMalformedStreams:
+    def test_garbage_bytes_drop_the_connection_only(self, broker):
+        sock = raw_connect(broker)
+        sock.sendall(b"\xde\xad\xbe\xef" * 4)
+        assert_closed(sock)
+        sock.close()
+        assert_broker_healthy(broker)
+
+    def test_garbage_mid_stream_after_handshake(self, broker):
+        sock = raw_connect(broker)
+        assert hello(sock, "mallory").ok
+        sock.sendall(b"not a frame at all")
+        assert_closed(sock)
+        sock.close()
+        assert_broker_healthy(broker)
+
+    def test_oversized_length_declaration_rejected_unread(self, broker):
+        """A header declaring ~4 GiB must get the connection dropped at
+        header-parse time; the payload is never awaited or allocated."""
+        import struct
+
+        sock = raw_connect(broker)
+        assert hello(sock, "mallory").ok
+        sock.sendall(struct.pack(">2sBBI", WIRE_MAGIC, WIRE_VERSION, 66, 0xFFFFFFFF))
+        assert_closed(sock)
+        sock.close()
+        assert_broker_healthy(broker)
+
+    def test_truncated_frame_then_abrupt_close(self, broker):
+        sock = raw_connect(broker)
+        assert hello(sock, "mallory").ok
+        frame = NetDeliver(
+            sender="mallory", receiver="x", kind="k", note="", payload=b"p" * 64
+        ).encode()
+        sock.sendall(frame[: len(frame) // 2])
+        sock.close()  # vanish mid-frame
+        assert_broker_healthy(broker)
+
+    def test_unknown_net_frame_type(self, broker):
+        from repro.wire.codec import encode_frame
+
+        sock = raw_connect(broker)
+        assert hello(sock, "mallory").ok
+        sock.sendall(encode_frame(250, b"??"))
+        assert_closed(sock)
+        sock.close()
+        assert_broker_healthy(broker)
+
+
+class TestHandshakeDeadline:
+    def test_silent_connection_is_dropped(self):
+        """A peer that connects and never says Hello must be evicted, or
+        parked pre-authentication connections would bypass every
+        entity/inbox bound."""
+        with BrokerThread(handshake_timeout=0.3) as broker:
+            sock = raw_connect(broker)
+            began = time.monotonic()
+            assert_closed(sock, timeout=5.0)
+            assert time.monotonic() - began < 4.0
+            sock.close()
+            assert_broker_healthy(broker)
+
+    def test_partial_hello_is_dropped_too(self):
+        with BrokerThread(handshake_timeout=0.3) as broker:
+            sock = raw_connect(broker)
+            sock.sendall(Hello(entity="slowpoke").encode()[:5])  # never finishes
+            assert_closed(sock, timeout=5.0)
+            sock.close()
+            assert_broker_healthy(broker)
+
+
+class TestIdentityEnforcement:
+    def test_frames_before_hello_are_rejected(self, broker):
+        sock = raw_connect(broker)
+        sock.sendall(
+            NetDeliver(sender="x", receiver="y", kind="k", note="",
+                       payload=b"p").encode()
+        )
+        assert_closed(sock)
+        sock.close()
+        assert_broker_healthy(broker)
+
+    def test_nym_spoofing_on_connect_is_refused(self, broker):
+        victim = raw_connect(broker)
+        assert hello(victim, "pn-0001").ok
+        imposter = raw_connect(broker)
+        welcome = hello(imposter, "pn-0001")
+        assert not welcome.ok
+        assert "already connected" in welcome.reason
+        assert_closed(imposter)
+        imposter.close()
+        # The victim's connection is untouched: it can still receive.
+        with TcpTransport(broker.host, broker.port) as transport:
+            transport.register("sender")
+            transport.deliver("sender", "pn-0001", "k", b"for the real one")
+        [frame] = read_frames(victim, 1)
+        assert decode_net_payload(*frame).payload == b"for the real one"
+        victim.close()
+
+    def test_reserved_multicast_name_refused(self, broker):
+        sock = raw_connect(broker)
+        assert not hello(sock, "*").ok
+        sock.close()
+        assert_broker_healthy(broker)
+
+    def test_sender_spoofing_on_deliver_drops_connection(self, broker):
+        sock = raw_connect(broker)
+        assert hello(sock, "mallory").ok
+        sock.sendall(
+            NetDeliver(sender="pn-0001", receiver="pub", kind="k", note="",
+                       payload=b"forged").encode()
+        )
+        assert_closed(sock)
+        sock.close()
+        # The forged frame was never routed.
+        with TcpTransport(broker.host, broker.port) as transport:
+            transport.register("pub")
+            time.sleep(0.05)
+            assert transport.poll("pub") == []
+
+    def test_spoofed_name_becomes_available_after_disconnect(self, broker):
+        first = raw_connect(broker)
+        assert hello(first, "pn-0002").ok
+        first.close()
+        time.sleep(0.05)  # let the broker observe the EOF
+        with TcpTransport(broker.host, broker.port) as transport:
+            transport.register("pn-0002")  # must not raise
+
+
+class TestBoundedState:
+    def test_inbox_bound_holds_against_flooding(self):
+        with BrokerThread(max_inbox=5) as broker:
+            with TcpTransport(broker.host, broker.port) as transport:
+                transport.register("flooder")
+                for i in range(40):
+                    transport.deliver("flooder", "absent", "k", bytes([i]))
+                stats = transport.stats()
+                assert stats.pending <= 5
+                assert stats.dropped >= 35
+                # Newest survive (oldest dropped first): the victim that
+                # finally connects sees the tail of the flood.
+                transport.register("absent")
+                deadline = time.monotonic() + 5
+                got = []
+                while len(got) < 5 and time.monotonic() < deadline:
+                    got.extend(transport.poll("absent"))
+                    time.sleep(0.005)
+                assert [d.payload[0] for d in got] == list(range(35, 40))
+
+    def test_entity_name_bound_holds_against_fabricated_receivers(self):
+        """A connected peer minting inboxes by spraying deliveries at fresh
+        receiver names is cut off at max_entities; known names still route."""
+        with BrokerThread(max_entities=10) as broker:
+            with TcpTransport(broker.host, broker.port) as transport:
+                transport.register("sprayer")
+                transport.register("victim")
+                for i in range(50):
+                    transport.deliver("sprayer", "fake-%04d" % i, "k", b"x")
+                stats = transport.stats()
+                assert stats.dropped >= 40  # only the first few names fit
+                # Existing entities are unaffected by the bound.
+                transport.deliver("sprayer", "victim", "k", b"real")
+                deadline = time.monotonic() + 5
+                got = []
+                while not got and time.monotonic() < deadline:
+                    got = transport.poll("victim")
+                    time.sleep(0.005)
+                assert [d.payload for d in got] == [b"real"]
+
+    def test_entity_name_bound_holds_against_hello_churn(self):
+        """Inboxes survive disconnects, so connect/Hello/disconnect under
+        ever-fresh names is the other way to mint broker state: beyond
+        max_entities the handshake itself must be refused."""
+        with BrokerThread(max_entities=4) as broker:
+            for i in range(4):
+                sock = raw_connect(broker)
+                assert hello(sock, "churn-%d" % i).ok
+                sock.close()
+            sock = raw_connect(broker)
+            welcome = hello(sock, "churn-overflow")
+            assert not welcome.ok and "bound" in welcome.reason
+            sock.close()
+            # Names already holding an inbox may still reconnect.
+            time.sleep(0.05)
+            sock = raw_connect(broker)
+            assert hello(sock, "churn-0").ok
+            sock.close()
+
+    def test_stats_log_truncation_is_flagged_not_fatal(self):
+        """A log bigger than one frame must come back truncated+flagged --
+        never blow the cap and drop the requester's connection.  The audit
+        surface (snapshot) refuses to work from a partial log."""
+        with BrokerThread(max_frame=512) as broker:
+            with TcpTransport(broker.host, broker.port, max_frame=512) as transport:
+                transport.register("a")
+                transport.register("b")
+                for i in range(64):  # ~64 records of ~20B >> 512B budget
+                    transport.deliver("a", "b", "kind-%02d" % i, b"p")
+                stats = transport.stats(include_log=True)
+                assert not stats.log_complete
+                assert stats.log  # the newest suffix is still included
+                assert stats.log[-1].kind == "kind-63"
+                with pytest.raises(NetworkError, match="accounting log"):
+                    transport.snapshot()
+
+    def test_abrupt_disconnect_during_registration_session(self, broker):
+        """A Sub that vanishes mid-registration must not crash the service
+        or the broker, and the publisher's pending state stays bounded."""
+        import random
+
+        from repro.gkm.acv import FAST_FIELD
+        from repro.groups import get_group
+        from repro.policy.acp import parse_policy
+        from repro.system.idmgr import IdentityManager
+        from repro.system.idp import IdentityProvider
+        from repro.system.publisher import Publisher
+        from repro.system.service import DisseminationService, SubscriberClient
+        from repro.system.subscriber import Subscriber
+
+        rng = random.Random(7)
+        group = get_group("nist-p192")
+        idp = IdentityProvider("hr", group, rng=rng)
+        idmgr = IdentityManager(group, rng=rng)
+        idmgr.trust_idp(idp)
+        publisher = Publisher(
+            "pub", idmgr.params, idmgr.public_key, gkm_field=FAST_FIELD,
+            attribute_bits=8, rng=rng,
+        )
+        publisher.add_policy(parse_policy("role = doc", ["s"], "d"))
+
+        service_transport = TcpTransport(broker.host, broker.port)
+        service = DisseminationService(publisher, service_transport)
+        service.session.max_pending = 4
+
+        def pump_service(rounds=50):
+            for _ in range(rounds):
+                service.pump()
+                time.sleep(0.002)
+
+        try:
+            # Several Subs start registrations and vanish mid-exchange.
+            for n in range(8):
+                idp.enroll("u%d" % n, "role", "doc")
+                sub = Subscriber("pn-9%02d" % n, publisher.params, rng=rng)
+                token, x, r = idmgr.issue_token(
+                    sub.nym, idp.assert_attribute("u%d" % n, "role"), rng=rng
+                )
+                sub.hold_token(token, x, r)
+                sub_transport = TcpTransport(broker.host, broker.port)
+                client = SubscriberClient(sub, sub_transport, "pub")
+                client.register_attribute("role")
+                pump_service()
+                # Pump the client just far enough to send its
+                # RegistrationRequest, then yank the connection.
+                deadline = time.monotonic() + 5
+                while client.registering() is False and time.monotonic() < deadline:
+                    client.pump()
+                    time.sleep(0.002)
+                client.pump()
+                sub_transport.close()  # abrupt: session half-open at the Pub
+            pump_service()
+            # Bounded pending state held despite 8 half-open exchanges:
+            assert len(service.session._pending) <= 4
+            # And the service still completes an honest registration.
+            idp.enroll("honest", "role", "doc")
+            honest = Subscriber("pn-1000", publisher.params, rng=rng)
+            token, x, r = idmgr.issue_token(
+                honest.nym, idp.assert_attribute("honest", "role"), rng=rng
+            )
+            honest.hold_token(token, x, r)
+            honest_transport = TcpTransport(broker.host, broker.port)
+            try:
+                client = SubscriberClient(honest, honest_transport, "pub")
+                client.register_attribute("role")
+                deadline = time.monotonic() + 10
+                while client.results.get("role", {}).get("role = doc") is not True:
+                    assert time.monotonic() < deadline, client.failures
+                    service.pump()
+                    client.pump()
+                    time.sleep(0.002)
+            finally:
+                honest_transport.close()
+        finally:
+            service_transport.close()
+
+
+class TestReconnection:
+    def test_dead_connection_is_replaced_and_backlog_drained(self, broker):
+        """After a connection drop, register() must reconnect (not no-op on
+        the dead entry) and the broker-held backlog must arrive."""
+        with TcpTransport(broker.host, broker.port) as transport:
+            transport.register("server")
+            transport.register("client")
+            # Sever the server's connection under the transport (the same
+            # observable state as a broker drop or TCP blip).
+            conn = transport._conns["server"]
+            import asyncio as _asyncio
+
+            _asyncio.run_coroutine_threadsafe(
+                conn.stream.aclose(), transport._loop
+            ).result(5)
+            deadline = time.monotonic() + 5
+            while conn.alive and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert not conn.alive
+            # Traffic for the entity accumulates broker-side meanwhile.
+            transport.deliver("client", "server", "k", b"while you were out")
+            time.sleep(0.1)
+            # register() replaces the dead connection and drains backlog.
+            transport.register("server")
+            assert transport._conns["server"].alive
+            got = []
+            deadline = time.monotonic() + 5
+            while not got and time.monotonic() < deadline:
+                got = transport.poll("server")
+                time.sleep(0.005)
+            assert [d.payload for d in got] == [b"while you were out"]
+            # deliver() now works again too (it registers first).
+            transport.deliver("server", "client", "k", b"back online")
+            got = []
+            deadline = time.monotonic() + 5
+            while not got and time.monotonic() < deadline:
+                got = transport.poll("client")
+                time.sleep(0.005)
+            assert [d.payload for d in got] == [b"back online"]
+
+    def test_receive_only_endpoint_recovers_via_poll(self, broker):
+        """A subscriber waiting for broadcasts only ever polls; the poll
+        path itself must reconnect a dropped connection (rate-limited) so
+        the broker-held backlog eventually flows."""
+        with TcpTransport(broker.host, broker.port) as transport:
+            transport.register("listener")
+            transport.register("talker")
+            conn = transport._conns["listener"]
+            import asyncio as _asyncio
+
+            _asyncio.run_coroutine_threadsafe(
+                conn.stream.aclose(), transport._loop
+            ).result(5)
+            deadline = time.monotonic() + 5
+            while conn.alive and time.monotonic() < deadline:
+                time.sleep(0.005)
+            transport.deliver("talker", "listener", "k", b"missed me?")
+            # Only poll from here on -- no sends on the listener's behalf.
+            got = []
+            deadline = time.monotonic() + 10
+            while not got and time.monotonic() < deadline:
+                got = transport.poll("listener")
+                time.sleep(0.01)
+            assert [d.payload for d in got] == [b"missed me?"]
+            assert transport._conns["listener"].alive
+
+
+class TestStatsSurface:
+    def test_stats_round_trip_raw(self, broker):
+        sock = raw_connect(broker)
+        assert hello(sock, "observer").ok
+        sock.sendall(StatsRequest(include_log=True).encode())
+        [frame] = read_frames(sock, 1)
+        stats = decode_net_payload(*frame)
+        assert isinstance(stats, StatsReply)
+        assert stats.pending == 0
+        sock.close()
+
+    def test_transport_survives_broker_vanishing(self):
+        thread = BrokerThread()
+        transport = TcpTransport(thread.host, thread.port, timeout=2.0)
+        transport.register("lonely")
+        thread.stop()
+        time.sleep(0.05)
+        with pytest.raises(NetworkError):
+            transport.deliver("lonely", "x", "k", b"p")
+            # a dead connection may need one more send to surface EPIPE
+            transport.deliver("lonely", "x", "k", b"p")
+        # A failed reconnect attempt must not unregister the entity: polls
+        # keep returning [] (no exception) and keep the retry path alive.
+        assert transport.poll("lonely") == []
+        assert "lonely" in transport._conns
+        transport.close()

@@ -1,0 +1,72 @@
+"""Round trips and robustness for the net control messages."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.net.protocol import (
+    NET_MESSAGE_TYPES,
+    Ack,
+    Hello,
+    NetBroadcast,
+    NetDeliver,
+    Shutdown,
+    StatsReply,
+    StatsRequest,
+    TrafficRecord,
+    Welcome,
+    decode_net_message,
+)
+
+SAMPLES = [
+    Hello(entity="pn-0001"),
+    Welcome(ok=True, entity="pn-0001"),
+    Welcome(ok=False, entity="*", reason="reserved"),
+    NetDeliver(sender="a", receiver="b", kind="k", note="n", payload=b"\x00\xffp"),
+    NetBroadcast(sender="pub", kind="pkg", note="doc", payload=b"body"),
+    Ack(count=3),
+    StatsRequest(include_log=True),
+    StatsReply(pending=1, in_flight=2, delivered_total=3, dropped=4,
+               log=(TrafficRecord("a", "b", "k", 9, "n"),
+                    TrafficRecord("p", "*", "pkg", 300))),
+    StatsReply(pending=0, in_flight=0, delivered_total=7, log_complete=False),
+    Shutdown(),
+]
+
+
+@pytest.mark.parametrize("message", SAMPLES, ids=lambda m: type(m).__name__)
+def test_round_trip(message):
+    assert decode_net_message(message.encode()) == message
+
+
+@pytest.mark.parametrize("message", SAMPLES, ids=lambda m: type(m).__name__)
+def test_reencode_identical(message):
+    assert decode_net_message(message.encode()).encode() == message.encode()
+
+
+def test_type_ids_disjoint_from_application_messages():
+    """A net frame can never be mistaken for an application frame."""
+    from repro.wire.messages import MESSAGE_TYPES
+
+    assert not set(NET_MESSAGE_TYPES) & set(MESSAGE_TYPES)
+
+
+def test_unknown_type_rejected():
+    from repro.wire.codec import encode_frame
+
+    with pytest.raises(SerializationError, match="unknown net frame type"):
+        decode_net_message(encode_frame(200, b""))
+
+
+@pytest.mark.parametrize("message", SAMPLES, ids=lambda m: type(m).__name__)
+def test_truncation_rejected(message):
+    frame = message.encode()
+    for cut in range(8, len(frame)):
+        with pytest.raises(SerializationError):
+            decode_net_message(frame[:cut])
+
+
+@pytest.mark.parametrize("message", SAMPLES, ids=lambda m: type(m).__name__)
+def test_trailing_garbage_rejected(message):
+    payload = message.payload_bytes() + b"!"
+    with pytest.raises(SerializationError):
+        type(message).from_payload(payload)

@@ -1,0 +1,84 @@
+"""The incremental frame decoder: chunking, caps, malformed input."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.net.stream import FrameDecoder
+from repro.wire.codec import (
+    FRAME_HEADER_SIZE,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    encode_frame,
+)
+
+
+def _header(type_id=1, length=0, magic=WIRE_MAGIC, version=WIRE_VERSION):
+    import struct
+
+    return struct.pack(">2sBBI", magic, version, type_id, length)
+
+
+class TestIncrementalParsing:
+    def test_whole_frame_in_one_feed(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(7, b"abc")) == [(7, b"abc")]
+        assert decoder.at_frame_boundary()
+
+    def test_byte_by_byte(self):
+        frames = encode_frame(1, b"first") + encode_frame(2, b"") + encode_frame(
+            3, b"third payload"
+        )
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(frames)):
+            out.extend(decoder.feed(frames[i : i + 1]))
+        assert out == [(1, b"first"), (2, b""), (3, b"third payload")]
+        assert decoder.at_frame_boundary()
+
+    def test_many_frames_in_one_chunk(self):
+        chunk = b"".join(encode_frame(i, bytes([i]) * i) for i in range(6))
+        decoder = FrameDecoder()
+        assert decoder.feed(chunk) == [(i, bytes([i]) * i) for i in range(6)]
+
+    def test_split_across_header_boundary(self):
+        frame = encode_frame(9, b"payload!")
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[: FRAME_HEADER_SIZE - 2]) == []
+        assert not decoder.at_frame_boundary()
+        assert decoder.feed(frame[FRAME_HEADER_SIZE - 2 :]) == [(9, b"payload!")]
+
+    def test_partial_frame_is_not_a_boundary(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(1, b"xyz")[:-1])
+        assert not decoder.at_frame_boundary()
+        assert decoder.buffered() == 2  # 3-byte payload minus the missing byte
+
+
+class TestHostileInput:
+    def test_oversized_declaration_rejected_at_header_time(self):
+        """The cap must fire on the *declared* length, before any payload
+        arrives -- a hostile peer never gets the receiver to wait on or
+        allocate the 4 GiB it promises."""
+        decoder = FrameDecoder(max_payload=1024)
+        with pytest.raises(SerializationError, match="cap"):
+            decoder.feed(_header(length=0xFFFFFFFF))
+
+    def test_frame_at_cap_passes(self):
+        decoder = FrameDecoder(max_payload=16)
+        payload = b"q" * 16
+        assert decoder.feed(_header(length=16) + payload) == [(1, payload)]
+
+    def test_bad_magic(self):
+        decoder = FrameDecoder()
+        with pytest.raises(SerializationError, match="magic"):
+            decoder.feed(_header(magic=b"XX") + b"rest")
+
+    def test_bad_version(self):
+        decoder = FrameDecoder()
+        with pytest.raises(SerializationError, match="version"):
+            decoder.feed(_header(version=WIRE_VERSION + 1))
+
+    def test_garbage_prefix_poisons_the_stream(self):
+        decoder = FrameDecoder()
+        with pytest.raises(SerializationError):
+            decoder.feed(b"\xde\xad\xbe\xef\xde\xad\xbe\xef")

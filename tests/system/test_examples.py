@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     pytest.param("scalability_buckets.py", marks=pytest.mark.slow),  # large-N GKM sweep
     "hierarchical_access.py",
     "wire_protocol.py",
+    "networked_service.py",  # broker + entities as real OS processes
 ]
 
 

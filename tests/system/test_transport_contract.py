@@ -1,0 +1,184 @@
+"""The Transport conformance suite: one contract, every backend.
+
+Parametrized over ``InMemoryTransport`` (the in-process router) and
+``TcpTransport`` (real sockets through a ``BrokerServer``): the session
+and endpoint layer relies on exactly these behaviours, so a backend that
+passes this suite can carry the full protocol.
+
+Network delivery is asynchronous, so the suite never assumes a frame has
+arrived the instant ``deliver`` returns: :func:`drain` polls with a
+deadline, which is a no-op extra loop for the in-memory backend.
+Accounting is queried through :func:`accounting`, which for the TCP
+backend replays the broker's log into an in-memory router -- the query
+surface is the contract, wherever the counters physically live.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.net.runtime import BrokerThread
+from repro.net.transport import TcpTransport
+from repro.system.transport import BROADCAST, InMemoryTransport
+
+BACKENDS = ("memory", "tcp")
+
+
+@pytest.fixture(params=BACKENDS)
+def transport(request):
+    if request.param == "memory":
+        yield InMemoryTransport()
+        return
+    with BrokerThread() as broker:
+        with TcpTransport(broker.host, broker.port) as tcp:
+            yield tcp
+
+
+def accounting(transport):
+    """The backend's byte-accounting view (broker-side for TCP)."""
+    if isinstance(transport, TcpTransport):
+        return transport.snapshot()
+    return transport
+
+
+def drain(transport, entity, count, timeout=5.0):
+    """Poll until ``count`` deliveries arrived (async-delivery tolerant)."""
+    deliveries = []
+    deadline = time.monotonic() + timeout
+    while len(deliveries) < count:
+        deliveries.extend(transport.poll(entity))
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                "only %d/%d deliveries arrived for %r"
+                % (len(deliveries), count, entity)
+            )
+        time.sleep(0.002)
+    assert transport.poll(entity) == []  # nothing unexpected behind them
+    return deliveries
+
+
+class TestRouting:
+    def test_deliver_reaches_receiver(self, transport):
+        transport.register("a")
+        transport.register("b")
+        transport.deliver("a", "b", "kind", b"payload", note="n")
+        [delivery] = drain(transport, "b", 1)
+        assert delivery.sender == "a"
+        assert delivery.receiver == "b"
+        assert delivery.kind == "kind"
+        assert delivery.payload == b"payload"
+        assert delivery.note == "n"
+
+    def test_per_receiver_fifo_order(self, transport):
+        transport.register("a")
+        transport.register("b")
+        for i in range(50):
+            transport.deliver("a", "b", "seq", bytes([i]))
+        deliveries = drain(transport, "b", 50)
+        assert [d.payload[0] for d in deliveries] == list(range(50))
+
+    def test_poll_limit(self, transport):
+        transport.register("a")
+        transport.register("b")
+        for i in range(5):
+            transport.deliver("a", "b", "seq", bytes([i]))
+        drained = drain(transport, "b", 5)
+        transport.requeue("b", drained)
+        first = transport.poll("b", 2)
+        rest = transport.poll("b")
+        assert [d.payload[0] for d in first] == [0, 1]
+        assert [d.payload[0] for d in rest] == [2, 3, 4]
+
+    def test_unknown_receiver_queued_until_registration(self, transport):
+        """Delivering to a not-yet-registered name must not drop the frame:
+        the inbox is created on demand and drained on (late) registration."""
+        transport.register("a")
+        transport.deliver("a", "late", "kind", b"early bird")
+        transport.register("late")
+        [delivery] = drain(transport, "late", 1)
+        assert delivery.payload == b"early bird"
+
+    def test_poll_of_unregistered_entity_is_empty(self, transport):
+        assert transport.poll("nobody") == []
+
+    def test_non_bytes_payload_rejected(self, transport):
+        transport.register("a")
+        with pytest.raises(ReproError):
+            transport.deliver("a", "b", "kind", "not bytes")
+        with pytest.raises(ReproError):
+            transport.broadcast("a", "kind", 1234)
+
+
+class TestMulticast:
+    def test_broadcast_reaches_all_registered_but_not_sender(self, transport):
+        for name in ("pub", "s1", "s2", "s3"):
+            transport.register(name)
+        transport.broadcast("pub", "pkg", b"fanout", note="doc")
+        for name in ("s1", "s2", "s3"):
+            [delivery] = drain(transport, name, 1)
+            assert delivery.sender == "pub"
+            assert delivery.payload == b"fanout"
+        assert transport.poll("pub") == []
+
+    def test_broadcast_skips_never_registered_names(self, transport):
+        transport.register("pub")
+        transport.register("member")
+        transport.broadcast("pub", "pkg", b"x")
+        drain(transport, "member", 1)
+        # A name that registers *after* the broadcast gets nothing.
+        transport.register("latecomer")
+        transport.deliver("pub", "latecomer", "probe", b"probe")
+        [delivery] = drain(transport, "latecomer", 1)
+        assert delivery.kind == "probe"
+
+
+class TestRequeue:
+    def test_requeue_preserves_order_ahead_of_new_traffic(self, transport):
+        transport.register("a")
+        transport.register("b")
+        for i in range(4):
+            transport.deliver("a", "b", "seq", bytes([i]))
+        batch = drain(transport, "b", 4)
+        transport.requeue("b", batch[2:])  # handler failed after two
+        transport.deliver("a", "b", "seq", bytes([9]))
+        deliveries = drain(transport, "b", 3)
+        assert [d.payload[0] for d in deliveries] == [2, 3, 9]
+
+
+class TestAccounting:
+    def test_sizes_equal_frame_lengths(self, transport):
+        transport.register("a")
+        transport.register("b")
+        payloads = [b"x" * n for n in (1, 57, 1024)]
+        for payload in payloads:
+            transport.deliver("a", "b", "kind", payload)
+        drain(transport, "b", len(payloads))
+        view = accounting(transport)
+        sizes = [m.size for m in view.messages if m.kind == "kind"]
+        assert sizes == [len(p) for p in payloads]
+        assert view.bytes_between("a", "b") == sum(len(p) for p in payloads)
+        assert view.bytes_sent_by("a") == sum(len(p) for p in payloads)
+        assert view.bytes_received_by("b") == sum(len(p) for p in payloads)
+
+    def test_broadcast_accounted_once_to_star(self, transport):
+        for name in ("pub", "s1", "s2", "s3", "s4"):
+            transport.register(name)
+        transport.broadcast("pub", "pkg", b"p" * 333)
+        for name in ("s1", "s2", "s3", "s4"):
+            drain(transport, name, 1)
+        view = accounting(transport)
+        records = [m for m in view.messages if m.kind == "pkg"]
+        assert len(records) == 1, "multicast must be accounted once, not per Sub"
+        assert records[0].receiver == BROADCAST
+        assert records[0].size == 333
+        assert view.bytes_sent_by("pub") == 333  # independent of audience size
+
+    def test_note_travels_with_accounting(self, transport):
+        transport.register("a")
+        transport.register("b")
+        transport.deliver("a", "b", "kind", b"z", note="the-note")
+        drain(transport, "b", 1)
+        view = accounting(transport)
+        [record] = [m for m in view.messages if m.kind == "kind"]
+        assert record.note == "the-note"

@@ -45,6 +45,7 @@ class TestErrorHierarchy:
             (errors.KeyDerivationError, errors.GKMError),
             (errors.CapacityError, errors.GKMError),
             (errors.RegistrationError, errors.SystemError_),
+            (errors.NetworkError, errors.SystemError_),
         ],
     )
     def test_specific_parentage(self, child, parent):

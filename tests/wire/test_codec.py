@@ -4,6 +4,8 @@ import pytest
 
 from repro.errors import ReproError, SerializationError
 from repro.wire.codec import (
+    DEFAULT_MAX_FRAME_PAYLOAD,
+    FRAME_HEADER_SIZE,
     WIRE_MAGIC,
     WIRE_VERSION,
     Cursor,
@@ -127,3 +129,46 @@ class TestFrames:
         frame = encode_frame(1, b"abcdef")[:-3]
         with pytest.raises(SerializationError):
             decode_frame(frame)
+
+
+class TestFrameSizeCap:
+    @staticmethod
+    def _frame_declaring(length):
+        """A header declaring ``length`` payload bytes (none attached)."""
+        import struct
+
+        return struct.pack(">2sBBI", WIRE_MAGIC, WIRE_VERSION, 1, length)
+
+    def test_hostile_u32_length_rejected_before_allocation(self):
+        # A peer declaring ~4 GiB must draw a SerializationError mentioning
+        # the cap, not a truncation error after an attempted allocation.
+        frame = self._frame_declaring(0xFFFFFFFF)
+        with pytest.raises(SerializationError, match="cap"):
+            decode_frame(frame)
+        with pytest.raises(SerializationError, match="cap"):
+            list(iter_frames(frame))
+
+    def test_cap_is_configurable(self):
+        frame = encode_frame(1, b"x" * 100)
+        assert decode_frame(frame) == (1, b"x" * 100)
+        with pytest.raises(SerializationError, match="cap"):
+            decode_frame(frame, max_payload=99)
+        with pytest.raises(SerializationError, match="cap"):
+            list(iter_frames(frame, max_payload=99))
+        # iter_frames applies the cap per frame, not to the concatenation.
+        stream = encode_frame(1, b"a" * 60) + encode_frame(2, b"b" * 60)
+        assert len(list(iter_frames(stream, max_payload=64))) == 2
+
+    def test_frame_at_cap_round_trips(self):
+        payload = b"z" * 128
+        frame = encode_frame(7, payload, max_payload=128)
+        assert decode_frame(frame, max_payload=128) == (7, payload)
+
+    def test_encode_side_enforces_cap(self):
+        with pytest.raises(SerializationError, match="cap"):
+            encode_frame(1, b"x" * 11, max_payload=10)
+
+    def test_default_cap_sane(self):
+        assert DEFAULT_MAX_FRAME_PAYLOAD >= 1 << 20  # room for big packages
+        assert DEFAULT_MAX_FRAME_PAYLOAD < 1 << 32  # below the u32 ceiling
+        assert FRAME_HEADER_SIZE == 8
