@@ -1,12 +1,22 @@
-"""Small timing utilities shared by the figure drivers."""
+"""Small timing utilities shared by the figure drivers, plus the
+machine-readable ``BENCH_<name>.json`` emitter that makes the perf
+trajectory trackable across PRs (CI uploads the files as artifacts)."""
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-__all__ = ["Measurement", "avg_time", "format_table"]
+__all__ = [
+    "Measurement",
+    "avg_time",
+    "bench_output_dir",
+    "emit_bench_json",
+    "format_table",
+]
 
 
 @dataclass(frozen=True)
@@ -37,6 +47,60 @@ def avg_time(fn: Callable[[], object], rounds: int = 3) -> Measurement:
         maximum=max(times),
         rounds=len(times),
     )
+
+
+def bench_output_dir() -> str:
+    """Where ``BENCH_*.json`` files land.
+
+    ``REPRO_BENCH_DIR`` overrides (CI sets it to the artifact directory);
+    the default is the current working directory, so a local
+    ``pytest benchmarks/`` run leaves its results next to the checkout.
+    """
+    return os.environ.get("REPRO_BENCH_DIR", ".")
+
+
+def emit_bench_json(
+    name: str,
+    op: str,
+    params: Dict[str, object],
+    measurements: Dict[str, Measurement],
+    bytes_counts: Optional[Dict[str, int]] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write one benchmark's result as ``BENCH_<name>.json``; returns the path.
+
+    The schema is deliberately flat and stable: ``op`` names what was
+    measured, ``params`` the knobs, ``measurements`` maps each measured
+    variant to its wall-time statistics (seconds), ``bytes`` any size
+    observations.  Comparing two PRs is ``diff`` over two directories.
+    """
+    payload: Dict[str, object] = {
+        "name": name,
+        "op": op,
+        "params": dict(params),
+        "measurements": {
+            label: {
+                "mean_s": m.mean,
+                "min_s": m.minimum,
+                "max_s": m.maximum,
+                "rounds": m.rounds,
+            }
+            for label, m in measurements.items()
+        },
+    }
+    if bytes_counts:
+        payload["bytes"] = dict(bytes_counts)
+    if extra:
+        payload.update(extra)
+    out_dir = bench_output_dir()
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "BENCH_%s.json" % name)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
 
 
 def format_table(

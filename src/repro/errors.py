@@ -99,6 +99,27 @@ class SerializationError(ReproError):
     """Malformed serialized bytes."""
 
 
+class StoreError(ReproError):
+    """Errors from the durable state layer (:mod:`repro.store`)."""
+
+
+class LogCorruptionError(StoreError):
+    """A fully-present WAL/snapshot record failed its integrity checks
+    (bad magic, CRC mismatch, oversized declaration, mid-log garbage).
+    A *truncated final* record is not corruption -- it is the expected
+    shape of a torn write and is silently dropped on replay."""
+
+
+class StoreVersionError(StoreError):
+    """On-disk state was written by an incompatible store format version,
+    or a snapshot and its WAL do not belong to the same generation."""
+
+
+class SnapshotMismatchError(StoreError):
+    """A recovered snapshot disagrees with the live entity it is being
+    applied to (wrong entity name, different policy set, ...)."""
+
+
 class SystemError_(ReproError):
     """Errors in the system layer (entities, transport, registration)."""
 

@@ -29,6 +29,12 @@ def add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         help="parameter bundle path (IdMgr writes, others read)")
     parser.add_argument("--timeout", type=float, default=120.0,
                         help="overall deadline for lifecycle phases")
+    parser.add_argument("--data-dir", default=None,
+                        help="durable state directory for THIS entity "
+                             "(repro.store snapshot + WAL); the process "
+                             "recovers from it on start and journals every "
+                             "state transition to it.  Omit to run "
+                             "in-memory only.")
 
 
 def install_stop_signals() -> threading.Event:

@@ -14,6 +14,7 @@ from repro.net._cli import add_common_arguments, install_stop_signals, parse_end
 from repro.net.bootstrap import build_identity_stack, load_scenario, write_bundle
 from repro.net.runtime import pump_forever
 from repro.net.transport import TcpTransport
+from repro.store import IdMgrPersistence
 from repro.system.service import IdentityManagerEndpoint
 
 __all__ = ["main"]
@@ -29,22 +30,38 @@ def main(argv=None) -> int:
 
     scenario = load_scenario(args.scenario)
     idp, idmgr, nyms, assertions = build_identity_stack(scenario)
+    persistence = None
+    if args.data_dir:
+        # Recovery restores the signing key, pseudonym counter and the
+        # issued-token registry before the (re-derived) bundle is
+        # published, so the public key on disk and in the bundle agree.
+        persistence = IdMgrPersistence.attach(args.data_dir, idmgr)
+        if persistence.recovered:
+            print("recovered idmgr state: %d issued tokens, nym counter %d"
+                  % (len(idmgr.issued), idmgr.nym_counter), flush=True)
     write_bundle(args.bundle, scenario, idmgr, nyms, assertions)
     print("bundle written to %s (%d users)" % (args.bundle, len(nyms)), flush=True)
 
     stop = install_stop_signals()
     host, port = parse_endpoint(args.broker)
-    with TcpTransport(host, port) as transport:
-        endpoint = IdentityManagerEndpoint(
-            idmgr, transport, name=scenario["idmgr"]
-        )
-        print("idmgr serving as %r on %s" % (endpoint.name, args.broker), flush=True)
-        errors = []
-        pump_forever([endpoint], stop, errors=errors)
-        for error in errors:
-            print("absorbed: %s" % error, flush=True)
-        if endpoint.rejections:
-            print("rejected %d token requests" % len(endpoint.rejections), flush=True)
+    try:
+        with TcpTransport(host, port) as transport:
+            endpoint = IdentityManagerEndpoint(
+                idmgr, transport, name=scenario["idmgr"],
+                persistence=persistence,
+            )
+            print("idmgr serving as %r on %s" % (endpoint.name, args.broker),
+                  flush=True)
+            errors = []
+            pump_forever([endpoint], stop, errors=errors)
+            for error in errors:
+                print("absorbed: %s" % error, flush=True)
+            if endpoint.rejections:
+                print("rejected %d token requests" % len(endpoint.rejections),
+                      flush=True)
+    finally:
+        if persistence is not None:
+            persistence.close()
     return 0
 
 

@@ -11,6 +11,14 @@ Two modes:
   unicast), then write a JSON report with the broker-measured byte
   accounting and exit.  ``examples/networked_service.py`` drives this
   mode and asserts on the report.
+
+With ``--data-dir`` the CSS table, policies and GKM epoch are durable
+(:mod:`repro.store`).  A restarted publisher recovers them, *skips* the
+registration wait, and resumes with a rekey-on-recovery broadcast: fresh
+ACV headers over the recovered table, which every already-registered
+subscriber can open with its unchanged CSSs.  Zero unicast, no
+re-registration -- the exact O(N)-avoidance the paper's GKM buys,
+preserved across crashes.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from repro.net.runtime import (
     wait_until_quiet,
 )
 from repro.net.transport import TcpTransport
+from repro.store import PublisherPersistence
 from repro.system.service import DisseminationService
 
 __all__ = ["main"]
@@ -48,20 +57,29 @@ def _scenario_documents(scenario: dict):
         )
 
 
-def _run_lifecycle(args, scenario, bundle, service, transport, stop) -> dict:
+def _run_lifecycle(args, scenario, bundle, service, transport, stop,
+                   recovered_cells=0) -> dict:
     publisher = service.publisher
     expected = expected_registrations(scenario)
-    print("waiting for %d registrations..." % expected, flush=True)
-    pump_until(
-        [service],
-        lambda: publisher.table.cell_count() >= expected,
-        timeout=args.timeout,
-        stop=stop,
-    )
-    # Table completeness is necessary, not sufficient: CSS cells are
-    # minted at request time, while the OCBE envelopes that let the Subs
-    # *extract* them may still be in flight.  Quiescence closes that gap.
-    wait_until_quiet(transport, [service], timeout=args.timeout)
+    if recovered_cells >= expected:
+        # The durable table already holds every CSS: the first publish
+        # below is the rekey-on-recovery broadcast, and no subscriber
+        # sends a single registration frame.
+        print("recovered %d/%d registrations from the data dir; "
+              "skipping the registration wait" % (recovered_cells, expected),
+              flush=True)
+    else:
+        print("waiting for %d registrations..." % expected, flush=True)
+        pump_until(
+            [service],
+            lambda: publisher.table.cell_count() >= expected,
+            timeout=args.timeout,
+            stop=stop,
+        )
+        # Table completeness is necessary, not sufficient: CSS cells are
+        # minted at request time, while the OCBE envelopes that let the Subs
+        # *extract* them may still be in flight.  Quiescence closes that gap.
+        wait_until_quiet(transport, [service], timeout=args.timeout)
     cells_registered = publisher.table.cell_count()
     print("all registrations complete", flush=True)
 
@@ -84,6 +102,8 @@ def _run_lifecycle(args, scenario, bundle, service, transport, stop) -> dict:
           flush=True)
     return {
         "publisher": publisher.name,
+        "recovered_cells": recovered_cells,
+        "gkm_epoch": publisher.epoch,
         "table_cells_registered": cells_registered,
         "table_cells_after_revoke": publisher.table.cell_count(),
         "expected_registrations": expected,
@@ -122,23 +142,51 @@ def main(argv=None) -> int:
     bundle = read_bundle(args.bundle)
     publisher = build_publisher(scenario, bundle.public_key)
 
+    persistence = None
+    recovered_cells = 0
+    if args.data_dir:
+        persistence = PublisherPersistence.attach(args.data_dir, publisher)
+        recovered_cells = (
+            publisher.table.cell_count() if persistence.recovered else 0
+        )
+        if persistence.recovered:
+            print("recovered publisher state: %d CSS cells, epoch %d"
+                  % (recovered_cells, publisher.epoch), flush=True)
+
     stop = install_stop_signals()
     host, port = parse_endpoint(args.broker)
-    with TcpTransport(host, port) as transport:
-        service = DisseminationService(publisher, transport)
-        print("publisher serving as %r on %s" % (publisher.name, args.broker),
-              flush=True)
-        if args.serve:
-            pump_forever([service], stop)
-            return 0
-        try:
-            report = _run_lifecycle(args, scenario, bundle, service, transport, stop)
-        except StopRequested:
-            print("stop signal received; exiting without a report", flush=True)
-            return 0
-        if args.report:
-            write_json(args.report, report)
-        print(json.dumps(report, indent=2, sort_keys=True), flush=True)
+    try:
+        with TcpTransport(host, port) as transport:
+            service = DisseminationService(
+                publisher, transport, persistence=persistence
+            )
+            print("publisher serving as %r on %s" % (publisher.name, args.broker),
+                  flush=True)
+            if args.serve:
+                if recovered_cells:
+                    # Rekey-on-recovery for the long-running shape too: the
+                    # first act after a crash is a fresh broadcast so the
+                    # recovered table's subscribers resume decrypting.
+                    for document in _scenario_documents(scenario):
+                        service.publish(document)
+                        print("rekey-on-recovery broadcast of %r" % document.name,
+                              flush=True)
+                pump_forever([service], stop)
+                return 0
+            try:
+                report = _run_lifecycle(
+                    args, scenario, bundle, service, transport, stop,
+                    recovered_cells=recovered_cells,
+                )
+            except StopRequested:
+                print("stop signal received; exiting without a report", flush=True)
+                return 0
+            if args.report:
+                write_json(args.report, report)
+            print(json.dumps(report, indent=2, sort_keys=True), flush=True)
+    finally:
+        if persistence is not None:
+            persistence.close()
     return 0
 
 

@@ -1,0 +1,430 @@
+"""Typed on-disk encodings for each entity's durable state.
+
+Two families share one numeric type-id space (the record framing in
+:mod:`repro.store.wal` carries the id):
+
+* **snapshots** -- a full copy of one entity's long-lived secret state:
+  the IdMgr's signing key, pseudonym counter and issued-token registry;
+  the publisher's policy configuration, CSS table ``T`` and GKM epoch;
+  a subscriber's token wallet (with private openings) and extracted
+  CSSs.
+* **WAL records** -- the individual state *transitions* journaled
+  between snapshots: a token issued, a CSS installed in ``T``, a
+  credential or subscription revoked, an epoch advanced, a token held or
+  a CSS extracted on the subscriber side.
+
+Every class mirrors the :mod:`repro.wire.messages` discipline: a stable
+``TYPE_ID``, an exact ``to_bytes`` (``byte_size() == len(to_bytes())``),
+and a bounds-checked ``from_payload`` that raises
+:class:`~repro.errors.SerializationError` on any malformed input --
+recovery must be as hostile-input-proof as the sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Type
+
+from repro.errors import SerializationError
+from repro.groups.base import CyclicGroup
+from repro.policy.acp import AccessControlPolicy
+from repro.system.identity import IdentityToken
+from repro.wire.codec import (
+    Cursor,
+    pack_bool,
+    pack_bytes,
+    pack_scalar,
+    pack_str,
+    pack_u16,
+    pack_u32,
+)
+from repro.wire.messages import pack_condition, read_condition
+
+__all__ = [
+    "StateRecord",
+    "IdMgrSnapshot",
+    "PublisherSnapshot",
+    "SubscriberSnapshot",
+    "TokenIssuedRecord",
+    "CssInstalledRecord",
+    "CredentialRevokedRecord",
+    "SubscriptionRevokedRecord",
+    "EpochAdvancedRecord",
+    "TokenHeldRecord",
+    "CssExtractedRecord",
+    "STORE_RECORD_TYPES",
+    "decode_state",
+]
+
+
+class StateRecord:
+    """Base class: subclasses define ``TYPE_ID`` and the codec."""
+
+    TYPE_ID: int = -1
+
+    def to_bytes(self) -> bytes:
+        raise NotImplementedError
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "StateRecord":
+        raise NotImplementedError
+
+    def byte_size(self) -> int:
+        """Exact encoded size: ``len(self.to_bytes())``."""
+        return len(self.to_bytes())
+
+
+def _pack_policy(policy: AccessControlPolicy) -> bytes:
+    out = bytearray(pack_u16(len(policy.conditions)))
+    for condition in policy.conditions:
+        out += pack_condition(condition)
+    objects = sorted(policy.objects)
+    out += pack_u16(len(objects))
+    for name in objects:
+        out += pack_str(name)
+    out += pack_str(policy.document)
+    return bytes(out)
+
+
+def _read_policy(cursor: Cursor) -> AccessControlPolicy:
+    conditions = tuple(
+        read_condition(cursor) for _ in range(cursor.read_u16())
+    )
+    objects = frozenset(cursor.read_str() for _ in range(cursor.read_u16()))
+    document = cursor.read_str()
+    try:
+        return AccessControlPolicy(
+            conditions=conditions, objects=objects, document=document
+        )
+    except Exception as exc:  # empty conditions/objects: PolicyParseError
+        raise SerializationError("invalid policy in snapshot: %s" % exc) from exc
+
+
+# -- snapshots ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IdMgrSnapshot(StateRecord):
+    """The IdMgr's secret state: signing key, pseudonym counter, and the
+    registry of issued tokens ``(nym, tag, decoy?)``."""
+
+    group_name: str
+    signing_key: int
+    nym_counter: int
+    issued: Tuple[Tuple[str, str, bool], ...]
+
+    TYPE_ID = 1
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(pack_str(self.group_name))
+        out += pack_scalar(self.signing_key)
+        out += pack_u32(self.nym_counter)
+        out += pack_u32(len(self.issued))
+        for nym, tag, decoy in self.issued:
+            out += pack_str(nym) + pack_str(tag) + pack_bool(decoy)
+        return bytes(out)
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "IdMgrSnapshot":
+        cursor = Cursor(payload)
+        group_name = cursor.read_str()
+        signing_key = cursor.read_scalar()
+        nym_counter = cursor.read_u32()
+        count = cursor.read_u32()
+        issued = tuple(
+            (cursor.read_str(), cursor.read_str(), cursor.read_bool())
+            for _ in range(count)
+        )
+        cursor.expect_end()
+        return cls(
+            group_name=group_name,
+            signing_key=signing_key,
+            nym_counter=nym_counter,
+            issued=issued,
+        )
+
+
+@dataclass(frozen=True)
+class PublisherSnapshot(StateRecord):
+    """The publisher's durable state: the policy configuration it was
+    serving (recorded so recovery can refuse a drifted deployment), the
+    CSS table ``T``, and the GKM epoch (how many ACV rekeys this table
+    has been broadcast under)."""
+
+    name: str
+    epoch: int
+    policies: Tuple[AccessControlPolicy, ...]
+    table: Tuple[Tuple[str, Tuple[Tuple[str, bytes], ...]], ...]
+
+    TYPE_ID = 2
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(pack_str(self.name))
+        out += pack_u32(self.epoch)
+        out += pack_u16(len(self.policies))
+        for policy in self.policies:
+            out += _pack_policy(policy)
+        out += pack_u32(len(self.table))
+        for nym, cells in self.table:
+            out += pack_str(nym)
+            out += pack_u16(len(cells))
+            for condition_key, css in cells:
+                out += pack_str(condition_key) + pack_bytes(css)
+        return bytes(out)
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "PublisherSnapshot":
+        cursor = Cursor(payload)
+        name = cursor.read_str()
+        epoch = cursor.read_u32()
+        policies = tuple(_read_policy(cursor) for _ in range(cursor.read_u16()))
+        rows = []
+        for _ in range(cursor.read_u32()):
+            nym = cursor.read_str()
+            cells = tuple(
+                (cursor.read_str(), cursor.read_bytes())
+                for _ in range(cursor.read_u16())
+            )
+            rows.append((nym, cells))
+        cursor.expect_end()
+        return cls(name=name, epoch=epoch, policies=policies, table=tuple(rows))
+
+
+@dataclass(frozen=True)
+class SubscriberSnapshot(StateRecord):
+    """A subscriber's secret state: the token wallet *with private
+    openings* ``(x, r)`` and the CSS cache extracted over past
+    registrations.  This file is as sensitive as the wallet itself."""
+
+    nym: str
+    wallet: Tuple[Tuple[bytes, int, int], ...]  # (token bytes, x, r)
+    css: Tuple[Tuple[str, bytes], ...]
+
+    TYPE_ID = 3
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(pack_str(self.nym))
+        out += pack_u16(len(self.wallet))
+        for token_raw, x, r in self.wallet:
+            out += pack_bytes(token_raw) + pack_scalar(x) + pack_scalar(r)
+        out += pack_u16(len(self.css))
+        for condition_key, css in self.css:
+            out += pack_str(condition_key) + pack_bytes(css)
+        return bytes(out)
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "SubscriberSnapshot":
+        cursor = Cursor(payload)
+        nym = cursor.read_str()
+        wallet = tuple(
+            (cursor.read_bytes(), cursor.read_scalar(), cursor.read_scalar())
+            for _ in range(cursor.read_u16())
+        )
+        css = tuple(
+            (cursor.read_str(), cursor.read_bytes())
+            for _ in range(cursor.read_u16())
+        )
+        cursor.expect_end()
+        return cls(nym=nym, wallet=wallet, css=css)
+
+    def tokens(self, group: CyclicGroup) -> Tuple[Tuple[IdentityToken, int, int], ...]:
+        """The wallet with token bytes decoded against ``group``."""
+        return tuple(
+            (IdentityToken.from_bytes(raw, group), x, r)
+            for raw, x, r in self.wallet
+        )
+
+
+# -- WAL records -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TokenIssuedRecord(StateRecord):
+    """IdMgr: one token left the building (registry entry, not the token)."""
+
+    nym: str
+    tag: str
+    decoy: bool
+
+    TYPE_ID = 16
+
+    def to_bytes(self) -> bytes:
+        return pack_str(self.nym) + pack_str(self.tag) + pack_bool(self.decoy)
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "TokenIssuedRecord":
+        cursor = Cursor(payload)
+        record = cls(
+            nym=cursor.read_str(),
+            tag=cursor.read_str(),
+            decoy=cursor.read_bool(),
+        )
+        cursor.expect_end()
+        return record
+
+
+@dataclass(frozen=True)
+class CssInstalledRecord(StateRecord):
+    """Publisher: a CSS was minted into table cell ``(nym, condition)``.
+
+    Journaled *before* the registration ack leaves, so an acked
+    registration is always recoverable (the write-ahead contract)."""
+
+    nym: str
+    condition_key: str
+    css: bytes
+
+    TYPE_ID = 17
+
+    def to_bytes(self) -> bytes:
+        return (
+            pack_str(self.nym)
+            + pack_str(self.condition_key)
+            + pack_bytes(self.css)
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "CssInstalledRecord":
+        cursor = Cursor(payload)
+        record = cls(
+            nym=cursor.read_str(),
+            condition_key=cursor.read_str(),
+            css=cursor.read_bytes(),
+        )
+        cursor.expect_end()
+        return record
+
+
+@dataclass(frozen=True)
+class CredentialRevokedRecord(StateRecord):
+    """Publisher: one CSS cell dropped (credential revocation)."""
+
+    nym: str
+    condition_key: str
+
+    TYPE_ID = 18
+
+    def to_bytes(self) -> bytes:
+        return pack_str(self.nym) + pack_str(self.condition_key)
+
+    @classmethod
+    def from_payload(
+        cls, payload: bytes, group: CyclicGroup
+    ) -> "CredentialRevokedRecord":
+        cursor = Cursor(payload)
+        record = cls(nym=cursor.read_str(), condition_key=cursor.read_str())
+        cursor.expect_end()
+        return record
+
+
+@dataclass(frozen=True)
+class SubscriptionRevokedRecord(StateRecord):
+    """Publisher: a pseudonym's whole row dropped (subscription ends)."""
+
+    nym: str
+
+    TYPE_ID = 19
+
+    def to_bytes(self) -> bytes:
+        return pack_str(self.nym)
+
+    @classmethod
+    def from_payload(
+        cls, payload: bytes, group: CyclicGroup
+    ) -> "SubscriptionRevokedRecord":
+        cursor = Cursor(payload)
+        record = cls(nym=cursor.read_str())
+        cursor.expect_end()
+        return record
+
+
+@dataclass(frozen=True)
+class EpochAdvancedRecord(StateRecord):
+    """Publisher: one ACV rekey broadcast went out under this epoch."""
+
+    epoch: int
+
+    TYPE_ID = 20
+
+    def to_bytes(self) -> bytes:
+        return pack_u32(self.epoch)
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "EpochAdvancedRecord":
+        cursor = Cursor(payload)
+        record = cls(epoch=cursor.read_u32())
+        cursor.expect_end()
+        return record
+
+
+@dataclass(frozen=True)
+class TokenHeldRecord(StateRecord):
+    """Subscriber: a token plus its private opening entered the wallet."""
+
+    token_raw: bytes
+    x: int
+    r: int
+
+    TYPE_ID = 21
+
+    def to_bytes(self) -> bytes:
+        return pack_bytes(self.token_raw) + pack_scalar(self.x) + pack_scalar(self.r)
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "TokenHeldRecord":
+        cursor = Cursor(payload)
+        record = cls(
+            token_raw=cursor.read_bytes(),
+            x=cursor.read_scalar(),
+            r=cursor.read_scalar(),
+        )
+        cursor.expect_end()
+        return record
+
+    def token(self, group: CyclicGroup) -> IdentityToken:
+        return IdentityToken.from_bytes(self.token_raw, group)
+
+
+@dataclass(frozen=True)
+class CssExtractedRecord(StateRecord):
+    """Subscriber: an OCBE transfer opened; the CSS is now held locally."""
+
+    condition_key: str
+    css: bytes
+
+    TYPE_ID = 22
+
+    def to_bytes(self) -> bytes:
+        return pack_str(self.condition_key) + pack_bytes(self.css)
+
+    @classmethod
+    def from_payload(cls, payload: bytes, group: CyclicGroup) -> "CssExtractedRecord":
+        cursor = Cursor(payload)
+        record = cls(condition_key=cursor.read_str(), css=cursor.read_bytes())
+        cursor.expect_end()
+        return record
+
+
+STORE_RECORD_TYPES: Dict[int, Type[StateRecord]] = {
+    cls.TYPE_ID: cls
+    for cls in (
+        IdMgrSnapshot,
+        PublisherSnapshot,
+        SubscriberSnapshot,
+        TokenIssuedRecord,
+        CssInstalledRecord,
+        CredentialRevokedRecord,
+        SubscriptionRevokedRecord,
+        EpochAdvancedRecord,
+        TokenHeldRecord,
+        CssExtractedRecord,
+    )
+}
+
+
+def decode_state(type_id: int, payload: bytes, group: CyclicGroup) -> StateRecord:
+    """Decode one store record payload back into its typed form."""
+    cls = STORE_RECORD_TYPES.get(type_id)
+    if cls is None:
+        raise SerializationError("unknown store record type %d" % type_id)
+    return cls.from_payload(payload, group)

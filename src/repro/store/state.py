@@ -1,0 +1,306 @@
+"""The :class:`StateStore`: one entity's durable state directory.
+
+On-disk layout (also diagrammed in ``DESIGN.md``)::
+
+    <data-dir>/
+        snapshot.bin      one wrapper record: store version, generation,
+                          and the entity snapshot payload (atomic:
+                          written to a temp file, fsynced, renamed)
+        wal-<GGGGGGGG>.log  the write-ahead log for that snapshot
+                          generation; first record is a genesis stamp
+                          (store version + generation), then one record
+                          per journaled state transition
+
+Recovery sequence:
+
+1. read ``snapshot.bin`` (if present): integrity-check the wrapper
+   record, refuse foreign store versions, learn the generation ``g``;
+2. open ``wal-g.log``: truncate any torn tail, verify its genesis stamp
+   matches the snapshot's version *and* generation -- a mismatch means
+   the directory holds halves of two different histories
+   (:class:`~repro.errors.StoreVersionError`), never silently replayable;
+3. expose the snapshot payload plus the journaled tail; the entity
+   adapter in :mod:`repro.store.persist` applies both to a live object.
+
+Compaction (``save_snapshot``) is crash-safe by ordering: the
+generation-``g+1`` WAL (genesis only) is created first, then the new
+snapshot is atomically renamed into place, then stale WALs are deleted.
+A crash between any two steps leaves exactly one coherent
+(snapshot, WAL) pair to recover from.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List, Optional
+
+from repro.errors import LogCorruptionError, StoreVersionError
+from repro.store.wal import WalRecord, WriteAheadLog, decode_record, encode_record
+from repro.wire.codec import (
+    DEFAULT_MAX_FRAME_PAYLOAD,
+    Cursor,
+    SerializationError,
+    pack_bytes,
+    pack_u8,
+    pack_u16,
+    pack_u32,
+)
+
+__all__ = ["STORE_VERSION", "SNAPSHOT_WRAPPER_TYPE", "WAL_GENESIS_TYPE", "StateStore"]
+
+#: Bumped on any incompatible change to the wrapper/genesis layout or the
+#: snapshot encodings; recovery refuses foreign versions loudly.
+STORE_VERSION = 1
+
+#: Record type of the snapshot file's single wrapper record.
+SNAPSHOT_WRAPPER_TYPE = 254
+#: Record type of the stamp opening every WAL file.
+WAL_GENESIS_TYPE = 255
+
+SNAPSHOT_FILE = "snapshot.bin"
+_WAL_RE = re.compile(r"^wal-(\d{8})\.log$")
+
+
+def _genesis_payload(generation: int) -> bytes:
+    return pack_u16(STORE_VERSION) + pack_u32(generation)
+
+
+def _read_versioned(cursor: Cursor, what: str) -> int:
+    """Read and validate the ``store version`` field; returns generation."""
+    version = cursor.read_u16()
+    if version != STORE_VERSION:
+        raise StoreVersionError(
+            "%s was written by store version %d (speaking %d)"
+            % (what, version, STORE_VERSION)
+        )
+    return cursor.read_u32()
+
+
+class StateStore:
+    """Durable snapshot + WAL pair for one entity's data directory."""
+
+    #: Cap on the snapshot file's wrapper record.  Deliberately far above
+    #: the per-frame wire cap: a WAL record is sized like one protocol
+    #: message, but a snapshot aggregates an entity's *whole* state (the
+    #: CSS table grows O(subscribers)), and it is a trusted local file
+    #: guarded by a CRC -- rejecting it at 16 MiB would wedge compaction
+    #: for exactly the large deployments durability exists for.
+    DEFAULT_MAX_SNAPSHOT_PAYLOAD = 1 << 30
+
+    def __init__(
+        self,
+        data_dir: str,
+        sync: bool = True,
+        max_payload: int = DEFAULT_MAX_FRAME_PAYLOAD,
+        max_snapshot_payload: Optional[int] = None,
+    ):
+        self.data_dir = data_dir
+        self.sync = sync
+        self.max_payload = max_payload
+        self.max_snapshot_payload = (
+            max_snapshot_payload
+            if max_snapshot_payload is not None
+            else max(self.DEFAULT_MAX_SNAPSHOT_PAYLOAD, max_payload)
+        )
+        os.makedirs(data_dir, exist_ok=True)
+        #: The recovered snapshot record (entity type id + payload), if any.
+        self.snapshot: Optional[WalRecord] = None
+        #: Entity records journaled after the snapshot, in append order.
+        self.tail: List[WalRecord] = []
+        self.generation = 0
+        self._wal: Optional[WriteAheadLog] = None
+        self._recovered = False
+        self._recover()
+        self._recovered = self.snapshot is not None or bool(self.tail)
+
+    # -- recovery ----------------------------------------------------------
+
+    def _snapshot_path(self) -> str:
+        return os.path.join(self.data_dir, SNAPSHOT_FILE)
+
+    def _wal_path(self, generation: int) -> str:
+        return os.path.join(self.data_dir, "wal-%08d.log" % generation)
+
+    def _recover(self) -> None:
+        snap_path = self._snapshot_path()
+        if os.path.exists(snap_path):
+            with open(snap_path, "rb") as handle:
+                wrapper = decode_record(handle.read(), self.max_snapshot_payload)
+            if wrapper.type_id != SNAPSHOT_WRAPPER_TYPE:
+                raise LogCorruptionError(
+                    "snapshot file holds record type %d, not a snapshot wrapper"
+                    % wrapper.type_id
+                )
+            try:
+                cursor = Cursor(wrapper.payload)
+                self.generation = _read_versioned(cursor, "snapshot")
+                inner_type = cursor.read_u8()
+                inner_payload = cursor.read_bytes()
+                cursor.expect_end()
+            except SerializationError as exc:
+                raise LogCorruptionError(
+                    "malformed snapshot wrapper: %s" % exc
+                ) from exc
+            self.snapshot = WalRecord(type_id=inner_type, payload=inner_payload)
+            wal_path = self._wal_path(self.generation)
+            if not os.path.exists(wal_path) or os.path.getsize(wal_path) == 0:
+                # save_snapshot creates the generation's WAL (with its
+                # genesis stamp) *before* the snapshot rename, so a
+                # snapshot whose WAL is missing/empty means the log was
+                # lost externally -- and with it, possibly revocations.
+                # Guessing "nothing happened since the snapshot" would
+                # resurrect revoked access; refuse instead.
+                raise LogCorruptionError(
+                    "snapshot generation %d has no write-ahead log; the "
+                    "journaled transitions since that snapshot are lost"
+                    % self.generation
+                )
+
+        self._wal = WriteAheadLog(
+            self._wal_path(self.generation),
+            max_payload=self.max_payload,
+            sync=self.sync,
+        )
+        recovered = self._wal.recovered
+        if recovered:
+            genesis = recovered[0]
+            if genesis.type_id != WAL_GENESIS_TYPE:
+                raise LogCorruptionError(
+                    "WAL does not open with a genesis stamp (type %d)"
+                    % genesis.type_id
+                )
+            try:
+                cursor = Cursor(genesis.payload)
+                wal_generation = _read_versioned(cursor, "WAL")
+                cursor.expect_end()
+            except SerializationError as exc:
+                raise LogCorruptionError(
+                    "malformed WAL genesis stamp: %s" % exc
+                ) from exc
+            if wal_generation != self.generation:
+                raise StoreVersionError(
+                    "WAL generation %d does not match snapshot generation %d"
+                    % (wal_generation, self.generation)
+                )
+            self.tail = list(recovered[1:])
+        else:
+            self._wal.append(WAL_GENESIS_TYPE, _genesis_payload(self.generation))
+            self.tail = []
+        self._remove_stray_wals()
+
+    def _remove_stray_wals(self) -> None:
+        """Drop WALs of other generations (pre-compaction leftovers)."""
+        for name in os.listdir(self.data_dir):
+            match = _WAL_RE.match(name)
+            if match and int(match.group(1)) != self.generation:
+                os.remove(os.path.join(self.data_dir, name))
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def recovered(self) -> bool:
+        """True when the directory held previous state (snapshot or tail)."""
+        return self._recovered
+
+    def release_recovered(self) -> None:
+        """Drop the in-memory copies of the recovered snapshot and tail.
+
+        Recovery applies them to a live entity exactly once; a
+        long-running server must not carry the whole pre-crash log (and a
+        possibly multi-MiB snapshot) for the rest of its life.
+        :attr:`recovered` keeps answering for the original directory state.
+        """
+        self.snapshot = None
+        self.tail = []
+        if self._wal is not None:
+            self._wal.recovered = []
+
+    @property
+    def pending_records(self) -> int:
+        """Entity records in the current WAL (the compaction pressure)."""
+        assert self._wal is not None
+        return max(0, self._wal.record_count - 1)  # minus the genesis stamp
+
+    # -- journaling --------------------------------------------------------
+
+    def append(self, type_id: int, payload: bytes) -> None:
+        """Durably journal one state transition."""
+        if self._wal is None:
+            raise LogCorruptionError("append on a closed StateStore")
+        self._wal.append(type_id, payload)
+
+    def save_snapshot(self, type_id: int, payload: bytes) -> None:
+        """Atomically replace the snapshot and rotate to a fresh WAL."""
+        if self._wal is None:
+            raise LogCorruptionError("save_snapshot on a closed StateStore")
+        new_generation = self.generation + 1
+        # 0. encode first: an over-cap/unencodable snapshot must fail
+        #    before any file exists, leaving the current pair untouched.
+        wrapper = (
+            pack_u16(STORE_VERSION)
+            + pack_u32(new_generation)
+            + pack_u8(type_id)
+            + pack_bytes(payload)
+        )
+        encoded = encode_record(
+            SNAPSHOT_WRAPPER_TYPE, wrapper, self.max_snapshot_payload
+        )
+        # 1. the next generation's WAL exists before the snapshot points
+        #    at it, so a crash in between recovers cleanly either way.  A
+        #    leftover wal-(G+1) from an earlier *failed* attempt (e.g. the
+        #    snapshot write hit ENOSPC) is discarded first -- appending a
+        #    second genesis stamp to it would poison the next recovery.
+        new_path = self._wal_path(new_generation)
+        if os.path.exists(new_path):
+            os.remove(new_path)
+        new_wal = WriteAheadLog(
+            new_path, max_payload=self.max_payload, sync=self.sync,
+        )
+        new_wal.append(WAL_GENESIS_TYPE, _genesis_payload(new_generation))
+        # 2. atomic snapshot replacement.
+        snap_path = self._snapshot_path()
+        tmp_path = snap_path + ".tmp"
+        try:
+            with open(tmp_path, "wb") as handle:
+                handle.write(encoded)
+                handle.flush()
+                if self.sync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp_path, snap_path)
+        except Exception:
+            new_wal.close()  # the retry discards and recreates the file
+            raise
+        if self.sync:
+            self._sync_dir()
+        # 3. retire the old generation.
+        old_wal, self._wal = self._wal, new_wal
+        old_wal.close()
+        self.generation = new_generation
+        self.snapshot = WalRecord(type_id=type_id, payload=payload)
+        self.tail = []
+        self._remove_stray_wals()
+
+    def _sync_dir(self) -> None:
+        """fsync the directory so the rename itself is durable."""
+        try:
+            fd = os.open(self.data_dir, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def __enter__(self) -> "StateStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -77,6 +77,14 @@ class CssTable:
         """The ordered CSS tuple for one (policy, subscriber) matrix row."""
         return tuple(self.get(nym, key) for key in condition_keys)
 
+    def rows(self) -> tuple:
+        """The full table as nested tuples (the snapshot encoding's view):
+        ``((nym, ((condition_key, css), ...)), ...)``, sorted both ways."""
+        return tuple(
+            (nym, tuple(sorted(self._rows[nym].items())))
+            for nym in self.pseudonyms()
+        )
+
     def condition_keys(self) -> List[str]:
         """All condition keys appearing anywhere in the table."""
         keys: Set[str] = set()

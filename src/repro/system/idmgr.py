@@ -10,7 +10,7 @@ reveals nothing about the value (unconditionally hiding commitment).
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.pedersen import PedersenParams
 from repro.crypto.schnorr_sig import SchnorrKeyPair
@@ -26,12 +26,24 @@ __all__ = ["IdentityManager"]
 class IdentityManager:
     """Pedersen setup authority + token issuer."""
 
-    def __init__(self, group: CyclicGroup, rng: Optional[random.Random] = None):
+    def __init__(
+        self,
+        group: CyclicGroup,
+        rng: Optional[random.Random] = None,
+        signing_key: Optional[int] = None,
+    ):
+        """``signing_key`` restores a previous run's secret scalar (the
+        durability layer passes it); omitted, a fresh key is drawn."""
         self.pedersen = PedersenParams(group)
-        self._keys = SchnorrKeyPair(group, rng=rng)
+        self._keys = SchnorrKeyPair(group, sk=signing_key, rng=rng)
         self._trusted_idps: Dict[str, IdentityProvider] = {}
         self._nym_counter = 0
         self._rng = rng
+        #: Registry of every issued token as ``(nym, tag, decoy?)`` -- the
+        #: auditable fact of issuance (the token itself lives with the Sub).
+        self.issued: List[Tuple[str, str, bool]] = []
+        #: Optional durability hook (:mod:`repro.store.persist`).
+        self.journal = None
 
     # -- public parameters ---------------------------------------------------
 
@@ -53,6 +65,29 @@ class IdentityManager:
     def verify_token(self, token: IdentityToken) -> bool:
         """Anyone-with-the-public-key token verification (the Pub does this)."""
         return self._keys.verify(token.signing_bytes(), token.signature)
+
+    # -- durable state (the secret half) -------------------------------------
+
+    @property
+    def signing_key(self) -> int:
+        """The secret signing scalar (snapshot-only; never on the wire)."""
+        return self._keys.sk
+
+    @property
+    def nym_counter(self) -> int:
+        """How many pseudonyms have been assigned."""
+        return self._nym_counter
+
+    def restore_signing_key(self, signing_key: int) -> None:
+        """Replace the key pair with a recovered secret scalar."""
+        self._keys = SchnorrKeyPair(self.group, sk=signing_key)
+
+    def restore_registry(
+        self, nym_counter: int, issued: Tuple[Tuple[str, str, bool], ...]
+    ) -> None:
+        """Restore the pseudonym counter and issued-token registry."""
+        self._nym_counter = nym_counter
+        self.issued = list(issued)
 
     # -- administration -------------------------------------------------------
 
@@ -98,7 +133,13 @@ class IdentityManager:
         token = IdentityToken(
             nym=nym, tag=tag, commitment=commitment, signature=signature
         )
+        self._record_issue(nym, tag, decoy=True)
         return token, x, r
+
+    def _record_issue(self, nym: str, tag: str, decoy: bool) -> None:
+        self.issued.append((nym, tag, decoy))
+        if self.journal is not None:
+            self.journal.token_issued(nym, tag, decoy)
 
     def issue_token(
         self,
@@ -128,4 +169,5 @@ class IdentityManager:
             commitment=commitment,
             signature=signature,
         )
+        self._record_issue(nym, assertion.name, decoy=False)
         return token, x, r

@@ -138,6 +138,15 @@ class Publisher:
         #: Keys of the most recent publish, per (document, config id) --
         #: retained for tests/audits only; a real Pub may discard them.
         self.last_keys: Dict[Tuple[str, str], int] = {}
+        #: GKM epoch: how many ACV rekey broadcasts this table has gone
+        #: out under.  Advanced by every :meth:`publish`; restored by the
+        #: durability layer so a recovered publisher resumes its history.
+        self.epoch = 0
+        #: Optional durability hook (:mod:`repro.store.persist`): every
+        #: state transition below announces itself here *before* the
+        #: triggering reply is built, which is what makes the journal
+        #: write-ahead.  ``None`` keeps the publisher purely in-memory.
+        self.journal = None
 
     # -- policy management ----------------------------------------------------
 
@@ -210,6 +219,8 @@ class Publisher:
         predicate = condition.predicate(self.params.attribute_bits)
         sender = sender_for(self._ocbe, predicate, self._rng)
         self.table.set(token.nym, condition.key(), css)
+        if self.journal is not None:
+            self.journal.css_installed(token.nym, condition.key(), css)
         return RegistrationOffer(
             condition=condition, sender=sender, token=token, css=css
         )
@@ -218,11 +229,17 @@ class Publisher:
 
     def revoke_subscription(self, nym: str) -> bool:
         """Remove a pseudonym entirely; next publish is the rekey."""
-        return self.table.remove_row(nym)
+        removed = self.table.remove_row(nym)
+        if removed and self.journal is not None:
+            self.journal.subscription_revoked(nym)
+        return removed
 
     def revoke_credential(self, nym: str, condition_key: str) -> bool:
         """Remove one CSS; next publish is the rekey."""
-        return self.table.remove_cell(nym, condition_key)
+        removed = self.table.remove_cell(nym, condition_key)
+        if removed and self.journal is not None:
+            self.journal.credential_revoked(nym, condition_key)
+        return removed
 
     # -- broadcast (Section V-C) --------------------------------------------------
 
@@ -289,6 +306,11 @@ class Publisher:
                         ciphertext=self.params.cipher.encrypt(sym_key, content),
                     )
                 )
+        self.epoch += 1
+        if self.journal is not None:
+            # Journaled before the package leaves: a publisher that crashes
+            # mid-broadcast recovers knowing this epoch's keys are burnt.
+            self.journal.epoch_advanced(self.epoch)
         return BroadcastPackage(
             document=document.name,
             headers=tuple(headers),

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.documents.model import Document
 from repro.documents.package import BroadcastPackage
 from repro.errors import (
+    InvalidParameterError,
     ProtocolStateError,
     RegistrationError,
     ReproError,
@@ -78,11 +79,20 @@ def _frame_kind(frame: bytes) -> str:
 
 
 class _Endpoint:
-    """Shared inbox-pumping plumbing."""
+    """Shared inbox-pumping plumbing.
 
-    def __init__(self, name: str, transport: Transport):
+    ``persistence`` optionally attaches a :mod:`repro.store.persist`
+    adapter: the endpoint keeps the reference (so operators can force a
+    snapshot or close the store through the endpoint) and the adapter's
+    journal hooks fire from inside the entity's state transitions --
+    always *before* the reply frames produced by the same delivery are
+    sent, which is what makes the journal write-ahead.
+    """
+
+    def __init__(self, name: str, transport: Transport, persistence=None):
         self.name = name
         self.transport = transport
+        self.persistence = persistence
         transport.register(name)
 
     def _send(self, receiver: str, frame: bytes, note: str = "") -> None:
@@ -112,8 +122,8 @@ class _Endpoint:
 class DisseminationService(_Endpoint):
     """The publisher's network endpoint."""
 
-    def __init__(self, publisher, transport: Transport):
-        super().__init__(publisher.name, transport)
+    def __init__(self, publisher, transport: Transport, persistence=None):
+        super().__init__(publisher.name, transport, persistence)
         self.publisher = publisher
         self.session = PublisherRegistrationSession(publisher)
 
@@ -157,11 +167,34 @@ class SubscriberClient(_Endpoint):
         transport: Transport,
         publisher_name: str,
         idmgr_name: str = "idmgr",
+        history_limit: Optional[int] = None,
+        persistence=None,
+        reuse_css: bool = False,
     ):
-        super().__init__(subscriber.nym, transport)
+        """``history_limit`` bounds the per-broadcast histories
+        (:attr:`packages` / :attr:`broadcasts`, plus the
+        :attr:`documents` entries only they still reference): the oldest
+        broadcasts are evicted once the limit is reached.  ``None`` (the
+        library default) keeps everything; the long-running
+        ``repro.net.subscriber`` server passes a bound."""
+        super().__init__(subscriber.nym, transport, persistence)
+        if history_limit is not None and history_limit < 1:
+            raise InvalidParameterError(
+                "history_limit must be a positive count or None"
+            )
         self.subscriber = subscriber
         self.publisher_name = publisher_name
         self.idmgr_name = idmgr_name
+        self.history_limit = history_limit
+        #: Treat a locally-held CSS as a completed registration and skip
+        #: the OCBE exchange for that condition.  This is what lets a
+        #: crash-recovered subscriber resume without re-registering (its
+        #: CSSs are durable on both ends).  Off by default: a fresh
+        #: exchange is also how a *credential update* replaces the CSS
+        #: after the committed value changed, and only the caller knows
+        #: which situation it is in (the net server enables this exactly
+        #: when it recovered state from its ``--data-dir``).
+        self.reuse_css = reuse_css
         self.results: Dict[str, Dict[str, bool]] = {}
         #: Publisher-side rejections (negative acks) by condition key --
         #: distinct from a False in ``results``, which a Sub also gets when
@@ -268,6 +301,12 @@ class SubscriberClient(_Endpoint):
             key = condition.key()
             if key in self._sessions:
                 continue  # a session is already in flight; let it finish
+            if self.reuse_css and key in self.subscriber.css_store:
+                # A durable CSS from a previous run: the publisher's table
+                # still holds the matching cell, so registration is already
+                # complete -- zero frames, zero unicast.
+                outcomes[key] = True
+                continue
             session = SubscriberRegistrationSession(
                 self.subscriber, condition, rng=self.subscriber.rng
             )
@@ -310,6 +349,18 @@ class SubscriberClient(_Endpoint):
             self.documents[package.document] = {}
             self.failures["broadcast:%s" % package.document] = str(exc)
         self.broadcasts.append(self.documents[package.document])
+        self._evict_history()
+
+    def _evict_history(self) -> None:
+        """Enforce :attr:`history_limit`: a subscriber that lives through
+        millions of broadcasts must not grow memory with every one."""
+        if self.history_limit is None:
+            return
+        while len(self.packages) > self.history_limit:
+            evicted = self.packages.pop(0)
+            self.broadcasts.pop(0)
+            if all(kept.document != evicted.document for kept in self.packages):
+                self.documents.pop(evicted.document, None)
 
     # -- conveniences -------------------------------------------------------
 
@@ -335,8 +386,10 @@ class IdentityManagerEndpoint(_Endpoint):
     ``rejections``.)
     """
 
-    def __init__(self, idmgr, transport: Transport, name: str = "idmgr"):
-        super().__init__(name, transport)
+    def __init__(
+        self, idmgr, transport: Transport, name: str = "idmgr", persistence=None
+    ):
+        super().__init__(name, transport, persistence)
         self.idmgr = idmgr
         #: ``[(requester nym, attribute, reason), ...]`` of refused requests.
         self.rejections: List[tuple] = []

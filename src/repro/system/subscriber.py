@@ -61,6 +61,10 @@ class Subscriber:
             key_len=params.key_len,
         )
         self._rng = rng
+        #: Optional durability hook (:mod:`repro.store.persist`): wallet
+        #: entries and extracted CSSs announce themselves here so a crashed
+        #: subscriber process resumes without re-running OCBE transfers.
+        self.journal = None
 
     @property
     def rng(self) -> Optional[random.Random]:
@@ -82,6 +86,18 @@ class Subscriber:
                 % (token.nym, self.nym)
             )
         self._wallet[token.tag] = TokenWallet(token=token, x=x, r=r)
+        if self.journal is not None:
+            self.journal.token_held(token, x, r)
+
+    def store_css(self, condition_key: str, css: bytes) -> None:
+        """Keep an extracted CSS (journaled when durability is attached).
+
+        The registration sessions call this instead of poking
+        :attr:`css_store` directly, so the write-ahead record is on disk
+        before any later broadcast relies on the secret being held."""
+        self.css_store[condition_key] = css
+        if self.journal is not None:
+            self.journal.css_extracted(condition_key, css)
 
     def token_for(self, attribute: str) -> IdentityToken:
         """The held token for an attribute tag."""
@@ -100,6 +116,11 @@ class Subscriber:
     def attribute_tags(self) -> List[str]:
         """Tags of all held tokens."""
         return sorted(self._wallet)
+
+    def wallet_entries(self) -> List[TokenWallet]:
+        """Every held token with its opening, sorted by tag (the snapshot
+        view; like :meth:`wallet_for`, never crosses the wire)."""
+        return [self._wallet[tag] for tag in self.attribute_tags()]
 
     # -- registration (receiver side of Section V-B) ----------------------------
 

@@ -71,12 +71,14 @@ __all__ = [
     "TokenGrant",
     "BroadcastMessage",
     "encode_message",
+    "pack_condition",
+    "read_condition",
     "decode_message",
     "MESSAGE_TYPES",
 ]
 
 
-def _pack_condition(condition: AttributeCondition) -> bytes:
+def pack_condition(condition: AttributeCondition) -> bytes:
     return (
         pack_str(condition.name)
         + pack_str(condition.op)
@@ -84,7 +86,7 @@ def _pack_condition(condition: AttributeCondition) -> bytes:
     )
 
 
-def _read_condition(cursor: Cursor) -> AttributeCondition:
+def read_condition(cursor: Cursor) -> AttributeCondition:
     name = cursor.read_str()
     op = cursor.read_str()
     value = read_attribute_value(cursor)
@@ -157,7 +159,7 @@ class ConditionList(WireMessage):
         out = bytearray(pack_str(self.attribute))
         out += pack_u16(len(self.conditions))
         for condition in self.conditions:
-            out += _pack_condition(condition)
+            out += pack_condition(condition)
         return bytes(out)
 
     @classmethod
@@ -165,7 +167,7 @@ class ConditionList(WireMessage):
         cursor = Cursor(payload)
         attribute = cursor.read_str()
         count = cursor.read_u16()
-        conditions = tuple(_read_condition(cursor) for _ in range(count))
+        conditions = tuple(read_condition(cursor) for _ in range(count))
         cursor.expect_end()
         return cls(attribute=attribute, conditions=conditions)
 

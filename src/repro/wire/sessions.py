@@ -157,7 +157,7 @@ class SubscriberRegistrationSession:
             self.succeeded = False
             self.failure_reason = "malformed envelope: %s" % exc
             return None
-        self.subscriber.css_store[self.condition_key] = css
+        self.subscriber.store_css(self.condition_key, css)
         self.succeeded = True
         return None
 

@@ -1,0 +1,50 @@
+"""Fixtures for the durable-state tests: a small fully-wired world."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.gkm.acv import FAST_FIELD
+from repro.groups import get_group
+from repro.policy.acp import parse_policy
+from repro.system.idmgr import IdentityManager
+from repro.system.idp import IdentityProvider
+from repro.system.publisher import Publisher
+from repro.system.subscriber import Subscriber
+
+
+def build_world(seed=0xD15C):
+    """(idp, idmgr, publisher, subscriber-with-tokens); deterministic."""
+    rng = random.Random(seed)
+    group = get_group("nist-p192")
+    idp = IdentityProvider("hr", group, rng=rng)
+    idmgr = IdentityManager(group, rng=rng)
+    idmgr.trust_idp(idp)
+    pub = Publisher(
+        "pub", idmgr.params, idmgr.public_key, gkm_field=FAST_FIELD,
+        attribute_bits=8, rng=rng,
+    )
+    pub.add_policy(parse_policy("role = doc", ["clinical"], "report"))
+    pub.add_policy(parse_policy("level >= 50", ["billing"], "report"))
+    idp.enroll("carol", "role", "doc")
+    idp.enroll("carol", "level", 70)
+    nym = idmgr.assign_pseudonym()
+    sub = Subscriber(nym, pub.params, rng=rng)
+    for attr in ("role", "level"):
+        token, x, r = idmgr.issue_token(
+            nym, idp.assert_attribute("carol", attr), rng=rng
+        )
+        sub.hold_token(token, x, r)
+    return idp, idmgr, pub, sub
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+@pytest.fixture
+def group():
+    return get_group("nist-p192")

@@ -1,0 +1,239 @@
+"""StateStore: recovery sequence, compaction crash windows, version skew."""
+
+import os
+
+import pytest
+
+from repro.errors import LogCorruptionError, StoreVersionError
+from repro.store.state import (
+    SNAPSHOT_FILE,
+    SNAPSHOT_WRAPPER_TYPE,
+    STORE_VERSION,
+    WAL_GENESIS_TYPE,
+    StateStore,
+)
+from repro.store.wal import encode_record
+from repro.wire.codec import pack_bytes, pack_u8, pack_u16, pack_u32
+
+
+def _records(store):
+    return [(r.type_id, r.payload) for r in store.tail]
+
+
+class TestLifecycle:
+    def test_fresh_directory(self, tmp_path):
+        with StateStore(str(tmp_path / "d")) as store:
+            assert not store.recovered
+            assert store.snapshot is None and store.tail == []
+            assert store.generation == 0
+
+    def test_journal_and_reopen(self, tmp_path):
+        path = str(tmp_path / "d")
+        with StateStore(path, sync=False) as store:
+            store.append(17, b"one")
+            store.append(18, b"two")
+        with StateStore(path, sync=False) as store:
+            assert store.recovered
+            assert store.snapshot is None
+            assert _records(store) == [(17, b"one"), (18, b"two")]
+            assert store.pending_records == 2
+
+    def test_snapshot_rotates_wal(self, tmp_path):
+        path = str(tmp_path / "d")
+        with StateStore(path, sync=False) as store:
+            store.append(17, b"folded")
+            store.save_snapshot(2, b"state-v1")
+            assert store.pending_records == 0
+            store.append(17, b"after")
+        with StateStore(path, sync=False) as store:
+            assert store.generation == 1
+            assert (store.snapshot.type_id, store.snapshot.payload) == (2, b"state-v1")
+            assert _records(store) == [(17, b"after")]
+        # exactly one WAL file remains, named for the live generation
+        wals = sorted(p for p in os.listdir(path) if p.startswith("wal-"))
+        assert wals == ["wal-00000001.log"]
+
+    def test_snapshot_is_atomic_no_tmp_left(self, tmp_path):
+        path = str(tmp_path / "d")
+        with StateStore(path, sync=False) as store:
+            store.save_snapshot(2, b"s")
+        assert SNAPSHOT_FILE in os.listdir(path)
+        assert not any(p.endswith(".tmp") for p in os.listdir(path))
+
+
+class TestCrashWindows:
+    """Each interruption point of save_snapshot leaves a recoverable pair."""
+
+    def _populated(self, path):
+        store = StateStore(path, sync=False)
+        store.append(17, b"cell")
+        store.close()
+
+    def test_crash_after_next_wal_created(self, tmp_path):
+        path = str(tmp_path / "d")
+        self._populated(path)
+        # simulate: generation-1 WAL exists, snapshot never renamed
+        with open(os.path.join(path, "wal-00000001.log"), "wb") as handle:
+            handle.write(
+                encode_record(
+                    WAL_GENESIS_TYPE, pack_u16(STORE_VERSION) + pack_u32(1)
+                )
+            )
+        with StateStore(path, sync=False) as store:
+            assert store.generation == 0
+            assert _records(store) == [(17, b"cell")]
+        assert not os.path.exists(os.path.join(path, "wal-00000001.log"))
+
+    def test_crash_after_snapshot_rename(self, tmp_path):
+        path = str(tmp_path / "d")
+        with StateStore(path, sync=False) as store:
+            store.append(17, b"cell")
+            store.save_snapshot(2, b"folded")
+            # simulate dying before stray-WAL cleanup: resurrect the old WAL
+            with open(os.path.join(path, "wal-00000000.log"), "wb") as handle:
+                handle.write(
+                    encode_record(
+                        WAL_GENESIS_TYPE, pack_u16(STORE_VERSION) + pack_u32(0)
+                    )
+                )
+                handle.write(encode_record(17, b"cell"))
+        with StateStore(path, sync=False) as store:
+            assert store.generation == 1
+            assert store.snapshot.payload == b"folded"
+            assert store.tail == []  # the stale WAL was not replayed
+        assert not os.path.exists(os.path.join(path, "wal-00000000.log"))
+
+
+def _write_snapshot(path, version=STORE_VERSION, generation=0, inner=b"x"):
+    wrapper = pack_u16(version) + pack_u32(generation) + pack_u8(2) + pack_bytes(inner)
+    with open(os.path.join(path, SNAPSHOT_FILE), "wb") as handle:
+        handle.write(encode_record(SNAPSHOT_WRAPPER_TYPE, wrapper))
+
+
+class TestSkewAndCorruption:
+    def test_foreign_snapshot_version_refused(self, tmp_path):
+        path = str(tmp_path / "d")
+        os.makedirs(path)
+        _write_snapshot(path, version=STORE_VERSION + 1)
+        with pytest.raises(StoreVersionError, match="store version"):
+            StateStore(path, sync=False)
+
+    def test_foreign_wal_version_refused(self, tmp_path):
+        path = str(tmp_path / "d")
+        os.makedirs(path)
+        with open(os.path.join(path, "wal-00000000.log"), "wb") as handle:
+            handle.write(
+                encode_record(
+                    WAL_GENESIS_TYPE, pack_u16(STORE_VERSION + 9) + pack_u32(0)
+                )
+            )
+        with pytest.raises(StoreVersionError, match="store version"):
+            StateStore(path, sync=False)
+
+    def test_generation_skew_refused(self, tmp_path):
+        """A WAL from another snapshot generation must never be replayed:
+        it might double-apply folded transitions or resurrect revoked ones."""
+        path = str(tmp_path / "d")
+        os.makedirs(path)
+        _write_snapshot(path, generation=2)
+        with open(os.path.join(path, "wal-00000002.log"), "wb") as handle:
+            handle.write(
+                encode_record(
+                    WAL_GENESIS_TYPE, pack_u16(STORE_VERSION) + pack_u32(1)
+                )
+            )
+        with pytest.raises(StoreVersionError, match="generation"):
+            StateStore(path, sync=False)
+
+    def test_snapshot_bit_flip_refused(self, tmp_path):
+        path = str(tmp_path / "d")
+        with StateStore(path, sync=False) as store:
+            store.save_snapshot(2, b"precious")
+        snap = os.path.join(path, SNAPSHOT_FILE)
+        data = bytearray(open(snap, "rb").read())
+        data[-6] ^= 0x40
+        with open(snap, "wb") as handle:
+            handle.write(bytes(data))
+        with pytest.raises(LogCorruptionError):
+            StateStore(path, sync=False)
+
+    def test_wal_missing_genesis_refused(self, tmp_path):
+        path = str(tmp_path / "d")
+        os.makedirs(path)
+        with open(os.path.join(path, "wal-00000000.log"), "wb") as handle:
+            handle.write(encode_record(17, b"no genesis stamp"))
+        with pytest.raises(LogCorruptionError, match="genesis"):
+            StateStore(path, sync=False)
+
+    def test_snapshots_allowed_far_beyond_the_frame_cap(self, tmp_path):
+        """A snapshot aggregates whole-entity state: the 16 MiB per-frame
+        wire cap must not apply to it (a big table would wedge compaction
+        forever), while WAL records stay frame-capped."""
+        path = str(tmp_path / "d")
+        big = b"\x5a" * (17 * 1024 * 1024)  # > DEFAULT_MAX_FRAME_PAYLOAD
+        with StateStore(path, sync=False) as store:
+            with pytest.raises(Exception):
+                store.append(17, big)  # journal records keep the wire cap
+            store.save_snapshot(2, big)
+        with StateStore(path, sync=False) as store:
+            assert store.snapshot.payload == big
+
+    def test_failed_oversized_snapshot_leaves_store_usable(self, tmp_path):
+        path = str(tmp_path / "d")
+        with StateStore(path, sync=False,
+                        max_snapshot_payload=1024) as store:
+            store.append(17, b"cell")
+            with pytest.raises(Exception):
+                store.save_snapshot(2, b"\x00" * 2048)
+            # no half-made generation: no stray WAL, journaling continues
+            wals = [p for p in os.listdir(path) if p.startswith("wal-")]
+            assert wals == ["wal-00000000.log"]
+            store.append(17, b"more")
+        with StateStore(path, sync=False) as store:
+            assert _records(store) == [(17, b"cell"), (17, b"more")]
+
+    def test_retry_after_failed_snapshot_does_not_double_genesis(self, tmp_path):
+        """An ENOSPC-style failure leaves wal-(G+1) behind; the retried
+        compaction must discard it, not append a second genesis stamp
+        (which would poison the next recovery as an unknown record)."""
+        path = str(tmp_path / "d")
+        with StateStore(path, sync=False,
+                        max_snapshot_payload=1024) as store:
+            store.append(17, b"cell")
+            with pytest.raises(Exception):
+                store.save_snapshot(2, b"\x00" * 2048)  # attempt fails
+            # simulate the worst leftover: a stray next-gen WAL on disk
+            with open(os.path.join(path, "wal-00000001.log"), "wb") as handle:
+                handle.write(
+                    encode_record(
+                        WAL_GENESIS_TYPE, pack_u16(STORE_VERSION) + pack_u32(1)
+                    )
+                )
+            store.save_snapshot(2, b"small")  # retry succeeds
+            store.append(17, b"after")
+        with StateStore(path, sync=False) as store:
+            assert store.snapshot.payload == b"small"
+            assert _records(store) == [(17, b"after")]
+
+    def test_snapshot_without_wal_refused(self, tmp_path):
+        """A snapshot whose WAL vanished (partial backup restore) must not
+        silently drop the journaled transitions -- they may be revocations."""
+        path = str(tmp_path / "d")
+        with StateStore(path, sync=False) as store:
+            store.save_snapshot(2, b"state")
+            store.append(17, b"revocation")
+        os.remove(os.path.join(path, "wal-00000001.log"))
+        with pytest.raises(LogCorruptionError, match="no write-ahead log"):
+            StateStore(path, sync=False)
+        # an empty (zero-byte) WAL is the same loss
+        open(os.path.join(path, "wal-00000001.log"), "wb").close()
+        with pytest.raises(LogCorruptionError, match="no write-ahead log"):
+            StateStore(path, sync=False)
+
+    def test_closed_store_refuses_writes(self, tmp_path):
+        store = StateStore(str(tmp_path / "d"), sync=False)
+        store.close()
+        with pytest.raises(LogCorruptionError):
+            store.append(17, b"x")
+        with pytest.raises(LogCorruptionError):
+            store.save_snapshot(2, b"x")

@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "hierarchical_access.py",
     "wire_protocol.py",
     "networked_service.py",  # broker + entities as real OS processes
+    "crash_recovery.py",  # SIGKILL the publisher, recover from --data-dir
 ]
 
 
