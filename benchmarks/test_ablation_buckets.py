@@ -9,7 +9,7 @@ import random
 
 import pytest
 
-from repro.gkm.acv import FAST_FIELD, AcvBgkm
+from repro.gkm.acv import FAST_FIELD
 from repro.gkm.buckets import BucketedAcvBgkm
 from repro.workloads.generator import make_css_rows
 

@@ -7,10 +7,9 @@ pure kernel must use the word-sized prime too for apples-to-apples).
 
 import random
 
-import pytest
 
 from repro.mathx.field import PrimeField
-from repro.mathx.linalg import Matrix, _rref_numpy, _rref_python
+from repro.mathx.linalg import _rref_numpy, _rref_python
 
 FIELD = PrimeField(1073741827)
 SIZE = 120

@@ -1,0 +1,146 @@
+"""The churn scenario benchmark (nightly slow tier).
+
+Runs the builtin ``churn`` scenario -- >= 64 subscribers across >= 2
+publishers with >= 3 churn phases (revoke storm, replacement arrivals,
+a kill-and-recover flap wave, a second storm) -- over BOTH drivers.
+The engine itself asserts the paper's invariants after every phase
+(revoked members locked out, current members derive the epoch key,
+rekeys generate zero unicast), so a passing run *is* the correctness
+claim; this file adds the driver-equivalence assertion (byte-identical
+protocol traffic over TCP) and emits the BENCH_load_*.json trajectory.
+
+Also measures the churn hot path optimisation: revoking k members as a
+batch followed by ONE publish (one ACV matrix build) versus the naive
+revoke-publish loop (k matrix builds).
+"""
+
+import random
+
+from repro.bench.runner import avg_time, emit_bench_json, format_table
+from repro.documents.model import Document
+from repro.gkm.acv import FAST_FIELD
+from repro.groups import get_group
+from repro.load import churn_scenario, run_scenario
+from repro.policy.acp import parse_policy
+from repro.system.idmgr import IdentityManager
+from repro.system.idp import IdentityProvider
+from repro.system.publisher import Publisher
+
+
+def _emit_report(report, bench_name):
+    print()
+    print(report.format())
+    path = report.emit_bench(bench_name)
+    print("wrote %s" % path)
+
+
+def test_churn_scenario_over_both_drivers():
+    scenario = churn_scenario()
+    # The acceptance shape: >= 64 subscribers, >= 2 publishers, >= 3
+    # churn phases.
+    assert scenario.phases[0].count >= 64
+    assert len(scenario.publishers) >= 2
+    churn = [p for p in scenario.phases[1:] if p.kind in ("join", "revoke", "flap")]
+    assert len(churn) >= 3
+
+    memory = run_scenario(scenario, driver="memory")
+    _emit_report(memory, "load_churn_memory")
+
+    # The TCP run supervises the broker as its own OS process: every
+    # frame of the churn crosses a real process boundary.
+    tcp = run_scenario(scenario, driver="tcp", broker="process")
+    _emit_report(tcp, "load_churn_tcp")
+
+    # Driver equivalence: identical protocol traffic, byte for byte.
+    assert tcp.bytes_by_kind() == memory.bytes_by_kind()
+    assert [p.frames for p in tcp.phases] == [p.frames for p in memory.phases]
+    for report in (memory, tcp):
+        assert report.params["members_total"] >= 64
+        assert report.params["members_revoked"] >= 2
+        # Rekeys happened in every phase and stayed broadcast-only
+        # (enforced per phase by the engine's invariant checks).
+        assert all(p.rekeys >= 1 for p in report.phases)
+
+
+# -- the batched-rekey hot path ----------------------------------------------
+
+N_MEMBERS = 64
+K_REVOKED = 8
+SEED = 0x4EC4
+
+
+def _build_world():
+    rng = random.Random(SEED)
+    group = get_group("nist-p192")
+    idp = IdentityProvider("hr", group, rng=rng)
+    idmgr = IdentityManager(group, rng=rng)
+    idmgr.trust_idp(idp)
+    publisher = Publisher(
+        "pub", idmgr.params, idmgr.public_key, gkm_field=FAST_FIELD,
+        attribute_bits=8, rng=rng,
+    )
+    publisher.add_policy(parse_policy("clr >= 40", ["body"], "doc"))
+    table_rng = random.Random(SEED + 1)
+    for i in range(N_MEMBERS):
+        publisher.table.set(
+            "pn-%04d" % i, "clr >= 40",
+            bytes(table_rng.randrange(256) for _ in range(16)),
+        )
+    return publisher
+
+
+DOC = Document.of("doc", {"body": b"bulletin body"})
+
+
+def test_batched_revoke_rekey_is_one_matrix_build():
+    nyms = ["pn-%04d" % i for i in range(K_REVOKED)]
+
+    def naive():
+        publisher = _build_world()
+        for nym in nyms:  # one matrix build per revocation
+            assert publisher.revoke_subscription(nym)
+            publisher.publish(DOC)
+
+    def batched():
+        publisher = _build_world()
+        assert publisher.revoke_subscriptions(nyms) == K_REVOKED
+        publisher.publish(DOC)  # ONE matrix build for the whole storm
+
+    naive_m = avg_time(naive, rounds=3)
+    batched_m = avg_time(batched, rounds=3)
+
+    print()
+    print(format_table(
+        "revoke-storm rekey, N=%d members, k=%d revoked"
+        % (N_MEMBERS, K_REVOKED),
+        ["strategy", "mean ms", "min ms", "max ms"],
+        [
+            ["revoke+publish x k", naive_m.mean_ms, naive_m.minimum * 1e3,
+             naive_m.maximum * 1e3],
+            ["batch revoke, 1 publish", batched_m.mean_ms,
+             batched_m.minimum * 1e3, batched_m.maximum * 1e3],
+        ],
+    ))
+    path = emit_bench_json(
+        "load_rekey_batching",
+        op="revoke-storm-rekey",
+        params={"n_members": N_MEMBERS, "k_revoked": K_REVOKED,
+                "gkm_field": "fast"},
+        measurements={"naive_per_revoke": naive_m, "batched": batched_m},
+    )
+    print("wrote %s" % path)
+
+    # Both end in the same table; the batched path must be decisively
+    # cheaper (k matrix builds vs one, so roughly k-fold).
+    assert batched_m.mean < naive_m.mean
+
+    # And the resulting broadcast is equivalent: the remaining members'
+    # rows derive the key, the revoked ones are locked out.
+    publisher = _build_world()
+    publisher.revoke_subscriptions(nyms)
+    package = publisher.publish(DOC)
+    header = package.headers[0]
+    gkm = publisher._gkm
+    key = publisher.last_keys[("doc", header.config_id)]
+    survivor_css = publisher.table.get("pn-%04d" % K_REVOKED, "clr >= 40")
+    assert gkm.derive(header.acv, (survivor_css,)) == key

@@ -23,7 +23,7 @@ from repro.gkm.acv import FAST_FIELD
 from repro.groups import get_group
 from repro.policy.acp import parse_policy
 from repro.store import PublisherPersistence
-from repro.store.state import SNAPSHOT_FILE, StateStore
+from repro.store.state import SNAPSHOT_FILE
 from repro.system.idmgr import IdentityManager
 from repro.system.idp import IdentityProvider
 from repro.system.publisher import Publisher

@@ -14,7 +14,6 @@ included -- the number an operator would see on the network.
 
 import random
 
-import pytest
 
 from repro.documents.model import Document
 from repro.gkm.acv import FAST_FIELD

@@ -15,8 +15,15 @@ A from-scratch Python reproduction of Shang, Nabeel, Paci & Bertino,
   state machines that speak it;
 * **system** (:mod:`repro.system`) -- IdP, IdMgr, Publisher and Subscriber
   as endpoints exchanging bytes over a routing transport;
+* **net / store** (:mod:`repro.net`, :mod:`repro.store`) -- the asyncio
+  socket runtime (broker + ``python -m repro.net.*`` entity servers) and
+  crash-recoverable durable entity state (``--data-dir``);
+* **load** (:mod:`repro.load`) -- the declarative load & churn engine:
+  scenario specs, in-memory/TCP drivers, per-phase lockout/derivation/
+  zero-unicast invariant checks, ``python -m repro.load``;
 * **documents / policy / workloads / bench** -- segmentation, the policy
-  language, the EHR scenario and the evaluation harness.
+  language, the EHR scenario and the evaluation harness (with the
+  ``BENCH_*.json`` emitter and ``python -m repro.bench.compare`` gate).
 
 Quickstart::
 

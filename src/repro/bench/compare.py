@@ -1,0 +1,289 @@
+"""``python -m repro.bench.compare``: gate a bench run against a baseline.
+
+Compares two directories of ``BENCH_<name>.json`` files (the format
+:func:`repro.bench.runner.emit_bench_json` writes) and exits nonzero
+when the current run *regressed*: a measurement's mean wall time grew
+beyond ``--tolerance`` (default +30%), or a byte count moved beyond
+``--bytes-tolerance`` (default exact -- byte counts are deterministic
+under the seeded RNG policy, so any drift is a real protocol change).
+
+Comparison rules, per benchmark name present in the current run:
+
+* no baseline file        -> ``new`` (pass; the trajectory just started)
+* ``params`` differ       -> ``params-changed`` (pass; the benchmark was
+  deliberately reconfigured, times are not comparable)
+* measurement label only in the baseline -> ``dropped`` (reported; fails
+  only with ``--strict``, so refactors can retire measurements loudly)
+* otherwise               -> ``ok`` / ``improvement`` / ``regression``
+
+CI wires this as the ``bench-gate`` step: fresh fast-tier results vs
+the previous successful run's artifacts (same hardware class, so time
+tolerances are meaningful) with a fallback to the committed
+``benchmarks/baselines/`` (different hardware: compare ``--fields
+bytes`` only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bench.runner import format_table
+from repro.errors import InvalidParameterError
+
+__all__ = ["CompareReport", "Delta", "compare_dirs", "compare_payloads", "main"]
+
+#: Default allowed mean-time growth (fraction of the baseline).
+DEFAULT_TOLERANCE = 0.30
+#: Byte counts are deterministic: default to exact equality.
+DEFAULT_BYTES_TOLERANCE = 0.0
+
+FIELDS = ("time", "bytes")
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared value."""
+
+    bench: str
+    label: str
+    field: str  # "time" | "bytes"
+    baseline: Optional[float]
+    current: Optional[float]
+    status: str  # ok | improvement | regression | new | params-changed | dropped
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if not self.baseline or self.current is None:
+            return None
+        return self.current / self.baseline
+
+
+@dataclass
+class CompareReport:
+    """Every delta plus the gating verdict."""
+
+    deltas: List[Delta]
+
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.status == "regression"]
+
+    def dropped(self) -> List[Delta]:
+        return [d for d in self.deltas if d.status == "dropped"]
+
+    def ok(self, strict: bool = False) -> bool:
+        if self.regressions():
+            return False
+        return not (strict and self.dropped())
+
+    def format(self) -> str:
+        rows = []
+        for delta in self.deltas:
+            rows.append(
+                [
+                    delta.bench,
+                    delta.label,
+                    delta.field,
+                    "-" if delta.baseline is None else "%.6g" % delta.baseline,
+                    "-" if delta.current is None else "%.6g" % delta.current,
+                    "-" if delta.ratio is None else "%.2fx" % delta.ratio,
+                    delta.status,
+                ]
+            )
+        headers = ["bench", "label", "field", "baseline", "current", "ratio"]
+        headers.append("status")
+        return format_table(
+            "bench comparison (current vs baseline)", headers, rows
+        )
+
+
+def _classify(baseline: float, current: float, tolerance: float) -> str:
+    if current > baseline * (1.0 + tolerance):
+        return "regression"
+    if current < baseline * (1.0 - tolerance):
+        return "improvement"
+    return "ok"
+
+
+def compare_payloads(
+    baseline: Dict[str, dict],
+    current: Dict[str, dict],
+    tolerance: float = DEFAULT_TOLERANCE,
+    bytes_tolerance: float = DEFAULT_BYTES_TOLERANCE,
+    fields=FIELDS,
+) -> CompareReport:
+    """Compare two ``{bench name: payload}`` mappings."""
+    if tolerance < 0 or bytes_tolerance < 0:
+        raise InvalidParameterError("tolerances must be >= 0")
+    unknown = [field for field in fields if field not in FIELDS]
+    if unknown or not fields:
+        raise InvalidParameterError(
+            "fields must be a non-empty subset of %s" % (FIELDS,)
+        )
+    deltas: List[Delta] = []
+    for name in sorted(current):
+        fresh = current[name]
+        base = baseline.get(name)
+        if base is None:
+            deltas.append(Delta(name, "*", "time", None, None, "new"))
+            continue
+        if base.get("params") != fresh.get("params"):
+            deltas.append(Delta(name, "*", "time", None, None, "params-changed"))
+            continue
+        if "time" in fields:
+            base_m = base.get("measurements", {})
+            fresh_m = fresh.get("measurements", {})
+            for label in sorted(set(base_m) | set(fresh_m)):
+                b = base_m.get(label, {}).get("mean_s")
+                c = fresh_m.get(label, {}).get("mean_s")
+                if b is None:
+                    deltas.append(Delta(name, label, "time", None, c, "new"))
+                elif c is None:
+                    deltas.append(Delta(name, label, "time", b, None, "dropped"))
+                else:
+                    status = _classify(b, c, tolerance)
+                    deltas.append(Delta(name, label, "time", b, c, status))
+        if "bytes" in fields:
+            base_b = base.get("bytes", {})
+            fresh_b = fresh.get("bytes", {})
+            for label in sorted(set(base_b) | set(fresh_b)):
+                b = base_b.get(label)
+                c = fresh_b.get(label)
+                if b is None:
+                    deltas.append(Delta(name, label, "bytes", None, c, "new"))
+                elif c is None:
+                    deltas.append(Delta(name, label, "bytes", b, None, "dropped"))
+                else:
+                    status = _classify(b, c, bytes_tolerance)
+                    deltas.append(Delta(name, label, "bytes", b, c, status))
+    for name in sorted(set(baseline) - set(current)):
+        # A whole benchmark file vanished from the run (renamed emitter,
+        # skipped step): the bigger version of a dropped label, gated
+        # the same way under --strict instead of passing silently.
+        deltas.append(Delta(name, "*", "time", None, None, "dropped"))
+    return CompareReport(deltas=deltas)
+
+
+def load_bench_dir(path: str) -> Dict[str, dict]:
+    """Read every ``BENCH_*.json`` under ``path`` (non-recursive)."""
+    if not os.path.isdir(path):
+        raise InvalidParameterError("%r is not a directory" % path)
+    payloads: Dict[str, dict] = {}
+    for file_path in sorted(glob.glob(os.path.join(path, "BENCH_*.json"))):
+        with open(file_path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except ValueError as exc:
+                raise InvalidParameterError(
+                    "%r is not valid JSON: %s" % (file_path, exc)
+                ) from exc
+        name = payload.get("name")
+        if not isinstance(name, str):
+            raise InvalidParameterError("%r has no 'name' field" % file_path)
+        payloads[name] = payload
+    return payloads
+
+
+def compare_dirs(
+    baseline_dir: str,
+    current_dir: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+    bytes_tolerance: float = DEFAULT_BYTES_TOLERANCE,
+    fields=FIELDS,
+) -> CompareReport:
+    """Directory-level :func:`compare_payloads`."""
+    return compare_payloads(
+        load_bench_dir(baseline_dir),
+        load_bench_dir(current_dir),
+        tolerance=tolerance,
+        bytes_tolerance=bytes_tolerance,
+        fields=fields,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Gate fresh BENCH_*.json results against a baseline.",
+    )
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="directory of baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current",
+        required=True,
+        help="directory of freshly emitted BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed mean-time growth as a fraction "
+        "(default %(default)s = +30%%)",
+    )
+    parser.add_argument(
+        "--bytes-tolerance",
+        type=float,
+        default=DEFAULT_BYTES_TOLERANCE,
+        help="allowed byte-count drift as a fraction (default %(default)s: exact)",
+    )
+    parser.add_argument(
+        "--fields",
+        default="time,bytes",
+        help="comma-separated subset of {time,bytes} to gate",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail when a baseline measurement disappeared "
+        "from the current run",
+    )
+    args = parser.parse_args(argv)
+
+    fields = tuple(f for f in args.fields.split(",") if f)
+    try:
+        report = compare_dirs(
+            args.baseline,
+            args.current,
+            tolerance=args.tolerance,
+            bytes_tolerance=args.bytes_tolerance,
+            fields=fields,
+        )
+    except InvalidParameterError as exc:
+        print("bench-compare: %s" % exc, file=sys.stderr)
+        return 2
+
+    print(report.format())
+    for delta in report.regressions():
+        line = "REGRESSION: %s/%s %s grew %.6g -> %.6g (%.2fx)" % (
+            delta.bench,
+            delta.label,
+            delta.field,
+            delta.baseline,
+            delta.current,
+            delta.ratio,
+        )
+        print(line, file=sys.stderr)
+    if args.strict:
+        for delta in report.dropped():
+            line = "DROPPED: %s/%s %s vanished from the current run" % (
+                delta.bench,
+                delta.label,
+                delta.field,
+            )
+            print(line, file=sys.stderr)
+    if not report.ok(strict=args.strict):
+        return 1
+    print("bench-gate: OK (%d values compared)" % len(report.deltas))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,9 +19,9 @@ Mapping to the paper:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.bench.runner import Measurement, avg_time, format_table
+from repro.bench.runner import avg_time, format_table
 from repro.crypto.pedersen import PedersenParams
 from repro.gkm.acv import AcvBgkm, FAST_FIELD, PAPER_FIELD
 from repro.groups import get_group

@@ -6,9 +6,12 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import BenchError, InvalidParameterError
 
 __all__ = [
     "Measurement",
@@ -17,6 +20,9 @@ __all__ = [
     "emit_bench_json",
     "format_table",
 ]
+
+#: Bench names become file names (``BENCH_<name>.json``): keep them flat.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
 
 
 @dataclass(frozen=True)
@@ -72,8 +78,19 @@ def emit_bench_json(
     The schema is deliberately flat and stable: ``op`` names what was
     measured, ``params`` the knobs, ``measurements`` maps each measured
     variant to its wall-time statistics (seconds), ``bytes`` any size
-    observations.  Comparing two PRs is ``diff`` over two directories.
+    observations.  Comparing two PRs is ``python -m repro.bench.compare``
+    over two directories.
+
+    Re-emitting an existing ``name`` atomically replaces the previous
+    file: the newest run of a benchmark is its result.  Invalid inputs
+    raise :class:`~repro.errors.InvalidParameterError`; output paths that
+    cannot be created or written raise :class:`~repro.errors.BenchError`
+    (never a bare ``OSError`` half way through a partial file).
     """
+    if not _NAME_RE.match(name):
+        raise InvalidParameterError(
+            "bench name %r is not a safe file-name component" % name
+        )
     payload: Dict[str, object] = {
         "name": name,
         "op": op,
@@ -92,14 +109,27 @@ def emit_bench_json(
         payload["bytes"] = dict(bytes_counts)
     if extra:
         payload.update(extra)
+    try:
+        # Serialize up front: a params dict holding a live object must be a
+        # typed error before anything touches the filesystem, not a
+        # TypeError from inside json.dump over a half-written file.
+        encoded = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(
+            "bench %r payload is not JSON-serializable: %s" % (name, exc)
+        ) from exc
     out_dir = bench_output_dir()
-    os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, "BENCH_%s.json" % name)
     tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp, path)
+    try:
+        os.makedirs(out_dir, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(encoded)
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise BenchError(
+            "cannot write bench result %r under %r: %s" % (name, out_dir, exc)
+        ) from exc
     return path
 
 

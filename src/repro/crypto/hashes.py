@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Callable, Iterable, Sequence, Union
+from typing import Callable, Sequence, Union
 
 from repro.errors import InvalidParameterError
 

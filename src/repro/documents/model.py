@@ -10,10 +10,9 @@ of Example 4).
 
 from __future__ import annotations
 
-import re
 import xml.etree.ElementTree as ET
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import DocumentError
 

@@ -120,6 +120,22 @@ class SnapshotMismatchError(StoreError):
     applied to (wrong entity name, different policy set, ...)."""
 
 
+class BenchError(ReproError):
+    """The benchmark harness could not record a result (unwritable output
+    directory, a result file that cannot be replaced, ...)."""
+
+
+class LoadScenarioError(ReproError):
+    """A load scenario could not be run as specified (malformed spec,
+    a phase operating on members that do not exist, driver misuse)."""
+
+
+class InvariantViolation(ReproError):
+    """A load-scenario invariant failed after a phase: a revoked member
+    still derives the group key, a current member cannot, or a rekey
+    produced unicast traffic.  Always a real bug, never noise."""
+
+
 class SystemError_(ReproError):
     """Errors in the system layer (entities, transport, registration)."""
 

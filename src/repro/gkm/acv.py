@@ -44,7 +44,6 @@ from repro.errors import (
 from repro.gkm.base import BroadcastGkm, RekeyBroadcast
 from repro.mathx.field import PrimeField
 from repro.mathx.linalg import Matrix
-from repro.mathx.primes import is_prime
 
 __all__ = ["AcvHeader", "AcvBgkm", "AcvBroadcastGkm", "PAPER_FIELD", "FAST_FIELD"]
 

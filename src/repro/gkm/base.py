@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.errors import GKMError, KeyDerivationError
+from repro.errors import GKMError
 
 __all__ = ["RekeyBroadcast", "BroadcastGkm"]
 

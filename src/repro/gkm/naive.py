@@ -17,7 +17,7 @@ import random
 import secrets
 import struct
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.crypto.symmetric import SymmetricCipher, default_cipher
 from repro.errors import DecryptionError, KeyDerivationError, SerializationError

@@ -9,7 +9,6 @@ tiny toy group (p = 23) exercises every code path exhaustively.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import GroupError, InvalidParameterError
 from repro.groups.base import CyclicGroup, GroupElement

@@ -1,0 +1,93 @@
+"""``python -m repro.load``: run a load scenario from the shell.
+
+Examples::
+
+    # the CI smoke run, in-process, emitting BENCH_load_smoke.json
+    python -m repro.load --builtin smoke --driver memory --bench
+
+    # the churn scenario over real sockets with the broker as its own
+    # OS process
+    python -m repro.load --builtin churn --driver tcp --broker process
+
+    # a custom scenario file
+    python -m repro.load --scenario myscenario.json --driver tcp
+
+Exit status 0 means every phase completed AND every post-phase
+invariant (lockout, derivation, zero-unicast rekey) held; invariant
+violations print and exit 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.load.engine import run_scenario
+from repro.load.scenarios import BUILTIN_SCENARIOS, builtin_scenario
+from repro.load.spec import load_scenario_file
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.load",
+        description="Run a declarative load/churn scenario.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--scenario", help="scenario JSON file")
+    source.add_argument("--builtin", choices=sorted(BUILTIN_SCENARIOS),
+                        help="a builtin scenario")
+    parser.add_argument("--driver", choices=("memory", "tcp"),
+                        default="memory",
+                        help="in-process transport or real TCP sockets")
+    parser.add_argument("--broker", choices=("thread", "process"),
+                        default="thread",
+                        help="TCP driver only: broker on a background "
+                             "thread or as a supervised OS process")
+    parser.add_argument("--data-root", default=None,
+                        help="directory for the members' durable state "
+                             "(default: a private temp dir, removed after)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-settle deadline in seconds")
+    parser.add_argument("--bench", action="store_true",
+                        help="emit BENCH_load_<name>.json via "
+                             "repro.bench.runner (REPRO_BENCH_DIR)")
+    parser.add_argument("--bench-name", default=None,
+                        help="override the emitted bench name")
+    parser.add_argument("--report", default=None,
+                        help="also write the full report JSON here")
+    args = parser.parse_args(argv)
+
+    if args.builtin:
+        scenario = builtin_scenario(args.builtin)
+    else:
+        scenario = load_scenario_file(args.scenario)
+
+    try:
+        report = run_scenario(
+            scenario,
+            driver=args.driver,
+            broker=args.broker,
+            data_root=args.data_root,
+            timeout=args.timeout,
+        )
+    except ReproError as exc:
+        print("FAILED: %s: %s" % (type(exc).__name__, exc), file=sys.stderr)
+        return 1
+
+    print(report.format())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.bench:
+        path = report.emit_bench(args.bench_name)
+        print("wrote %s" % path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

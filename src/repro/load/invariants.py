@@ -1,0 +1,136 @@
+"""Post-phase invariant checks: the properties churn must never break.
+
+After every phase the engine hands the checker its members and the
+accounting window of the rekey it just performed.  Three families of
+invariants, straight from the paper's claims:
+
+* **zero-unicast rekey** -- inside the rekey window, everything a
+  publisher sent was a single accounted multicast per publish; no
+  targeted frame, no inbound registration traffic rode along.
+* **derivation** -- every current member holds plaintexts exactly
+  matching the ground-truth policy evaluation of its (engine-known)
+  attribute values: entitled segments decrypt, nothing else does.
+* **lockout** -- a revoked member's latest broadcast decrypts to
+  nothing, and its pseudonym is gone from the publisher's CSS table.
+
+Violations raise :class:`repro.errors.InvariantViolation` with enough
+context to debug the phase; they are never warnings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import InvariantViolation
+from repro.policy.evaluate import satisfies_policy
+from repro.system.transport import BROADCAST, Message
+
+__all__ = [
+    "REGISTRATION_KINDS",
+    "check_members",
+    "check_rekey_window",
+    "expected_plaintexts",
+]
+
+#: Accounting kinds that belong to the registration protocol: none of
+#: them may appear inside a rekey window (rekeying must not trigger any
+#: per-subscriber exchange) nor during a flap recovery (durable CSSs are
+#: completed registrations).
+REGISTRATION_KINDS = frozenset(
+    {
+        "token+condition-request",
+        "registration-ack",
+        "ocbe-bit-commitments",
+        "ocbe-envelope",
+    }
+)
+
+
+def check_rekey_window(
+    records: Sequence[Message],
+    publisher_names: Sequence[str],
+    expected_broadcasts: int,
+    context: str,
+) -> None:
+    """Assert the paper's rekey shape over one accounting window."""
+    broadcasts = 0
+    for record in records:
+        if record.kind in REGISTRATION_KINDS:
+            raise InvariantViolation(
+                "%s: rekey window carries registration traffic "
+                "(%s from %r to %r)"
+                % (context, record.kind, record.sender, record.receiver)
+            )
+        if record.sender in publisher_names:
+            if record.receiver != BROADCAST:
+                raise InvariantViolation(
+                    "%s: publisher %r sent a unicast %s frame to %r during "
+                    "a rekey (must be broadcast-only)"
+                    % (context, record.sender, record.kind, record.receiver)
+                )
+            broadcasts += 1
+        elif record.receiver in publisher_names:
+            raise InvariantViolation(
+                "%s: publisher %r received %d bytes (%s from %r) during a "
+                "rekey; the window must be outbound-multicast only"
+                % (context, record.receiver, record.size, record.kind,
+                   record.sender)
+            )
+    if broadcasts != expected_broadcasts:
+        raise InvariantViolation(
+            "%s: expected %d accounted broadcast transmissions in the rekey "
+            "window, saw %d"
+            % (context, expected_broadcasts, broadcasts)
+        )
+
+
+def expected_plaintexts(publisher_spec, attributes, document_spec) -> Dict[str, bytes]:
+    """Ground-truth entitlement: the segments of ``document_spec`` that
+    ``attributes`` unlock under ``publisher_spec``'s policies."""
+    entitled: Dict[str, bytes] = {}
+    content = {seg: text.encode("utf-8") for seg, text in document_spec.segments}
+    for policy_spec in publisher_spec.policies:
+        if policy_spec.document != document_spec.name:
+            continue
+        if satisfies_policy(attributes, policy_spec.parse()):
+            for segment in policy_spec.segments:
+                entitled[segment] = content[segment]
+    return entitled
+
+
+def check_members(engine, context: str) -> None:
+    """Derivation + lockout for every member that has a live client."""
+    for member in engine.members.values():
+        if not member.alive:
+            continue  # killed mid-flap: checked again after recovery
+        service = engine.services[member.publisher]
+        publisher_spec = engine.publisher_spec(member.publisher)
+        for document_spec in publisher_spec.documents:
+            actual = member.client.documents.get(document_spec.name)
+            if actual is None:
+                raise InvariantViolation(
+                    "%s: member %s never received a broadcast of %r"
+                    % (context, member.user, document_spec.name)
+                )
+            if member.revoked:
+                if actual:
+                    raise InvariantViolation(
+                        "%s: REVOKED member %s still derives %s of %r"
+                        % (context, member.user, sorted(actual),
+                           document_spec.name)
+                    )
+                continue
+            expected = expected_plaintexts(
+                publisher_spec, member.attributes, document_spec
+            )
+            if actual != expected:
+                raise InvariantViolation(
+                    "%s: member %s derived %s of %r, entitled to %s"
+                    % (context, member.user, sorted(actual),
+                       document_spec.name, sorted(expected))
+                )
+        if member.revoked and member.nym in service.publisher.table.pseudonyms():
+            raise InvariantViolation(
+                "%s: revoked member %s still has CSS table rows"
+                % (context, member.user)
+            )

@@ -1,0 +1,184 @@
+"""Per-phase metrics and the machine-readable load report.
+
+The engine marks the broker accounting before each phase and hands the
+delta (plus wall time and membership counters) to a
+:class:`MetricsCollector`; :class:`LoadReport` renders the collected
+phases as the usual fixed-width table and emits them through
+:func:`repro.bench.runner.emit_bench_json`, so a load run lands in the
+same ``BENCH_<name>.json`` trajectory CI's bench-gate compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.runner import Measurement, emit_bench_json, format_table
+from repro.system.transport import BROADCAST, Message
+
+__all__ = ["LoadReport", "MetricsCollector", "PhaseMetrics"]
+
+
+@dataclass(frozen=True)
+class PhaseMetrics:
+    """Everything one phase did, as numbers."""
+
+    label: str
+    kind: str
+    wall_s: float
+    frames: int
+    bytes_total: int
+    bytes_by_kind: Dict[str, int]
+    broadcasts: int
+    publisher_unicast_frames: int
+    rekeys: int
+    members_alive: int
+    members_revoked: int
+
+    def to_payload(self) -> dict:
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "wall_s": self.wall_s,
+            "frames": self.frames,
+            "bytes_total": self.bytes_total,
+            "bytes_by_kind": dict(sorted(self.bytes_by_kind.items())),
+            "broadcasts": self.broadcasts,
+            "publisher_unicast_frames": self.publisher_unicast_frames,
+            "rekeys": self.rekeys,
+            "members_alive": self.members_alive,
+            "members_revoked": self.members_revoked,
+        }
+
+
+class MetricsCollector:
+    """Aggregates phase windows of the transport's accounting log."""
+
+    def __init__(self) -> None:
+        self.phases: List[PhaseMetrics] = []
+
+    def record(
+        self,
+        label: str,
+        kind: str,
+        wall_s: float,
+        records: Sequence[Message],
+        publisher_names: Sequence[str],
+        rekeys: int,
+        members_alive: int,
+        members_revoked: int,
+    ) -> PhaseMetrics:
+        """Fold one phase's accounting window into a :class:`PhaseMetrics`."""
+        bytes_by_kind: Dict[str, int] = {}
+        broadcasts = 0
+        unicast = 0
+        for record in records:
+            bytes_by_kind[record.kind] = (
+                bytes_by_kind.get(record.kind, 0) + record.size
+            )
+            if record.sender in publisher_names:
+                if record.receiver == BROADCAST:
+                    broadcasts += 1
+                else:
+                    unicast += 1
+        metrics = PhaseMetrics(
+            label=label,
+            kind=kind,
+            wall_s=wall_s,
+            frames=len(records),
+            bytes_total=sum(record.size for record in records),
+            bytes_by_kind=bytes_by_kind,
+            broadcasts=broadcasts,
+            publisher_unicast_frames=unicast,
+            rekeys=rekeys,
+            members_alive=members_alive,
+            members_revoked=members_revoked,
+        )
+        self.phases.append(metrics)
+        return metrics
+
+
+@dataclass
+class LoadReport:
+    """The outcome of one scenario run, ready to print or emit."""
+
+    scenario: str
+    driver: str
+    phases: List[PhaseMetrics] = field(default_factory=list)
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def wall_s(self) -> float:
+        return sum(phase.wall_s for phase in self.phases)
+
+    def bytes_by_kind(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for phase in self.phases:
+            for kind, size in phase.bytes_by_kind.items():
+                totals[kind] = totals.get(kind, 0) + size
+        return totals
+
+    def format(self) -> str:
+        rows = [
+            [
+                phase.label,
+                phase.kind,
+                phase.wall_s * 1e3,
+                phase.frames,
+                phase.bytes_total,
+                phase.broadcasts,
+                phase.rekeys,
+                phase.members_alive,
+                phase.members_revoked,
+            ]
+            for phase in self.phases
+        ]
+        return format_table(
+            "load scenario %r over the %s driver (%.0f ms total)"
+            % (self.scenario, self.driver, self.wall_s * 1e3),
+            ["phase", "kind", "ms", "frames", "bytes", "bcasts", "rekeys",
+             "alive", "revoked"],
+            rows,
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "driver": self.driver,
+            "params": dict(self.params),
+            "wall_s": self.wall_s,
+            "phases": [phase.to_payload() for phase in self.phases],
+        }
+
+    def emit_bench(self, name: Optional[str] = None) -> str:
+        """Write ``BENCH_<name>.json`` (default name ``load_<scenario>``).
+
+        Per-phase wall times become the ``measurements`` (one round
+        each: a load phase is a trajectory point, not a microbenchmark);
+        per-kind byte totals become the deterministic ``bytes`` section
+        the bench-gate can compare exactly.
+        """
+        measurements = {
+            phase.label: Measurement(
+                mean=phase.wall_s,
+                minimum=phase.wall_s,
+                maximum=phase.wall_s,
+                rounds=1,
+            )
+            for phase in self.phases
+        }
+        measurements["total"] = Measurement(
+            mean=self.wall_s, minimum=self.wall_s, maximum=self.wall_s, rounds=1
+        )
+        bytes_counts = self.bytes_by_kind()
+        bytes_counts["total"] = sum(
+            phase.bytes_total for phase in self.phases
+        )
+        return emit_bench_json(
+            name or "load_%s" % self.scenario,
+            op="load-scenario",
+            params=dict(self.params, driver=self.driver),
+            measurements=measurements,
+            bytes_counts=bytes_counts,
+            extra={"phases": [phase.to_payload() for phase in self.phases]},
+        )

@@ -1,0 +1,124 @@
+"""Builtin scenarios: the CI smoke run and the nightly churn run.
+
+Both follow one shape -- N publishers with disjoint attribute universes,
+each broadcasting a two-segment feed gated by a base and a VIP
+clearance condition -- so a member's entitlement varies with its drawn
+clearance (some derive both segments, some one, some none), which gives
+the derivation invariant real negative cases, not just happy paths.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+from repro.load.spec import (
+    AttributeSpec,
+    DocumentSpec,
+    LoadScenario,
+    PhaseSpec,
+    PolicySpec,
+    PublisherSpec,
+)
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "builtin_scenario",
+    "churn_scenario",
+    "feed_publisher",
+    "smoke_scenario",
+]
+
+
+def feed_publisher(name: str) -> PublisherSpec:
+    """One "feed" publisher over its own ``<name>_clr`` clearance attribute.
+
+    Clearances are drawn uniformly from [0, 99]: >= 40 unlocks the feed
+    body, >= 80 additionally the VIP brief, < 40 nothing at all.
+    """
+    attribute = "%s_clr" % name
+    document = "%s-feed" % name
+    return PublisherSpec(
+        name=name,
+        attributes=(AttributeSpec(attribute, 0, 99),),
+        policies=(
+            PolicySpec("%s >= 40" % attribute, ("body",), document),
+            PolicySpec("%s >= 80" % attribute, ("vip",), document),
+        ),
+        documents=(
+            DocumentSpec(
+                name=document,
+                segments=(
+                    ("body", "the %s bulletin body" % name),
+                    ("vip", "the %s vip brief" % name),
+                ),
+            ),
+        ),
+    )
+
+
+def smoke_scenario(seed: int = 0x10AD) -> LoadScenario:
+    """CI-smoke scale: two publishers, ~14 members, every phase kind.
+
+    Small enough for the fast tier and the per-push CI step, yet it
+    exercises arrival, a revoke storm, kill-and-recover flapping and
+    pure fan-out -- with invariants asserted after each.
+    """
+    return LoadScenario(
+        name="smoke",
+        seed=seed,
+        publishers=(feed_publisher("alpha"), feed_publisher("beta")),
+        phases=(
+            PhaseSpec(kind="join", count=10),
+            PhaseSpec(kind="revoke", count=2),
+            PhaseSpec(kind="flap", count=2),
+            PhaseSpec(kind="join", count=4),
+            PhaseSpec(kind="broadcast", repeat=2),
+        ),
+    ).validate()
+
+
+def churn_scenario(
+    subscribers: int = 64,
+    publishers: int = 2,
+    seed: int = 0xC41218,
+) -> LoadScenario:
+    """The nightly churn run: a sustained arrive/revoke/flap schedule.
+
+    Defaults give 64 initial subscribers across 2 publishers and five
+    churn phases (revoke storm, replacement arrivals, a flap wave,
+    a second storm) before a fan-out burst -- the smallest shape that
+    answers "does rekeying stay broadcast-only under sustained
+    membership change", and the baseline for scaling the counts up.
+    """
+    names = ("alpha", "beta", "gamma", "delta", "epsilon")[:publishers]
+    storm = max(subscribers // 8, 1)
+    flap = max(subscribers // 10, 1)
+    return LoadScenario(
+        name="churn",
+        seed=seed,
+        publishers=tuple(feed_publisher(name) for name in names),
+        phases=(
+            PhaseSpec(kind="join", count=subscribers),
+            PhaseSpec(kind="revoke", count=storm),
+            PhaseSpec(kind="join", count=storm),
+            PhaseSpec(kind="flap", count=flap),
+            PhaseSpec(kind="revoke", count=storm),
+            PhaseSpec(kind="broadcast", repeat=2),
+        ),
+    ).validate()
+
+
+BUILTIN_SCENARIOS = {
+    "smoke": smoke_scenario,
+    "churn": churn_scenario,
+}
+
+
+def builtin_scenario(name: str) -> LoadScenario:
+    """Look up a builtin by name (:data:`BUILTIN_SCENARIOS`)."""
+    factory = BUILTIN_SCENARIOS.get(name)
+    if factory is None:
+        raise InvalidParameterError(
+            "no builtin scenario %r (have %s)"
+            % (name, sorted(BUILTIN_SCENARIOS))
+        )
+    return factory()

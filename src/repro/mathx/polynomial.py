@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import FieldMismatchError, InvalidParameterError, MathError
+from repro.errors import FieldMismatchError, InvalidParameterError
 from repro.mathx.field import FieldElement, PrimeField
 
 __all__ = ["Poly"]

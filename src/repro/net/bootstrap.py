@@ -27,7 +27,7 @@ import json
 import os
 import random
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.crypto.pedersen import PedersenParams
 from repro.errors import InvalidParameterError
@@ -51,6 +51,8 @@ __all__ = [
     "conditions_per_attribute",
     "expected_registrations",
     "load_scenario",
+    "publisher_for_user",
+    "publisher_specs",
     "read_bundle",
     "write_bundle",
     "write_json",
@@ -70,9 +72,14 @@ def write_json(path: str, payload: dict) -> None:
 def load_scenario(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
         scenario = json.load(handle)
-    for key in ("group", "seed", "users", "policies"):
+    for key in ("group", "seed", "users"):
         if key not in scenario:
             raise InvalidParameterError("scenario is missing %r" % key)
+    if "policies" not in scenario and "publishers" not in scenario:
+        raise InvalidParameterError(
+            "scenario needs either 'policies' (single publisher) or "
+            "'publishers' (a list of {name, policies})"
+        )
     scenario.setdefault("attribute_bits", 8)
     scenario.setdefault("gkm_field", "fast")
     scenario.setdefault("idp", "idp")
@@ -80,11 +87,67 @@ def load_scenario(path: str) -> dict:
     scenario.setdefault("publisher", "pub")
     scenario.setdefault("documents", [])
     scenario.setdefault("revoke", [])
+    scenario.setdefault("assignments", {})
     if scenario["gkm_field"] not in _GKM_FIELDS:
         raise InvalidParameterError(
             "gkm_field must be one of %s" % sorted(_GKM_FIELDS)
         )
+    names = [spec["name"] for spec in publisher_specs(scenario)]
+    if len(set(names)) != len(names):
+        raise InvalidParameterError("duplicate publisher names: %s" % names)
+    for user, name in scenario["assignments"].items():
+        if user not in scenario["users"]:
+            raise InvalidParameterError(
+                "assignment for unknown user %r" % user
+            )
+        if name not in names:
+            raise InvalidParameterError(
+                "user %r assigned to unknown publisher %r" % (user, name)
+            )
     return scenario
+
+
+def publisher_specs(scenario: dict) -> List[dict]:
+    """``[{"name": ..., "policies": [...]}, ...]`` -- the normalized
+    publisher list.  A classic single-publisher scenario (top-level
+    ``policies``) yields one spec named ``scenario["publisher"]``; a
+    multi-publisher scenario lists them under ``publishers`` and assigns
+    users via the optional ``assignments`` map (default: the first)."""
+    if "publishers" in scenario:
+        if not scenario["publishers"]:
+            raise InvalidParameterError(
+                "'publishers' must be a non-empty list"
+            )
+        specs = []
+        for spec in scenario["publishers"]:
+            for key in ("name", "policies"):
+                if key not in spec:
+                    raise InvalidParameterError(
+                        "publisher spec is missing %r" % key
+                    )
+            specs.append(spec)
+        return specs
+    return [{"name": scenario["publisher"], "policies": scenario["policies"]}]
+
+
+def _publisher_spec(scenario: dict, name: Optional[str]) -> dict:
+    specs = publisher_specs(scenario)
+    if name is None:
+        return specs[0]
+    for spec in specs:
+        if spec["name"] == name:
+            return spec
+    raise InvalidParameterError(
+        "no publisher %r in the scenario (have %s)"
+        % (name, [s["name"] for s in specs])
+    )
+
+
+def publisher_for_user(scenario: dict, user: str) -> str:
+    """The publisher ``user`` subscribes to (``assignments``, else the
+    first/only publisher)."""
+    default = publisher_specs(scenario)[0]["name"]
+    return scenario.get("assignments", {}).get(user, default)
 
 
 def _group(scenario: dict) -> CyclicGroup:
@@ -164,16 +227,30 @@ def build_system_params(scenario: dict, public_key: GroupElement) -> SystemParam
     return build_publisher(scenario, public_key).params
 
 
-def build_publisher(scenario: dict, public_key: GroupElement) -> Publisher:
+def build_publisher(
+    scenario: dict, public_key: GroupElement, name: Optional[str] = None
+) -> Publisher:
+    """Build one of the scenario's publishers (default: the first/only).
+
+    Each publisher's RNG is salted with its own name in multi-publisher
+    scenarios, so two publisher processes sharing one broker never mint
+    correlated CSSs; the classic single-publisher derivation is kept
+    verbatim for reproducibility of existing scenarios.
+    """
+    spec = _publisher_spec(scenario, name)
+    if scenario.get("publishers"):
+        salt = "%s/publisher/%s" % (scenario["seed"], spec["name"])
+    else:
+        salt = "%s/publisher" % scenario["seed"]
     publisher = Publisher(
-        scenario["publisher"],
+        spec["name"],
         PedersenParams(_group(scenario)),
         public_key,
         gkm_field=_GKM_FIELDS[scenario["gkm_field"]],
         attribute_bits=scenario["attribute_bits"],
-        rng=random.Random("%s/publisher" % scenario["seed"]),
+        rng=random.Random(salt),
     )
-    for policy in scenario["policies"]:
+    for policy in spec["policies"]:
         publisher.add_policy(
             parse_policy(policy["condition"], policy["segments"], policy["document"])
         )
@@ -190,30 +267,53 @@ def build_subscriber(scenario: dict, bundle: Bundle, user: str) -> Subscriber:
     )
 
 
-def conditions_per_attribute(scenario: dict) -> Dict[str, int]:
-    """Distinct policy conditions naming each attribute (0 if unmentioned)."""
+def conditions_per_attribute(
+    scenario: dict, publisher: Optional[str] = None
+) -> Dict[str, int]:
+    """Distinct policy conditions naming each attribute (0 if unmentioned).
+
+    ``publisher`` restricts the count to one publisher's policy set;
+    ``None`` counts across every publisher (identical to the historical
+    behaviour for single-publisher scenarios).
+    """
+    if publisher is None:
+        specs = publisher_specs(scenario)
+    else:
+        specs = [_publisher_spec(scenario, publisher)]
     conditions = {}
-    for policy in scenario["policies"]:
-        parsed = parse_policy(
-            policy["condition"], policy["segments"], policy["document"]
-        )
-        for condition in parsed.conditions:
-            conditions[condition.key()] = condition.name
+    for spec in specs:
+        for policy in spec["policies"]:
+            parsed = parse_policy(
+                policy["condition"], policy["segments"], policy["document"]
+            )
+            for condition in parsed.conditions:
+                conditions[condition.key()] = condition.name
     counts: Dict[str, int] = {}
     for name in conditions.values():
         counts[name] = counts.get(name, 0) + 1
     return counts
 
 
-def expected_registrations(scenario: dict) -> int:
+def expected_registrations(
+    scenario: dict, publisher: Optional[str] = None
+) -> int:
     """Table cells once every user registered every matching condition.
 
     Following Section V-B, each subscriber registers its token for every
-    condition over an attribute it holds a token for, satisfiable or not.
+    condition over an attribute it holds a token for, satisfiable or not
+    -- against its *assigned* publisher.  ``publisher`` restricts the sum
+    to the users assigned to that publisher (what one publisher process
+    waits for); ``None`` sums over all of them.
     """
-    per_attribute = conditions_per_attribute(scenario)
-    return sum(
-        per_attribute.get(name, 0)
-        for attributes in scenario["users"].values()
-        for name in attributes
-    )
+    per_pub = {
+        spec["name"]: conditions_per_attribute(scenario, spec["name"])
+        for spec in publisher_specs(scenario)
+    }
+    total = 0
+    for user, attributes in scenario["users"].items():
+        assigned = publisher_for_user(scenario, user)
+        if publisher is not None and assigned != publisher:
+            continue
+        counts = per_pub[assigned]
+        total += sum(counts.get(name, 0) for name in attributes)
+    return total

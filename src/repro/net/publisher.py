@@ -60,7 +60,7 @@ def _scenario_documents(scenario: dict):
 def _run_lifecycle(args, scenario, bundle, service, transport, stop,
                    recovered_cells=0) -> dict:
     publisher = service.publisher
-    expected = expected_registrations(scenario)
+    expected = expected_registrations(scenario, publisher=publisher.name)
     if recovered_cells >= expected:
         # The durable table already holds every CSS: the first publish
         # below is the rekey-on-recovery broadcast, and no subscriber
@@ -135,12 +135,16 @@ def main(argv=None) -> int:
                              "lifecycle")
     parser.add_argument("--report", default=None,
                         help="write the lifecycle report JSON here")
+    parser.add_argument("--name", default=None,
+                        help="which publisher spec to serve, for scenarios "
+                             "with a 'publishers' list (default: the "
+                             "first/only one)")
     args = parser.parse_args(argv)
 
     scenario = load_scenario(args.scenario)
     wait_for_file(args.bundle, timeout=args.timeout)
     bundle = read_bundle(args.bundle)
-    publisher = build_publisher(scenario, bundle.public_key)
+    publisher = build_publisher(scenario, bundle.public_key, name=args.name)
 
     persistence = None
     recovered_cells = 0

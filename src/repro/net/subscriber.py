@@ -25,6 +25,7 @@ from repro.net.bootstrap import (
     build_subscriber,
     conditions_per_attribute,
     load_scenario,
+    publisher_for_user,
     read_bundle,
     write_json,
 )
@@ -77,7 +78,7 @@ def main(argv=None) -> int:
             client = SubscriberClient(
                 subscriber,
                 transport,
-                publisher_name=scenario["publisher"],
+                publisher_name=publisher_for_user(scenario, args.user),
                 idmgr_name=scenario["idmgr"],
                 history_limit=args.history_limit,
                 persistence=persistence,
@@ -122,7 +123,9 @@ def _run_lifecycle(args, scenario, bundle, subscriber, client, transport, stop,
         # many condition outcomes as the policies define for it -- an
         # attribute no condition mentions expects zero, so a scenario
         # containing one cannot wedge this phase.
-        expected = conditions_per_attribute(scenario)
+        expected = conditions_per_attribute(
+            scenario, publisher=publisher_for_user(scenario, args.user)
+        )
         pump_until(
             [client],
             lambda: not client.registering()

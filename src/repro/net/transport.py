@@ -367,6 +367,34 @@ class TcpTransport:
 
     # -- beyond the protocol: introspection and control ----------------------
 
+    def disconnect(self, entity: str) -> None:
+        """Close one entity's broker connection and forget it locally.
+
+        This is the load engine's "flap" kill step: the broker observes a
+        clean disconnect, frees the name for a future Hello and keeps
+        queueing broadcasts into the entity's (bounded) broker-side
+        inbox; a later :meth:`register` reconnects and drains that
+        backlog.  Unpolled local deliveries and owed acks are dropped
+        with the connection -- exactly the state a killed process loses.
+        No-op for an unregistered name.
+        """
+        with self._lock:
+            entity_lock = self._entity_locks.setdefault(entity, threading.Lock())
+        with entity_lock:
+            with self._lock:
+                conn = self._conns.pop(entity, None)
+                self._reconnect_at.pop(entity, None)
+            if conn is None:
+                return
+            if conn.reader is not None:
+                self._loop.call_soon_threadsafe(conn.reader.cancel)
+            try:
+                asyncio.run_coroutine_threadsafe(
+                    conn.stream.aclose(), self._loop
+                ).result(self.timeout)
+            except concurrent.futures.TimeoutError:
+                pass  # best-effort: the reader's teardown also closes it
+
     def entities(self) -> List[str]:
         """Locally registered entity names."""
         return sorted(self._conns)

@@ -15,7 +15,7 @@ import abc
 import random
 import secrets
 from dataclasses import dataclass, field
-from typing import Optional, Tuple, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from repro.crypto.hashes import HashFunction, default_hash
 from repro.crypto.kdf import derive_key

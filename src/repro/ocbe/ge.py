@@ -25,10 +25,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.crypto.pedersen import PedersenCommitment
-from repro.errors import DecryptionError, PredicateError, ProtocolStateError
+from repro.errors import PredicateError, ProtocolStateError
 from repro.groups.base import CyclicGroup, GroupElement
 from repro.ocbe.base import Envelope, OCBESetup
-from repro.ocbe.predicates import GePredicate, LePredicate
+from repro.ocbe.predicates import GePredicate
 from repro.wire.codec import (
     Cursor,
     pack_bytes,

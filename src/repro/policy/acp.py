@@ -15,8 +15,8 @@ identifiers of document ``D``.  Example 2 of the paper:
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
 
 from repro.errors import PolicyParseError
 from repro.policy.condition import AttributeCondition, parse_condition

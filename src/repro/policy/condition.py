@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Union
 
 from repro.errors import PolicyParseError, PredicateError
 from repro.ocbe.predicates import (

@@ -22,7 +22,7 @@ configuration) is durable from the first moment.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.errors import LogCorruptionError, SnapshotMismatchError
 from repro.store.snapshots import (

@@ -29,7 +29,7 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.errors import LogCorruptionError
 from repro.wire.codec import (

@@ -77,6 +77,34 @@ class CssTable:
         """The ordered CSS tuple for one (policy, subscriber) matrix row."""
         return tuple(self.get(nym, key) for key in condition_keys)
 
+    def rows_for_policies(
+        self, policy_keys: Sequence[Sequence[str]]
+    ) -> List[List[tuple]]:
+        """The ACV matrix rows for *many* policies in one table pass.
+
+        Returns one bucket per entry of ``policy_keys``: the ordered CSS
+        tuples of every pseudonym qualified for that policy, pseudonyms
+        sorted -- exactly ``[self.css_row(nym, keys) for nym in
+        self.pseudonyms_with(keys)]`` per policy, but the table is walked
+        once instead of once per policy.  This is the per-broadcast row
+        setup of :meth:`repro.system.publisher.Publisher.publish`; under
+        churn it runs after every membership change, so the constant
+        factor matters.
+        """
+        buckets: List[List[tuple]] = [[] for _ in policy_keys]
+        for nym in sorted(self._rows):
+            row = self._rows[nym]
+            for bucket, keys in zip(buckets, policy_keys):
+                cells = []
+                for key in keys:
+                    css = row.get(key)
+                    if css is None:
+                        break
+                    cells.append(css)
+                else:
+                    bucket.append(tuple(cells))
+        return buckets
+
     def rows(self) -> tuple:
         """The full table as nested tuples (the snapshot encoding's view):
         ``((nym, ((condition_key, css), ...)), ...)``, sorted both ways."""

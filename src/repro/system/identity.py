@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.crypto.pedersen import PedersenCommitment
 from repro.crypto.schnorr_sig import SchnorrSignature

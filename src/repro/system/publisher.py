@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 import secrets
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.hashes import HashFunction, default_hash
@@ -234,6 +234,17 @@ class Publisher:
             self.journal.subscription_revoked(nym)
         return removed
 
+    def revoke_subscriptions(self, nyms: Sequence[str]) -> int:
+        """Batch subscription revocation: remove many pseudonyms at once.
+
+        Returns how many were actually present.  The point of batching is
+        the rekey cost model: a churn step that revokes ``k`` members and
+        then calls :meth:`publish` *once* pays for one ACV matrix build,
+        where the naive revoke-publish-revoke-publish loop pays ``k``
+        (measured by ``benchmarks/test_load_scenarios.py``).
+        """
+        return sum(1 for nym in nyms if self.revoke_subscription(nym))
+
     def revoke_credential(self, nym: str, condition_key: str) -> bool:
         """Remove one CSS; next publish is the rekey."""
         removed = self.table.remove_cell(nym, condition_key)
@@ -277,13 +288,16 @@ class Publisher:
                 )
                 sym_key = throwaway
             else:
-                rows: List[Tuple[bytes, ...]] = []
-                policy_keys: List[Tuple[str, ...]] = []
-                for acp in config.sorted_policies():
-                    keys = acp.condition_keys()
-                    policy_keys.append(keys)
-                    for nym in self.table.pseudonyms_with(keys):
-                        rows.append(self.table.css_row(nym, keys))
+                # One table pass builds the rows of every member policy
+                # (was one pass per policy): the per-broadcast setup is on
+                # the churn hot path, where every phase ends in a rekey.
+                policy_keys: List[Tuple[str, ...]] = [
+                    acp.condition_keys() for acp in config.sorted_policies()
+                ]
+                buckets = self.table.rows_for_policies(policy_keys)
+                rows: List[Tuple[bytes, ...]] = [
+                    row for bucket in buckets for row in bucket
+                ]
                 n_max = capacity
                 if n_max is None:
                     n_max = max(len(rows), 1) + self.capacity_slack

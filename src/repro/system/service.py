@@ -155,17 +155,27 @@ class DisseminationService(_Endpoint):
 class SubscriberClient(_Endpoint):
     """A subscriber's network endpoint.
 
-    Tracks one :class:`SubscriberRegistrationSession` per condition and
-    aggregates their outcomes in :attr:`results` (``{attribute:
-    {condition key: extracted?}}`` -- knowledge only this side has).
-    Received broadcasts are decrypted eagerly into :attr:`documents`.
+    Tracks one :class:`SubscriberRegistrationSession` per (publisher,
+    condition) and aggregates their outcomes in :attr:`results`
+    (``{attribute: {condition key: extracted?}}`` -- knowledge only this
+    side has).  Received broadcasts are decrypted eagerly into
+    :attr:`documents`.
+
+    ``publisher_name`` may be a single name or a sequence of names: a
+    client on a shared broker can subscribe to several publishers at
+    once (condition queries fan out to all of them; broadcasts are
+    accepted from any of them).  Condition keys are publisher-local, so
+    two publishers announcing the *same* condition string share one
+    entry in :attr:`results`/``css_store`` -- multi-publisher deployments
+    should keep their condition universes disjoint (the load scenarios
+    in :mod:`repro.load` do).
     """
 
     def __init__(
         self,
         subscriber,
         transport: Transport,
-        publisher_name: str,
+        publisher_name,
         idmgr_name: str = "idmgr",
         history_limit: Optional[int] = None,
         persistence=None,
@@ -183,7 +193,14 @@ class SubscriberClient(_Endpoint):
                 "history_limit must be a positive count or None"
             )
         self.subscriber = subscriber
-        self.publisher_name = publisher_name
+        if isinstance(publisher_name, str):
+            self.publisher_names: tuple = (publisher_name,)
+        else:
+            self.publisher_names = tuple(publisher_name)
+        if not self.publisher_names:
+            raise InvalidParameterError("at least one publisher name required")
+        #: The primary publisher (kept for single-publisher callers).
+        self.publisher_name = self.publisher_names[0]
         self.idmgr_name = idmgr_name
         self.history_limit = history_limit
         #: Treat a locally-held CSS as a completed registration and skip
@@ -208,7 +225,7 @@ class SubscriberClient(_Endpoint):
         #: overwrites; this history preserves the per-broadcast view a
         #: networked subscriber reports.
         self.broadcasts: List[Dict[str, bytes]] = []
-        self._sessions: Dict[str, SubscriberRegistrationSession] = {}
+        self._sessions: Dict[tuple, SubscriberRegistrationSession] = {}
         self._group = subscriber.params.pedersen.group
 
     # -- outgoing actions ---------------------------------------------------
@@ -225,49 +242,65 @@ class SubscriberClient(_Endpoint):
             ).encode(),
         )
 
-    def request_conditions(self, attribute: str) -> None:
-        """Ask the publisher which conditions mention ``attribute``."""
-        self._send(self.publisher_name, ConditionQuery(attribute=attribute).encode())
+    def _publishers(self, publisher: Optional[str]) -> tuple:
+        if publisher is None:
+            return self.publisher_names
+        if publisher not in self.publisher_names:
+            raise InvalidParameterError(
+                "%r is not one of this client's publishers %s"
+                % (publisher, list(self.publisher_names))
+            )
+        return (publisher,)
 
-    def register_attribute(self, attribute: str) -> None:
+    def request_conditions(
+        self, attribute: str, publisher: Optional[str] = None
+    ) -> None:
+        """Ask the publisher(s) which conditions mention ``attribute``."""
+        frame = ConditionQuery(attribute=attribute).encode()
+        for name in self._publishers(publisher):
+            self._send(name, frame)
+
+    def register_attribute(
+        self, attribute: str, publisher: Optional[str] = None
+    ) -> None:
         """Start the Section V-B loop for one held token: query conditions,
         then (on reply) register for *every* matching condition."""
         self.subscriber.wallet_for(attribute)  # fail fast when no token held
         self.results.setdefault(attribute, {})
-        self.request_conditions(attribute)
+        self.request_conditions(attribute, publisher)
 
-    def register_all_attributes(self) -> None:
+    def register_all_attributes(self, publisher: Optional[str] = None) -> None:
         """Start the loop for every token in the wallet."""
         for attribute in self.subscriber.attribute_tags():
-            self.register_attribute(attribute)
+            self.register_attribute(attribute, publisher)
 
     # -- incoming dispatch --------------------------------------------------
 
-    def _expected_sender(self, message) -> Optional[str]:
+    def _expected_senders(self, message) -> Optional[tuple]:
         """Who is allowed to send this message type to a subscriber."""
         if isinstance(message, (ConditionList, RegistrationAck, OCBEEnvelope,
                                 BroadcastMessage)):
-            return self.publisher_name
+            return self.publisher_names
         if isinstance(message, TokenGrant):
-            return self.idmgr_name
+            return (self.idmgr_name,)
         return None
 
     def _handle_delivery(self, delivery: Delivery) -> None:
         if (
             _frame_type(delivery.payload) is BroadcastMessage
-            and delivery.sender != self.publisher_name
+            and delivery.sender not in self.publisher_names
         ):
             return  # another publisher's multicast on a shared channel
         message = decode_message(delivery.payload, self._group)
-        expected = self._expected_sender(message)
-        if expected is not None and delivery.sender != expected:
+        expected = self._expected_senders(message)
+        if expected is not None and delivery.sender not in expected:
             # The mirror of the publisher's nym-vs-sender check: a peer
             # impersonating our publisher/IdMgr could abort sessions, plant
             # wallet entries or redirect registrations.  Record and drop.
             self.failures.setdefault(
                 "sender:%s" % delivery.sender,
                 "%s from %r, expected %r"
-                % (type(message).__name__, delivery.sender, expected),
+                % (type(message).__name__, delivery.sender, list(expected)),
             )
             return
         if isinstance(message, ConditionList):
@@ -299,7 +332,7 @@ class SubscriberClient(_Endpoint):
             if condition.name != message.attribute:
                 continue  # a confused/hostile peer's stray condition: ignore
             key = condition.key()
-            if key in self._sessions:
+            if (sender, key) in self._sessions:
                 continue  # a session is already in flight; let it finish
             if self.reuse_css and key in self.subscriber.css_store:
                 # A durable CSS from a previous run: the publisher's table
@@ -310,14 +343,14 @@ class SubscriberClient(_Endpoint):
             session = SubscriberRegistrationSession(
                 self.subscriber, condition, rng=self.subscriber.rng
             )
-            self._sessions[key] = session
+            self._sessions[(sender, key)] = session
             outcomes.setdefault(key, False)
             self._send(sender, session.start(), note=key)
 
     def _on_session_frame(
         self, sender: str, frame: bytes, message
     ) -> None:
-        session = self._sessions.get(message.condition_key)
+        session = self._sessions.get((sender, message.condition_key))
         if session is None:
             # A duplicate, late, or fabricated frame for a registration we
             # are not running: remote confusion, recorded and absorbed like
@@ -331,7 +364,7 @@ class SubscriberClient(_Endpoint):
         if reply is not None:
             self._send(sender, reply, note=message.condition_key)
         if session.done:
-            del self._sessions[message.condition_key]
+            del self._sessions[(sender, message.condition_key)]
             self.results[session.condition.name][session.condition_key] = bool(
                 session.succeeded
             )

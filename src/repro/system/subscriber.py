@@ -17,14 +17,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.documents.package import BroadcastPackage, ConfigHeader
 from repro.errors import DecryptionError, RegistrationError
 from repro.gkm.acv import AcvBgkm
-from repro.mathx.field import PrimeField
 from repro.ocbe.base import OCBESetup
-from repro.policy.condition import AttributeCondition
 from repro.system.identity import IdentityToken
 from repro.system.publisher import RegistrationOffer, SystemParams
 

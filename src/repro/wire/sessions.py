@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import (
     DecryptionError,

@@ -19,7 +19,9 @@ from repro.errors import InvalidParameterError
 from repro.policy.acp import AccessControlPolicy, parse_policy
 
 __all__ = [
+    "draw_attribute_values",
     "make_css_rows",
+    "make_subscriber_population",
     "user_configuration_rows",
     "SyntheticPolicySet",
     "make_policy_set",
@@ -80,6 +82,53 @@ def user_configuration_rows(
             )
         )
     return rows, max_users
+
+
+def draw_attribute_values(
+    mix: Dict[str, Tuple[int, int]],
+    rng: Optional[random.Random] = None,
+) -> Dict[str, int]:
+    """One subscriber's attribute assignment drawn from ``mix``.
+
+    ``mix`` maps attribute name to an inclusive ``(low, high)`` integer
+    range -- the *attribute mix* of a load scenario.  Every draw goes
+    through the supplied ``rng`` (default: ``random.Random(0)``), never
+    the module-level ``random`` functions, so two runs with the same
+    seed produce bit-identical populations.
+    """
+    rng = rng or random.Random(0)
+    values: Dict[str, int] = {}
+    for name in sorted(mix):
+        low, high = mix[name]
+        if low > high:
+            raise InvalidParameterError(
+                "attribute %r has an empty range (%d, %d)" % (name, low, high)
+            )
+        values[name] = rng.randint(low, high)
+    return values
+
+
+def make_subscriber_population(
+    count: int,
+    mix: Dict[str, Tuple[int, int]],
+    rng: Optional[random.Random] = None,
+    prefix: str = "user",
+    start: int = 0,
+) -> Dict[str, Dict[str, int]]:
+    """``count`` named subscribers with attributes drawn from ``mix``.
+
+    Returns ``{name: {attribute: value}}`` with names
+    ``<prefix><start>..<prefix><start+count-1>`` -- the population input
+    of a :mod:`repro.load` scenario (``start`` lets churn phases mint
+    users that never collide with the existing population).
+    """
+    if count < 0:
+        raise InvalidParameterError("population count must be >= 0")
+    rng = rng or random.Random(0)
+    return {
+        "%s%d" % (prefix, start + i): draw_attribute_values(mix, rng)
+        for i in range(count)
+    }
 
 
 @dataclass(frozen=True)

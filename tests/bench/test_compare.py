@@ -1,0 +1,149 @@
+"""Tolerance logic of ``python -m repro.bench.compare`` (the bench-gate)."""
+
+import json
+
+import pytest
+
+from repro.bench import compare as bc
+from repro.errors import InvalidParameterError
+
+
+def _payload(name, mean, total_bytes=1000, params=None):
+    return {
+        "name": name,
+        "op": "op",
+        "params": params if params is not None else {"n": 4},
+        "measurements": {
+            "work": {"mean_s": mean, "min_s": mean, "max_s": mean, "rounds": 3}
+        },
+        "bytes": {"total": total_bytes},
+    }
+
+
+def _statuses(report, field="time"):
+    return {
+        (d.bench, d.label): d.status for d in report.deltas if d.field == field
+    }
+
+
+def test_within_tolerance_passes():
+    report = bc.compare_payloads(
+        {"a": _payload("a", 1.0)}, {"a": _payload("a", 1.29)}, tolerance=0.30
+    )
+    assert _statuses(report)[("a", "work")] == "ok"
+    assert report.ok()
+
+
+def test_exactly_at_tolerance_passes_and_above_fails():
+    base = {"a": _payload("a", 1.0)}
+    at = bc.compare_payloads(base, {"a": _payload("a", 1.30)}, tolerance=0.30)
+    assert _statuses(at)[("a", "work")] == "ok"
+    over = bc.compare_payloads(
+        base, {"a": _payload("a", 1.31)}, tolerance=0.30
+    )
+    assert _statuses(over)[("a", "work")] == "regression"
+    assert not over.ok()
+    assert over.regressions()[0].ratio == pytest.approx(1.31)
+
+
+def test_improvement_reported_but_passes():
+    report = bc.compare_payloads(
+        {"a": _payload("a", 1.0)}, {"a": _payload("a", 0.5)}, tolerance=0.30
+    )
+    assert _statuses(report)[("a", "work")] == "improvement"
+    assert report.ok()
+
+
+def test_new_benchmark_passes():
+    report = bc.compare_payloads({}, {"a": _payload("a", 1.0)})
+    assert [d.status for d in report.deltas] == ["new"]
+    assert report.ok()
+
+
+def test_params_change_skips_gating():
+    report = bc.compare_payloads(
+        {"a": _payload("a", 1.0, params={"n": 4})},
+        {"a": _payload("a", 99.0, params={"n": 512})},  # rescaled, not slower
+    )
+    assert [d.status for d in report.deltas] == ["params-changed"]
+    assert report.ok()
+
+
+def test_bytes_gate_exact_by_default():
+    base = {"a": _payload("a", 1.0, total_bytes=1000)}
+    drifted = {"a": _payload("a", 1.0, total_bytes=1001)}
+    report = bc.compare_payloads(base, drifted)
+    assert _statuses(report, "bytes")[("a", "total")] == "regression"
+    # A tolerance admits the drift.
+    relaxed = bc.compare_payloads(base, drifted, bytes_tolerance=0.01)
+    assert relaxed.ok()
+    # Shrinking bytes is an improvement, not a regression.
+    shrunk = bc.compare_payloads(
+        base, {"a": _payload("a", 1.0, total_bytes=900)}
+    )
+    assert _statuses(shrunk, "bytes")[("a", "total")] == "improvement"
+    assert shrunk.ok()
+
+
+def test_dropped_measurement_gates_only_in_strict_mode():
+    base = {"a": _payload("a", 1.0)}
+    current = {"a": _payload("a", 1.0)}
+    del current["a"]["measurements"]["work"]
+    current["a"]["measurements"]["other"] = {
+        "mean_s": 1.0, "min_s": 1.0, "max_s": 1.0, "rounds": 1
+    }
+    report = bc.compare_payloads(base, current)
+    assert _statuses(report)[("a", "work")] == "dropped"
+    assert report.ok()
+    assert not report.ok(strict=True)
+
+
+def test_fields_selection_ignores_times():
+    report = bc.compare_payloads(
+        {"a": _payload("a", 1.0)},
+        {"a": _payload("a", 100.0)},  # huge slowdown...
+        fields=("bytes",),  # ...but only bytes are gated
+    )
+    assert report.ok()
+    with pytest.raises(InvalidParameterError):
+        bc.compare_payloads({}, {}, fields=("nope",))
+    with pytest.raises(InvalidParameterError):
+        bc.compare_payloads({}, {}, tolerance=-0.1)
+
+
+def test_cli_end_to_end(tmp_path, capsys):
+    baseline = tmp_path / "baseline"
+    current = tmp_path / "current"
+    baseline.mkdir()
+    current.mkdir()
+    (baseline / "BENCH_a.json").write_text(json.dumps(_payload("a", 1.0)))
+    (current / "BENCH_a.json").write_text(json.dumps(_payload("a", 1.0)))
+    assert bc.main(["--baseline", str(baseline), "--current", str(current)]) == 0
+    # Inject a synthetic regression: the current run doubled its time.
+    (current / "BENCH_a.json").write_text(json.dumps(_payload("a", 2.0)))
+    assert bc.main(["--baseline", str(baseline), "--current", str(current)]) == 1
+    out = capsys.readouterr()
+    assert "REGRESSION" in out.err
+    # Bad inputs exit 2, distinct from "regression found".
+    assert bc.main(["--baseline", str(tmp_path / "missing"),
+                    "--current", str(current)]) == 2
+
+
+def test_load_bench_dir_rejects_garbage(tmp_path):
+    (tmp_path / "BENCH_bad.json").write_text("{not json")
+    with pytest.raises(InvalidParameterError):
+        bc.load_bench_dir(str(tmp_path))
+    (tmp_path / "BENCH_bad.json").write_text(json.dumps({"op": "nameless"}))
+    with pytest.raises(InvalidParameterError):
+        bc.load_bench_dir(str(tmp_path))
+
+
+def test_vanished_benchmark_file_is_dropped():
+    base = {"a": _payload("a", 1.0), "b": _payload("b", 1.0)}
+    current = {"a": _payload("a", 1.0)}  # BENCH_b.json never emitted
+    report = bc.compare_payloads(base, current)
+    assert {(d.bench, d.status) for d in report.deltas if d.bench == "b"} == {
+        ("b", "dropped")
+    }
+    assert report.ok()
+    assert not report.ok(strict=True)

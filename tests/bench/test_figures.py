@@ -6,7 +6,6 @@ return the right shape, and show the paper's qualitative trends.
 
 import random
 
-import pytest
 
 from repro.bench.figures import fig2, fig3, fig4, fig5, fig6, table2
 from repro.bench.runner import Measurement, avg_time, format_table

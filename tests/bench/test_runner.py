@@ -1,0 +1,87 @@
+"""Edge cases of the BENCH_*.json emitter (the bench-gate's input side).
+
+The emitter feeds CI's regression gate, so its failure modes must be
+typed and its overwrite semantics explicit: a half-written or
+silently-missing result file would make the gate pass vacuously.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.runner import Measurement, avg_time, emit_bench_json
+from repro.errors import BenchError, InvalidParameterError
+
+
+def _measurement(mean=0.5):
+    return {"work": Measurement(mean=mean, minimum=mean, maximum=mean, rounds=1)}
+
+
+def test_writes_into_repro_bench_dir(tmp_path, monkeypatch):
+    out = tmp_path / "results"
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(out))
+    path = emit_bench_json("alpha", op="op", params={"n": 1},
+                           measurements=_measurement())
+    assert path == str(out / "BENCH_alpha.json")
+    payload = json.loads((out / "BENCH_alpha.json").read_text())
+    assert payload["name"] == "alpha"
+    assert payload["measurements"]["work"]["mean_s"] == 0.5
+
+
+def test_defaults_to_cwd_when_env_unset(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+    monkeypatch.chdir(tmp_path)
+    path = emit_bench_json("beta", op="op", params={},
+                           measurements=_measurement())
+    assert os.path.dirname(path) == "."
+    assert (tmp_path / "BENCH_beta.json").exists()
+
+
+def test_name_collision_overwrites_atomically(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    emit_bench_json("gamma", op="op", params={"run": 1},
+                    measurements=_measurement(0.1))
+    emit_bench_json("gamma", op="op", params={"run": 2},
+                    measurements=_measurement(0.2))
+    files = [n for n in os.listdir(tmp_path) if n.startswith("BENCH_")]
+    assert files == ["BENCH_gamma.json"]
+    payload = json.loads((tmp_path / "BENCH_gamma.json").read_text())
+    assert payload["params"] == {"run": 2}  # newest run wins
+    assert not (tmp_path / "BENCH_gamma.json.tmp").exists()
+
+
+def test_unsafe_name_rejected():
+    with pytest.raises(InvalidParameterError):
+        emit_bench_json("../escape", op="op", params={},
+                        measurements=_measurement())
+
+
+def test_non_serializable_params_raise_typed_error(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    with pytest.raises(InvalidParameterError):
+        emit_bench_json("delta", op="op", params={"obj": object()},
+                        measurements=_measurement())
+    with pytest.raises(InvalidParameterError):
+        emit_bench_json("delta", op="op", params={},
+                        measurements=_measurement(), extra={"bad": {1, 2}})
+    # Nothing landed on disk from the refused emissions.
+    assert not os.listdir(tmp_path)
+
+
+def test_unwritable_output_dir_raises_bench_error(tmp_path, monkeypatch):
+    # Point the output "directory" at an existing *file*: os.makedirs
+    # cannot succeed for any caller (even root), so the OSError path is
+    # exercised deterministically.
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("occupied")
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(blocker))
+    with pytest.raises(BenchError):
+        emit_bench_json("epsilon", op="op", params={},
+                        measurements=_measurement())
+
+
+def test_avg_time_floors_rounds():
+    measurement = avg_time(lambda: None, rounds=0)
+    assert measurement.rounds == 1
+    assert measurement.minimum <= measurement.mean <= measurement.maximum

@@ -1,6 +1,5 @@
 """Serialization tests for broadcast packages."""
 
-import random
 
 import pytest
 

@@ -12,7 +12,6 @@ from repro.errors import (
     SerializationError,
 )
 from repro.gkm.acv import FAST_FIELD, PAPER_FIELD, AcvBgkm, AcvHeader, _auto_z_bytes
-from repro.mathx.field import PrimeField
 
 
 @pytest.fixture

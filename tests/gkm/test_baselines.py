@@ -1,6 +1,5 @@
 """Uniform correctness/secrecy sweep over every flat BroadcastGkm scheme."""
 
-import random
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the bucketized ACV scheme (Section VIII-C)."""
 
-import random
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Deeper LKH tests: tree shape, member state, heavy churn."""
 
-import random
 
 import pytest
 

@@ -8,7 +8,6 @@ across two *independent* ACVs safely.  Both claims are demonstrated here
 against the real implementations.
 """
 
-import random
 
 import pytest
 

@@ -14,7 +14,6 @@ KEV at all.
 
 import random
 
-import pytest
 
 from repro.mathx.field import PrimeField
 from repro.mathx.linalg import Matrix, vec_dot

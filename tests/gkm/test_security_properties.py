@@ -1,6 +1,5 @@
 """The security requirements of Section I / VI-B as executable tests."""
 
-import random
 
 import pytest
 

@@ -3,8 +3,6 @@
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.errors import GroupError, InvalidParameterError, NotOnCurveError
 from repro.groups.jacobian import GenusTwoJacobian, JacobianParams

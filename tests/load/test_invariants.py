@@ -1,0 +1,118 @@
+"""The invariant checker must catch violations, not just bless runs."""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.load import (
+    LoadEngine,
+    LoadScenario,
+    PhaseSpec,
+    check_members,
+    check_rekey_window,
+    expected_plaintexts,
+    feed_publisher,
+)
+from repro.system.transport import BROADCAST, Message
+
+
+def _broadcast(sender="alpha"):
+    return Message(sender=sender, receiver=BROADCAST,
+                   kind="broadcast-package", size=100)
+
+
+def test_clean_rekey_window_passes():
+    records = [_broadcast("alpha"), _broadcast("beta")]
+    check_rekey_window(records, ["alpha", "beta"], 2, context="t")
+
+
+def test_publisher_unicast_is_a_violation():
+    records = [
+        _broadcast(),
+        Message(sender="alpha", receiver="pn-3",
+                kind="broadcast-package", size=10),
+    ]
+    with pytest.raises(InvariantViolation, match="unicast"):
+        check_rekey_window(records, ["alpha"], 2, context="t")
+
+
+def test_registration_traffic_in_rekey_window_is_a_violation():
+    records = [
+        _broadcast(),
+        Message(sender="pn-3", receiver="alpha",
+                kind="token+condition-request", size=10),
+    ]
+    with pytest.raises(InvariantViolation, match="registration"):
+        check_rekey_window(records, ["alpha"], 1, context="t")
+
+
+def test_inbound_publisher_traffic_is_a_violation():
+    records = [
+        _broadcast(),
+        Message(sender="pn-3", receiver="alpha",
+                kind="condition-query", size=10),
+    ]
+    with pytest.raises(InvariantViolation, match="received"):
+        check_rekey_window(records, ["alpha"], 1, context="t")
+
+
+def test_missing_broadcast_is_a_violation():
+    with pytest.raises(InvariantViolation, match="expected 2"):
+        check_rekey_window([_broadcast()], ["alpha"], 2, context="t")
+
+
+def test_expected_plaintexts_tracks_clearance():
+    spec = feed_publisher("alpha")
+    doc = spec.documents[0]
+    both = expected_plaintexts(spec, {"alpha_clr": 85}, doc)
+    assert sorted(both) == ["body", "vip"]
+    body_only = expected_plaintexts(spec, {"alpha_clr": 45}, doc)
+    assert sorted(body_only) == ["body"]
+    assert expected_plaintexts(spec, {"alpha_clr": 5}, doc) == {}
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    scenario = LoadScenario(
+        name="tamper",
+        seed=0xBAD,
+        publishers=(feed_publisher("alpha"),),
+        phases=(PhaseSpec(kind="join", count=4),),
+    )
+    with LoadEngine(scenario, driver="memory") as engine:
+        engine.run()
+        yield engine
+
+
+def test_check_members_passes_untampered(small_world):
+    check_members(small_world, context="clean")
+
+
+def test_fake_revocation_detected(small_world):
+    # Mark a deriving member revoked WITHOUT touching the publisher: the
+    # checker must notice it still decrypts (and still has table rows).
+    member = next(
+        m for m in small_world.members.values()
+        if m.attributes["alpha_clr"] >= 40
+    )
+    member.revoked = True
+    try:
+        with pytest.raises(InvariantViolation, match="REVOKED"):
+            check_members(small_world, context="tampered")
+    finally:
+        member.revoked = False
+
+
+def test_overclaimed_entitlement_detected(small_world):
+    # Claim a member is entitled to more than its real clearance can
+    # derive: actual plaintexts no longer match the ground truth.
+    member = next(
+        m for m in small_world.members.values()
+        if m.attributes["alpha_clr"] < 80
+    )
+    original = dict(member.attributes)
+    member.attributes = {"alpha_clr": 99}
+    try:
+        with pytest.raises(InvariantViolation, match="entitled"):
+            check_members(small_world, context="tampered")
+    finally:
+        member.attributes = original

@@ -11,7 +11,6 @@ from repro.mathx.field import PrimeField
 from repro.mathx.linalg import (
     NUMPY_MODULUS_LIMIT,
     Matrix,
-    null_space,
     random_null_vector,
     solve,
     vec_dot,

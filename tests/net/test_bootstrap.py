@@ -106,3 +106,96 @@ def test_unknown_user_rejected(tmp_path):
     bundle = read_bundle(bundle_path)
     with pytest.raises(InvalidParameterError, match="not in the bundle"):
         build_subscriber(scenario, bundle, "mallory")
+
+
+# -- multi-publisher scenarios (PR 4) ----------------------------------------
+
+MULTI_SCENARIO = {
+    "group": "nist-p192",
+    "seed": 44,
+    "publishers": [
+        {
+            "name": "news",
+            "policies": [
+                {"condition": "news_tier >= 10", "segments": ["wire"],
+                 "document": "daily"},
+            ],
+        },
+        {
+            "name": "sports",
+            "policies": [
+                {"condition": "sports_tier >= 50", "segments": ["scores"],
+                 "document": "scores"},
+            ],
+        },
+    ],
+    "assignments": {"dave": "sports"},
+    "users": {
+        "carol": {"news_tier": 30},
+        "dave": {"sports_tier": 70},
+    },
+}
+
+
+def test_multi_publisher_specs_and_assignment(tmp_path):
+    from repro.net.bootstrap import publisher_for_user, publisher_specs
+
+    scenario = _loaded(tmp_path, MULTI_SCENARIO)
+    assert [s["name"] for s in publisher_specs(scenario)] == ["news", "sports"]
+    assert publisher_for_user(scenario, "carol") == "news"  # default: first
+    assert publisher_for_user(scenario, "dave") == "sports"
+
+
+def test_multi_publisher_builds_are_independent(tmp_path):
+    scenario = _loaded(tmp_path, MULTI_SCENARIO)
+    _, idmgr, nyms, assertions = build_identity_stack(scenario)
+    news = build_publisher(scenario, idmgr.public_key, name="news")
+    sports = build_publisher(scenario, idmgr.public_key, name="sports")
+    assert news.name == "news" and sports.name == "sports"
+    assert [c.name for c in news.conditions()] == ["news_tier"]
+    assert [c.name for c in sports.conditions()] == ["sports_tier"]
+    # Per-publisher RNG salting: the two processes never mint the same
+    # CSS stream.
+    assert news._rng.getrandbits(64) != sports._rng.getrandbits(64)
+    with pytest.raises(InvalidParameterError, match="no publisher"):
+        build_publisher(scenario, idmgr.public_key, name="ghost")
+
+
+def test_multi_publisher_expected_registrations(tmp_path):
+    from repro.net.bootstrap import conditions_per_attribute
+
+    scenario = _loaded(tmp_path, MULTI_SCENARIO)
+    # carol registers news_tier at news; dave registers sports_tier at
+    # sports: one condition each.
+    assert expected_registrations(scenario) == 2
+    assert expected_registrations(scenario, publisher="news") == 1
+    assert expected_registrations(scenario, publisher="sports") == 1
+    assert conditions_per_attribute(scenario, "news") == {"news_tier": 1}
+    assert conditions_per_attribute(scenario) == {
+        "news_tier": 1, "sports_tier": 1,
+    }
+
+
+def test_multi_publisher_validation(tmp_path):
+    dupe = dict(MULTI_SCENARIO)
+    dupe["publishers"] = [
+        {"name": "news", "policies": []},
+        {"name": "news", "policies": []},
+    ]
+    with pytest.raises(InvalidParameterError, match="duplicate publisher"):
+        _loaded(tmp_path, dupe)
+    stray = dict(MULTI_SCENARIO, assignments={"carol": "ghost"})
+    with pytest.raises(InvalidParameterError, match="unknown publisher"):
+        _loaded(tmp_path, stray)
+    nobody = dict(MULTI_SCENARIO, assignments={"ghost": "news"})
+    with pytest.raises(InvalidParameterError, match="unknown user"):
+        _loaded(tmp_path, nobody)
+    neither = {"group": "nist-p192", "seed": 1, "users": {}}
+    with pytest.raises(InvalidParameterError, match="policies"):
+        _loaded(tmp_path, neither)
+
+
+def test_empty_publishers_list_is_typed(tmp_path):
+    empty = {"group": "nist-p192", "seed": 1, "users": {}, "publishers": []}
+    with pytest.raises(InvalidParameterError, match="non-empty"):
+        _loaded(tmp_path, empty)

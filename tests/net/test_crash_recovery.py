@@ -15,7 +15,6 @@ import signal
 import subprocess
 import sys
 
-import pytest
 
 from repro.net.bootstrap import (
     build_identity_stack,

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import DecryptionError, PredicateError
 from repro.ocbe.base import receiver_for, run_ocbe, sender_for
 from repro.ocbe.derived import (
-    GtOCBEReceiver,
     GtOCBESender,
     LtOCBESender,
     NeOCBEReceiver,

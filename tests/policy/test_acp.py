@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import PolicyParseError
 from repro.policy.acp import AccessControlPolicy, parse_policy
-from repro.policy.condition import parse_condition
 
 
 class TestParsePolicy:

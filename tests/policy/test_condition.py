@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import PolicyParseError, PredicateError
+from repro.errors import PolicyParseError
 from repro.ocbe.predicates import (
     EqPredicate,
     GePredicate,

@@ -1,7 +1,6 @@
 """Tests for policy configurations and dominance -- including the exact
 configuration algebra of the paper's Example 4."""
 
-import pytest
 
 from repro.policy.configuration import (
     PolicyConfiguration,

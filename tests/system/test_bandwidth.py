@@ -6,7 +6,6 @@ the key operational win -- zero unicast traffic on rekey.
 
 import random
 
-import pytest
 
 from repro.documents.model import Document
 from repro.gkm.acv import FAST_FIELD

@@ -1,6 +1,5 @@
 """Tests for identity tokens, IdPs and the IdMgr."""
 
-import random
 
 import pytest
 

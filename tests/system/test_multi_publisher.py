@@ -1,0 +1,123 @@
+"""One subscriber, several publishers on a shared transport.
+
+PR 4 extended :class:`SubscriberClient` to fan condition queries out to
+a *set* of publishers and accept broadcasts from any of them (sessions
+are keyed per sender, so concurrent registrations with different
+publishers cannot alias).  These tests pin that surface down, including
+the security posture: a publisher outside the configured set stays an
+impersonator.
+"""
+
+import random
+
+import pytest
+
+from repro.documents.model import Document
+from repro.errors import InvalidParameterError
+from repro.gkm.acv import FAST_FIELD
+from repro.groups import get_group
+from repro.policy.acp import parse_policy
+from repro.system.idmgr import IdentityManager
+from repro.system.idp import IdentityProvider
+from repro.system.publisher import Publisher
+from repro.system.service import (
+    DisseminationService,
+    IdentityManagerEndpoint,
+    SubscriberClient,
+    run_until_idle,
+)
+from repro.system.subscriber import Subscriber
+from repro.system.transport import InMemoryTransport
+
+
+@pytest.fixture
+def world():
+    rng = random.Random(0x2B0B)
+    group = get_group("nist-p192")
+    idp = IdentityProvider("hr", group, rng=rng)
+    idmgr = IdentityManager(group, rng=rng)
+    idmgr.trust_idp(idp)
+    transport = InMemoryTransport()
+
+    def publisher(name, condition, segment, document):
+        pub = Publisher(
+            name, idmgr.params, idmgr.public_key, gkm_field=FAST_FIELD,
+            attribute_bits=8, rng=rng,
+        )
+        pub.add_policy(parse_policy(condition, [segment], document))
+        return DisseminationService(pub, transport)
+
+    news = publisher("news", "news_tier >= 10", "wire", "daily")
+    sports = publisher("sports", "sports_tier >= 50", "scores", "scores")
+    idmgr_ep = IdentityManagerEndpoint(idmgr, transport)
+
+    idp.enroll("zoe", "news_tier", 30)
+    idp.enroll("zoe", "sports_tier", 70)
+    sub = Subscriber(idmgr.assign_pseudonym(), news.publisher.params, rng=rng)
+    client = SubscriberClient(
+        sub, transport, publisher_name=("news", "sports")
+    )
+    for attr in ("news_tier", "sports_tier"):
+        client.request_token(attr, assertion=idp.assert_attribute("zoe", attr))
+    run_until_idle([idmgr_ep, client])
+    return idp, transport, news, sports, idmgr_ep, client
+
+
+def test_registers_with_every_publisher(world):
+    idp, transport, news, sports, idmgr_ep, client = world
+    client.register_all_attributes()
+    run_until_idle([news, sports, idmgr_ep, client])
+    assert client.results["news_tier"] == {"news_tier >= 10": True}
+    assert client.results["sports_tier"] == {"sports_tier >= 50": True}
+    nym = client.subscriber.nym
+    assert news.publisher.table.has(nym, "news_tier >= 10")
+    assert sports.publisher.table.has(nym, "sports_tier >= 50")
+    # And neither publisher saw the other's condition registered.
+    assert not news.publisher.table.has(nym, "sports_tier >= 50")
+    assert not sports.publisher.table.has(nym, "news_tier >= 10")
+
+
+def test_broadcasts_accepted_from_all_configured_publishers(world):
+    idp, transport, news, sports, idmgr_ep, client = world
+    client.register_all_attributes()
+    run_until_idle([news, sports, idmgr_ep, client])
+    news.publish(Document.of("daily", {"wire": b"headlines"}))
+    sports.publish(Document.of("scores", {"scores": b"3-2"}))
+    run_until_idle([news, sports, idmgr_ep, client])
+    assert client.documents["daily"] == {"wire": b"headlines"}
+    assert client.documents["scores"] == {"scores": b"3-2"}
+    assert len(client.packages) == 2
+
+
+def test_register_can_target_one_publisher(world):
+    idp, transport, news, sports, idmgr_ep, client = world
+    client.register_all_attributes(publisher="news")
+    run_until_idle([news, sports, idmgr_ep, client])
+    nym = client.subscriber.nym
+    assert news.publisher.table.has(nym, "news_tier >= 10")
+    assert len(sports.publisher.table) == 0
+    with pytest.raises(InvalidParameterError):
+        client.register_all_attributes(publisher="stranger")
+
+
+def test_unconfigured_publisher_is_still_an_impersonator(world):
+    idp, transport, news, sports, idmgr_ep, client = world
+    rng = random.Random(1)
+    rogue = Publisher(
+        "rogue", news.publisher.params.pedersen,
+        news.publisher.params.idmgr_public_key, gkm_field=FAST_FIELD,
+        attribute_bits=8, rng=rng,
+    )
+    rogue.add_policy(parse_policy("news_tier >= 1", ["wire"], "daily"))
+    rogue_service = DisseminationService(rogue, transport)
+    rogue_service.publish(Document.of("daily", {"wire": b"fake news"}))
+    run_until_idle([rogue_service, client])
+    # The rogue broadcast was dropped before decode: no package recorded.
+    assert len(client.packages) == 0
+    assert "daily" not in client.documents
+
+
+def test_at_least_one_publisher_required(world):
+    idp, transport, news, sports, idmgr_ep, client = world
+    with pytest.raises(InvalidParameterError):
+        SubscriberClient(client.subscriber, transport, publisher_name=())

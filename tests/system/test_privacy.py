@@ -10,7 +10,6 @@ with views that are equal in everything the Pub can observe
 
 import random
 
-import pytest
 
 from repro.gkm.acv import FAST_FIELD
 from repro.groups import get_group

@@ -1,6 +1,5 @@
 """Tests for the registration phase (Section V-B)."""
 
-import random
 
 import pytest
 

@@ -5,7 +5,6 @@ import random
 
 import pytest
 
-from repro.documents.model import Document
 from repro.documents.package import BroadcastPackage, EncryptedSubdocument
 from repro.workloads.ehr import build_hospital
 

@@ -4,9 +4,6 @@ import pytest
 
 from repro.errors import ReproError
 from repro.ocbe.base import receiver_for, sender_for
-from repro.ocbe.derived import NeCommitMessage, NeEnvelope
-from repro.ocbe.eq import EqEnvelope
-from repro.ocbe.ge import BitCommitMessage, BitwiseEnvelope
 from repro.ocbe.predicates import (
     EqPredicate,
     GePredicate,

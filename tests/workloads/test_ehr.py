@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.policy.evaluate import satisfies_policy
 from repro.workloads.ehr import (
