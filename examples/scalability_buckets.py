@@ -2,7 +2,10 @@
 
 Splits a large subscriber population into buckets, generates one ACV per
 bucket carrying the SAME document key, and compares generation time and
-broadcast size against the single-matrix approach.
+broadcast size against the single-matrix approach -- first on the raw
+scheme, then through the real ``Publisher.publish`` pipeline via the
+``gkm="bucketed"`` strategy knob (including the ACV build cache that
+makes an unchanged-membership re-publish nearly free).
 
 Run:  python examples/scalability_buckets.py
 """
@@ -10,8 +13,14 @@ Run:  python examples/scalability_buckets.py
 import random
 import time
 
+from repro.documents.model import Document
 from repro.gkm.acv import FAST_FIELD
-from repro.gkm.buckets import BucketedAcvBgkm
+from repro.gkm.buckets import BucketedAcvBgkm, BucketedHeader
+from repro.groups import get_group
+from repro.policy.acp import parse_policy
+from repro.system.idmgr import IdentityManager
+from repro.system.idp import IdentityProvider
+from repro.system.publisher import Publisher
 from repro.workloads.generator import make_css_rows
 
 
@@ -40,6 +49,52 @@ def main() -> None:
     print("\nsmaller buckets: much faster generation (B solves of size")
     print("(n/B)^3), slightly larger broadcast -- the paper's exact")
     print("trade-off, and each bucket can be computed in parallel.")
+
+    publish_path_demo()
+
+
+def _publisher(gkm: str, n: int = 256) -> Publisher:
+    rng = random.Random(0xB0CA)
+    group = get_group("nist-p192")
+    idp = IdentityProvider("hr", group, rng=rng)
+    idmgr = IdentityManager(group, rng=rng)
+    idmgr.trust_idp(idp)
+    publisher = Publisher(
+        "pub", idmgr.params, idmgr.public_key, gkm_field=FAST_FIELD,
+        attribute_bits=8, rng=rng, gkm=gkm,
+    )
+    publisher.add_policy(parse_policy("clr >= 40", ["body"], "doc"))
+    table_rng = random.Random(0xB0CB)
+    for i in range(n):
+        publisher.table.set(
+            "pn-%04d" % i, "clr >= 40",
+            bytes(table_rng.randrange(256) for _ in range(16)),
+        )
+    return publisher
+
+
+def publish_path_demo(n: int = 256) -> None:
+    """The same trade-off through the real dissemination pipeline."""
+    doc = Document.of("doc", {"body": b"bulletin body"})
+    print("\n-- publish path: Publisher(gkm=...) at N=%d ------------" % n)
+    for gkm in ("dense", "bucketed"):
+        publisher = _publisher(gkm, n)
+        start = time.perf_counter()
+        package = publisher.publish(doc)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        publisher.publish(doc)  # unchanged table: ACV build cache hit
+        warm = time.perf_counter() - start
+        acv = package.headers[0].acv
+        buckets = len(acv.buckets) if isinstance(acv, BucketedHeader) else 1
+        print("%-9s cold publish %7.1f ms, cached re-publish %5.1f ms, "
+              "%d bucket(s), %d bytes"
+              % (gkm, cold * 1e3, warm * 1e3, buckets, package.byte_size()))
+        assert publisher.acv_cache_stats()["hits"] >= 1
+    print("the strategy knob (and the (rows, epoch) ACV cache) ship the")
+    print("paper's bucketing straight through Publisher.publish: same")
+    print("subscribers, same CSSs, same plaintexts -- proven equivalent")
+    print("by tests/gkm/test_differential.py.")
 
 
 if __name__ == "__main__":

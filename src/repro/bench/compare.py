@@ -16,6 +16,19 @@ Comparison rules, per benchmark name present in the current run:
   only with ``--strict``, so refactors can retire measurements loudly)
 * otherwise               -> ``ok`` / ``improvement`` / ``regression``
 
+Noisy benchmarks (sub-millisecond phases, scheduler-sensitive socket
+paths) can carry **per-benchmark tolerance overrides**:
+``--tolerance-override load_smoke=0.8`` widens one benchmark,
+``--tolerance-override load_smoke/total=0.5`` one measurement label
+(most specific wins; same syntax for ``--bytes-tolerance-override``),
+instead of widening the global gate for everyone.
+
+``--trend DIR`` (repeatable, ordered oldest-to-newest) switches to the
+**trend view**: instead of gating a pair, it renders each measurement's
+mean across the whole artifact history side by side -- the quick answer
+to "is this creeping up" that a pairwise last-vs-current gate can't
+give.  View only; always exits 0.
+
 CI wires this as the ``bench-gate`` step: fresh fast-tier results vs
 the previous successful run's artifacts (same hardware class, so time
 tolerances are meaningful) with a fallback to the committed
@@ -28,15 +41,24 @@ from __future__ import annotations
 import argparse
 import glob
 import json
+import math
 import os
 import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.runner import format_table
 from repro.errors import InvalidParameterError
 
-__all__ = ["CompareReport", "Delta", "compare_dirs", "compare_payloads", "main"]
+__all__ = [
+    "CompareReport",
+    "Delta",
+    "compare_dirs",
+    "compare_payloads",
+    "format_trend",
+    "main",
+    "parse_overrides",
+]
 
 #: Default allowed mean-time growth (fraction of the baseline).
 DEFAULT_TOLERANCE = 0.30
@@ -110,16 +132,70 @@ def _classify(baseline: float, current: float, tolerance: float) -> str:
     return "ok"
 
 
+def _resolve_tolerance(
+    overrides: Optional[Dict[str, float]],
+    default: float,
+    bench: str,
+    label: str,
+) -> float:
+    """Most specific override wins: ``bench/label``, then ``bench``."""
+    if overrides:
+        for key in ("%s/%s" % (bench, label), bench):
+            if key in overrides:
+                return overrides[key]
+    return default
+
+
+def parse_overrides(pairs: Sequence[str]) -> Dict[str, float]:
+    """``["name=0.5", "name/label=0.2"]`` -> an override mapping."""
+    overrides: Dict[str, float] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise InvalidParameterError(
+                "override %r must look like BENCH[/LABEL]=FRACTION" % pair
+            )
+        try:
+            fraction = float(value)
+        except ValueError as exc:
+            raise InvalidParameterError(
+                "override %r has a non-numeric tolerance" % pair
+            ) from exc
+        if not math.isfinite(fraction) or fraction < 0:
+            # NaN/inf would silently disarm the gate for this benchmark
+            # (every threshold comparison comes out False).
+            raise InvalidParameterError(
+                "override %r needs a finite tolerance >= 0" % pair
+            )
+        overrides[key] = fraction
+    return overrides
+
+
 def compare_payloads(
     baseline: Dict[str, dict],
     current: Dict[str, dict],
     tolerance: float = DEFAULT_TOLERANCE,
     bytes_tolerance: float = DEFAULT_BYTES_TOLERANCE,
     fields=FIELDS,
+    tolerance_overrides: Optional[Dict[str, float]] = None,
+    bytes_tolerance_overrides: Optional[Dict[str, float]] = None,
 ) -> CompareReport:
-    """Compare two ``{bench name: payload}`` mappings."""
+    """Compare two ``{bench name: payload}`` mappings.
+
+    The override mappings key on ``"bench"`` or ``"bench/label"`` (most
+    specific wins) and replace the corresponding default tolerance for
+    just that value -- per-benchmark gating without a global loosening.
+    """
     if tolerance < 0 or bytes_tolerance < 0:
         raise InvalidParameterError("tolerances must be >= 0")
+    for overrides in (tolerance_overrides, bytes_tolerance_overrides):
+        if overrides and any(
+            not math.isfinite(value) or value < 0
+            for value in overrides.values()
+        ):
+            raise InvalidParameterError(
+                "tolerance overrides must be finite and >= 0"
+            )
     unknown = [field for field in fields if field not in FIELDS]
     if unknown or not fields:
         raise InvalidParameterError(
@@ -146,7 +222,12 @@ def compare_payloads(
                 elif c is None:
                     deltas.append(Delta(name, label, "time", b, None, "dropped"))
                 else:
-                    status = _classify(b, c, tolerance)
+                    status = _classify(
+                        b, c,
+                        _resolve_tolerance(
+                            tolerance_overrides, tolerance, name, label
+                        ),
+                    )
                     deltas.append(Delta(name, label, "time", b, c, status))
         if "bytes" in fields:
             base_b = base.get("bytes", {})
@@ -159,7 +240,13 @@ def compare_payloads(
                 elif c is None:
                     deltas.append(Delta(name, label, "bytes", b, None, "dropped"))
                 else:
-                    status = _classify(b, c, bytes_tolerance)
+                    status = _classify(
+                        b, c,
+                        _resolve_tolerance(
+                            bytes_tolerance_overrides, bytes_tolerance,
+                            name, label,
+                        ),
+                    )
                     deltas.append(Delta(name, label, "bytes", b, c, status))
     for name in sorted(set(baseline) - set(current)):
         # A whole benchmark file vanished from the run (renamed emitter,
@@ -195,6 +282,8 @@ def compare_dirs(
     tolerance: float = DEFAULT_TOLERANCE,
     bytes_tolerance: float = DEFAULT_BYTES_TOLERANCE,
     fields=FIELDS,
+    tolerance_overrides: Optional[Dict[str, float]] = None,
+    bytes_tolerance_overrides: Optional[Dict[str, float]] = None,
 ) -> CompareReport:
     """Directory-level :func:`compare_payloads`."""
     return compare_payloads(
@@ -203,6 +292,54 @@ def compare_dirs(
         tolerance=tolerance,
         bytes_tolerance=bytes_tolerance,
         fields=fields,
+        tolerance_overrides=tolerance_overrides,
+        bytes_tolerance_overrides=bytes_tolerance_overrides,
+    )
+
+
+def format_trend(runs: Sequence[Tuple[str, Dict[str, dict]]]) -> str:
+    """The trend view: each measurement's mean across a run history.
+
+    ``runs`` is ordered oldest-to-newest ``(run label, payloads)``; the
+    rendered table has one column per run, with time cells in
+    milliseconds and byte cells exact, and ``-`` where a run lacks the
+    value (a benchmark that appeared or retired mid-history).
+    """
+    if not runs:
+        raise InvalidParameterError("trend view needs at least one run")
+    keys = {
+        (name, label, field)
+        for _, payloads in runs
+        for name, payload in payloads.items()
+        for field, section in (("time", "measurements"), ("bytes", "bytes"))
+        for label in payload.get(section, {})
+    }
+    rows = []
+    for name, label, field in sorted(keys):
+        cells: List[str] = [name, label, field]
+        for _, payloads in runs:
+            payload = payloads.get(name)
+            value = None
+            if payload is not None:
+                if field == "time":
+                    value = (
+                        payload.get("measurements", {})
+                        .get(label, {})
+                        .get("mean_s")
+                    )
+                    if value is not None:
+                        value = "%.3f" % (value * 1e3)
+                else:
+                    value = payload.get("bytes", {}).get(label)
+                    if value is not None:
+                        value = "%d" % value
+            cells.append("-" if value is None else value)
+        rows.append(cells)
+    headers = ["bench", "label", "field"] + [label for label, _ in runs]
+    return format_table(
+        "bench trend, oldest to newest (time in ms, bytes exact)",
+        headers,
+        rows,
     )
 
 
@@ -213,13 +350,21 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--baseline",
-        required=True,
+        default=None,
         help="directory of baseline BENCH_*.json files",
     )
     parser.add_argument(
         "--current",
-        required=True,
+        default=None,
         help="directory of freshly emitted BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--trend",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="trend view instead of a gate: render every measurement "
+        "across these run directories (repeat, oldest first); exits 0",
     )
     parser.add_argument(
         "--tolerance",
@@ -235,6 +380,21 @@ def main(argv=None) -> int:
         help="allowed byte-count drift as a fraction (default %(default)s: exact)",
     )
     parser.add_argument(
+        "--tolerance-override",
+        action="append",
+        default=[],
+        metavar="BENCH[/LABEL]=FRACTION",
+        help="per-benchmark (or per-measurement) time tolerance; most "
+        "specific wins; repeatable",
+    )
+    parser.add_argument(
+        "--bytes-tolerance-override",
+        action="append",
+        default=[],
+        metavar="BENCH[/LABEL]=FRACTION",
+        help="per-benchmark (or per-label) byte tolerance; repeatable",
+    )
+    parser.add_argument(
         "--fields",
         default="time,bytes",
         help="comma-separated subset of {time,bytes} to gate",
@@ -247,6 +407,23 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.trend:
+        if args.baseline or args.current:
+            parser.error("--trend replaces --baseline/--current")
+        try:
+            runs = [
+                (os.path.basename(os.path.normpath(path)) or path,
+                 load_bench_dir(path))
+                for path in args.trend
+            ]
+            print(format_trend(runs))
+        except InvalidParameterError as exc:
+            print("bench-compare: %s" % exc, file=sys.stderr)
+            return 2
+        return 0
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required (or use --trend)")
+
     fields = tuple(f for f in args.fields.split(",") if f)
     try:
         report = compare_dirs(
@@ -255,6 +432,10 @@ def main(argv=None) -> int:
             tolerance=args.tolerance,
             bytes_tolerance=args.bytes_tolerance,
             fields=fields,
+            tolerance_overrides=parse_overrides(args.tolerance_override),
+            bytes_tolerance_overrides=parse_overrides(
+                args.bytes_tolerance_override
+            ),
         )
     except InvalidParameterError as exc:
         print("bench-compare: %s" % exc, file=sys.stderr)

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.errors import SerializationError
-from repro.gkm.acv import AcvHeader
+from repro.gkm.strategy import KeyingHeader, decode_keying_header
 from repro.wire.codec import (
     Cursor,
     pack_bytes as _pack_bytes,
@@ -36,11 +36,17 @@ _MAGIC = b"BPK1"
 
 @dataclass(frozen=True)
 class ConfigHeader:
-    """Public keying material for one policy configuration."""
+    """Public keying material for one policy configuration.
+
+    ``acv`` is either a dense :class:`~repro.gkm.acv.AcvHeader` or a
+    :class:`~repro.gkm.buckets.BucketedHeader` (one ACV per row-order
+    bucket, shared key) -- receivers dispatch on the serialized magic
+    tag, so dense and bucketed publishers interoperate transparently.
+    """
 
     config_id: str
     policies: Tuple[Tuple[str, ...], ...]  # ordered condition keys per policy
-    acv: Optional[AcvHeader]
+    acv: Optional[KeyingHeader]
 
     def to_bytes(self) -> bytes:
         out = bytearray()
@@ -66,7 +72,7 @@ class ConfigHeader:
             n_conds = cursor.read_u16()
             policies.append(tuple(cursor.read_str() for _ in range(n_conds)))
         acv_raw = cursor.read_bytes()
-        acv = AcvHeader.from_bytes(acv_raw) if acv_raw else None
+        acv = decode_keying_header(acv_raw) if acv_raw else None
         return (
             cls(config_id=config_id, policies=tuple(policies), acv=acv),
             cursor.offset,

@@ -33,7 +33,15 @@ from repro.gkm.acv import (
 )
 from repro.gkm.acpoly import AcPolyGkm
 from repro.gkm.base import BroadcastGkm, RekeyBroadcast
-from repro.gkm.buckets import BucketedAcvBgkm, BucketedHeader
+from repro.gkm.buckets import BucketedAcvBgkm, BucketedBroadcastGkm, BucketedHeader
+from repro.gkm.strategy import (
+    GKM_STRATEGIES,
+    AcvBuildCache,
+    BucketedGkmStrategy,
+    DenseGkmStrategy,
+    build_strategy,
+    decode_keying_header,
+)
 from repro.gkm.lkh import LkhGkm
 from repro.gkm.marker import MarkerBgkm, MarkerBroadcastGkm, MarkerHeader
 from repro.gkm.naive import NaiveGkm
@@ -46,7 +54,14 @@ __all__ = [
     "PAPER_FIELD",
     "FAST_FIELD",
     "BucketedAcvBgkm",
+    "BucketedBroadcastGkm",
     "BucketedHeader",
+    "GKM_STRATEGIES",
+    "AcvBuildCache",
+    "BucketedGkmStrategy",
+    "DenseGkmStrategy",
+    "build_strategy",
+    "decode_keying_header",
     "BroadcastGkm",
     "RekeyBroadcast",
     "MarkerBgkm",

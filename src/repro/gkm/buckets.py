@@ -16,19 +16,37 @@ reproduced:  ``B`` buckets of size ``N/B`` cost ``B * (N/B)^3 = N^3/B^2``.
 
 from __future__ import annotations
 
+import math
 import random
 import struct
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.hashes import HashFunction
-from repro.errors import InvalidParameterError, KeyDerivationError, SerializationError
+from repro.errors import (
+    CapacityError,
+    InvalidParameterError,
+    KeyDerivationError,
+    SerializationError,
+)
 from repro.gkm.acv import PAPER_FIELD, AcvBgkm, AcvHeader
+from repro.gkm.base import BroadcastGkm, RekeyBroadcast
 from repro.mathx.field import PrimeField
 
-__all__ = ["BucketedHeader", "BucketedAcvBgkm"]
+__all__ = [
+    "BucketedHeader",
+    "BucketedAcvBgkm",
+    "BucketedBroadcastGkm",
+    "MAX_BUCKETS",
+    "auto_bucket_size",
+]
 
 _MAGIC = b"BKT1"
+
+#: Hard cap on buckets per header.  Far above any sane layout (the auto
+#: policy yields ~sqrt(m) buckets) but small enough that a forged count
+#: can never drive parse loops or per-bucket allocations to absurdity.
+MAX_BUCKETS = 65535
 
 
 @dataclass(frozen=True)
@@ -48,28 +66,62 @@ class BucketedHeader:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "BucketedHeader":
+        """Parse :meth:`to_bytes` output; canonical encodings only.
+
+        Counts and lengths are attacker-controlled (this rides inside
+        every bucketed broadcast): every declared size is checked against
+        the actual payload *before* any allocation, inflated or duplicate
+        or empty buckets are refused, and every failure is a typed
+        :class:`SerializationError` -- never ``struct.error``.
+        """
         try:
             if data[:4] != _MAGIC:
                 raise SerializationError("bad magic")
             offset = 4
             (count,) = struct.unpack_from(">I", data, offset)
             offset += 4
+            if count == 0:
+                raise SerializationError("empty bucket list")
+            if count > MAX_BUCKETS:
+                raise SerializationError(
+                    "bucket count %d exceeds the cap of %d" % (count, MAX_BUCKETS)
+                )
             if count * 4 > len(data):
                 raise SerializationError("bucket count exceeds payload")
             buckets: List[AcvHeader] = []
+            seen = set()
             for _ in range(count):
                 (h_len,) = struct.unpack_from(">I", data, offset)
                 offset += 4
                 if offset + h_len > len(data):
                     raise SerializationError("truncated bucket header")
-                buckets.append(AcvHeader.from_bytes(data[offset : offset + h_len]))
+                raw = data[offset : offset + h_len]
+                if raw in seen:
+                    raise SerializationError("duplicate bucket header")
+                seen.add(raw)
+                header = AcvHeader.from_bytes(raw)
+                if header.capacity < 1:
+                    raise SerializationError("empty bucket (capacity 0)")
+                buckets.append(header)
                 offset += h_len
+            if offset != len(data):
+                raise SerializationError("trailing bytes after bucket list")
             return cls(buckets=tuple(buckets))
         except (IndexError, struct.error) as exc:
             raise SerializationError("truncated bucketed header") from exc
 
     def byte_size(self) -> int:
         return len(self.to_bytes())
+
+
+def auto_bucket_size(row_count: int) -> int:
+    """The no-configuration bucket-size policy: ``ceil(sqrt(m))`` rows per
+    bucket, balancing the per-bucket cubic cost against header fan-out.
+
+    The single definition shared by the publish-path strategy and the
+    flat adapter, so the layout two components compute for one table can
+    never diverge."""
+    return max(1, math.isqrt(max(row_count - 1, 0)) + 1)
 
 
 class BucketedAcvBgkm:
@@ -95,13 +147,15 @@ class BucketedAcvBgkm:
         self,
         rows: Sequence[Sequence[bytes]],
         rng: Optional[random.Random] = None,
+        n_max: Optional[int] = None,
     ) -> Tuple[int, BucketedHeader]:
         """Split ``rows`` into buckets; same ``K``, one ACV each.
 
         The trick making a shared ``K`` possible: generate the first bucket
         normally, then for the remaining buckets solve with the *given* key
         by adding ``K`` into a fresh null-space vector of that bucket's
-        matrix.
+        matrix.  ``n_max`` is a *per-bucket* capacity (it must cover the
+        largest bucket; ``None`` = each bucket's Eq.-1 minimum).
         """
         chunks = [
             rows[i : i + self.bucket_size]
@@ -111,9 +165,9 @@ class BucketedAcvBgkm:
         headers: List[AcvHeader] = []
         for chunk in chunks:
             if key is None:
-                key, header = self._core.generate(list(chunk), rng=rng)
+                key, header = self._core.generate(list(chunk), n_max=n_max, rng=rng)
             else:
-                header = self.generate_for_key(list(chunk), key, rng=rng)
+                header = self.generate_for_key(list(chunk), key, rng=rng, n_max=n_max)
             headers.append(header)
         assert key is not None
         return key, BucketedHeader(buckets=tuple(headers))
@@ -123,13 +177,14 @@ class BucketedAcvBgkm:
         rows: Sequence[Sequence[bytes]],
         key: int,
         rng: Optional[random.Random] = None,
+        n_max: Optional[int] = None,
     ) -> AcvHeader:
         """An ACV header binding an *existing* key to ``rows``.
 
         Also used by the Section VIII-D comparison: one matrix, several
         independent ACVs for different keys over the same user base.
         """
-        fresh_key, header = self._core.generate(list(rows), rng=rng)
+        fresh_key, header = self._core.generate(list(rows), n_max=n_max, rng=rng)
         x = list(header.x)
         # Replace the embedded fresh key with the shared one.
         x[0] = (x[0] - fresh_key + key) % self._core.field.p
@@ -159,3 +214,99 @@ class BucketedAcvBgkm:
     ) -> List[int]:
         """Candidate keys from every bucket (caller authenticates)."""
         return [self._core.derive(b, css) for b in header.buckets]
+
+
+class BucketedBroadcastGkm(BroadcastGkm):
+    """Flat-membership adapter over the bucketed scheme.
+
+    The differential-testing twin of :class:`~repro.gkm.acv.AcvBroadcastGkm`:
+    one member = one single-CSS row, rows in sorted member order, buckets
+    assigned by row order.  ``bucket_size=None`` selects the auto policy
+    ``ceil(sqrt(m))`` the publish path uses.  ``capacity`` is a
+    *per-bucket* column count, the same semantics as the publish-path
+    strategy's explicit capacity: it must cover the largest bucket, and
+    padding columns hide the exact bucket fill the way the dense
+    adapter's capacity hides the member count.
+
+    ``derive`` resolves the member's bucket through the assignment
+    recorded for *that broadcast* at ``rekey`` time (the adapter is
+    publisher-side state, like ``AcvBroadcastGkm``), so deriving from an
+    older broadcast uses the layout it was actually built with -- parity
+    with the dense adapter, which works for any past header.  The
+    history is bounded (:attr:`MAX_ASSIGNMENTS` rekeys, oldest evicted);
+    a broadcast beyond it, or one this adapter never produced, raises
+    :class:`KeyDerivationError` rather than guessing a bucket.  An
+    unknown secret falls into bucket 0 and yields an unpredictable field
+    element -- the same soft failure mode as the dense adapter, which
+    the differential harness asserts.
+    """
+
+    #: Rekey broadcasts whose bucket assignment is kept for ``derive``.
+    MAX_ASSIGNMENTS = 64
+
+    name = "bucketed-acv-bgkm"
+
+    def __init__(
+        self,
+        bucket_size: Optional[int] = None,
+        field: PrimeField = PAPER_FIELD,
+        capacity: Optional[int] = None,
+        hash_fn: Optional[HashFunction] = None,
+        key_len: int = 16,
+    ):
+        super().__init__()
+        if bucket_size is not None and bucket_size < 1:
+            raise InvalidParameterError("bucket_size must be >= 1 or None (auto)")
+        self.bucket_size = bucket_size
+        self.capacity = capacity
+        self.key_len = key_len
+        self._core = AcvBgkm(field, hash_fn)
+        #: payload bytes -> {secret: bucket index}, insertion-ordered so
+        #: the oldest rekey's assignment is evicted first.
+        self._assignments: dict = {}
+
+    def _resolve_bucket_size(self, member_count: int) -> int:
+        if self.bucket_size is not None:
+            return self.bucket_size
+        return auto_bucket_size(member_count)
+
+    def rekey(self, rng: Optional[random.Random] = None) -> Tuple[bytes, RekeyBroadcast]:
+        ordered = sorted(self._members.items())
+        rows = [(secret,) for _, secret in ordered]
+        size = self._resolve_bucket_size(len(rows))
+        if self.capacity is not None and self.capacity < min(size, len(rows)):
+            raise CapacityError(
+                "per-bucket capacity %d below the bucket size %d"
+                % (self.capacity, min(size, len(rows)))
+            )
+        scheme = BucketedAcvBgkm(size, self._core.field, self._core.hash_fn)
+        key_int, header = scheme.generate(rows, rng=rng, n_max=self.capacity)
+        payload = header.to_bytes()
+        if len(self._assignments) >= self.MAX_ASSIGNMENTS:
+            self._assignments.pop(next(iter(self._assignments)))
+        self._assignments[payload] = {
+            secret: index // size for index, (_, secret) in enumerate(ordered)
+        }
+        key = self._core.export_key(key_int, self.key_len)
+        return key, RekeyBroadcast(
+            scheme=self.name, payload=payload, parts=header
+        )
+
+    def derive(self, secret: bytes, broadcast: RekeyBroadcast) -> bytes:
+        header = (
+            broadcast.parts
+            if isinstance(broadcast.parts, BucketedHeader)
+            else BucketedHeader.from_bytes(broadcast.payload)
+        )
+        bucket_of = self._assignments.get(broadcast.payload)
+        if bucket_of is None:
+            raise KeyDerivationError(
+                "no recorded bucket assignment for this broadcast"
+            )
+        bucket = bucket_of.get(secret, 0)
+        if bucket >= len(header.buckets):
+            raise KeyDerivationError("assigned bucket missing from header")
+        key_int = self._core.derive(header.buckets[bucket], (secret,))
+        if key_int == 0:
+            raise KeyDerivationError("derived the zero element")
+        return self._core.export_key(key_int, self.key_len)

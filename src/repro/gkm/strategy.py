@@ -1,0 +1,296 @@
+"""Publish-path GKM strategies: dense vs bucketed ACV generation.
+
+:class:`~repro.system.publisher.Publisher.publish` builds one keying
+header per policy configuration.  The *strategy* decides how:
+
+* **dense** -- one matrix over every qualified row, one
+  :class:`~repro.gkm.acv.AcvHeader`.  This is the paper's Section V-C
+  baseline and the historical publish path, byte for byte.
+* **bucketed** -- the Section VIII-C scalability variant wired into the
+  live pipeline: rows are split *in row order* (the order
+  :meth:`~repro.system.css.CssTable.rows_for_policies` emits) into
+  buckets of a configured size, one ACV is solved per bucket, and all
+  buckets carry the same key ``K`` inside a
+  :class:`~repro.gkm.buckets.BucketedHeader`.  ``B`` buckets turn the
+  cubic elimination into ``B`` solves of size ``(m/B)^3`` -- a ``B^2``
+  speedup on the step ROADMAP calls the rekey ceiling.
+
+Both strategies share an :class:`AcvBuildCache`: solving ``A Y = 0`` only
+depends on the member-row set and the nonces, so when consecutive
+publishes see the *same* rows (same configuration, no membership change)
+the cached ``(zs, Y)`` pair is recombined with a **fresh** key instead of
+re-running the elimination.  The cache is keyed on the exact row tuples
+and invalidated -- a new membership epoch -- by every join/revoke/update,
+so a stale vector can never outlive the membership it was solved for.
+
+Security envelope of the cache (documented in DESIGN.md): two headers
+built from one cache entry share ``(zs, Y)`` and differ only in
+``X[0] = Y[0] + K``, so their *difference* reveals ``K' - K``.  Within
+one membership epoch every holder of ``K`` is entitled to ``K'`` as well
+(the membership is unchanged by construction), so no lockout property is
+weakened; any join or revoke starts a fresh epoch with fresh nonces.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import InvalidParameterError, SerializationError
+from repro.gkm.acv import AcvBgkm, AcvHeader
+from repro.gkm.buckets import BucketedHeader, auto_bucket_size
+
+__all__ = [
+    "GKM_STRATEGIES",
+    "AcvBuildCache",
+    "BucketedGkmStrategy",
+    "DenseGkmStrategy",
+    "KeyingHeader",
+    "build_strategy",
+    "decode_keying_header",
+]
+
+#: The publish-path strategy names a publisher (and a scenario) may pick.
+GKM_STRATEGIES = ("dense", "bucketed")
+
+#: What a :class:`~repro.documents.package.ConfigHeader` may carry.
+KeyingHeader = Union[AcvHeader, BucketedHeader]
+
+_ACV_MAGIC = b"ACV1"
+_BKT_MAGIC = b"BKT1"
+
+
+def decode_keying_header(data: bytes) -> KeyingHeader:
+    """Parse a config header's keying payload, dense or bucketed.
+
+    Subscribers dispatch on the magic tag, so a package may freely mix
+    dense and bucketed configurations and old receivers of dense headers
+    keep working unchanged.
+    """
+    magic = data[:4]
+    if magic == _ACV_MAGIC:
+        return AcvHeader.from_bytes(data)
+    if magic == _BKT_MAGIC:
+        return BucketedHeader.from_bytes(data)
+    raise SerializationError("unknown keying header magic %r" % magic)
+
+
+class AcvBuildCache:
+    """Memoizes the expensive half of an ACV build: ``(zs, Y)``.
+
+    Entries are keyed on ``(member-row tuple, capacity)`` within the
+    current membership *epoch*; :meth:`invalidate` (called by the
+    publisher on every join/revoke/credential change) advances the epoch
+    and drops everything.  A hit re-randomizes only the key: the header
+    becomes ``X = Y + K e_0`` over the cached nonces -- no matrix, no
+    elimination.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise InvalidParameterError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: Dict[tuple, Tuple[Tuple[bytes, ...], Tuple[int, ...]]] = {}
+        self.epoch = 0
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(
+        self, rows: tuple, n_max: int
+    ) -> Optional[Tuple[Tuple[bytes, ...], Tuple[int, ...]]]:
+        entry = self._entries.get((rows, n_max))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(
+        self,
+        rows: tuple,
+        n_max: int,
+        zs: Tuple[bytes, ...],
+        y: Tuple[int, ...],
+    ) -> None:
+        if len(self._entries) >= self.max_entries:
+            # Oldest-first eviction: insertion order is access order at
+            # publish cadence (configurations recur in a stable cycle).
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[(rows, n_max)] = (zs, y)
+
+    def invalidate(self) -> None:
+        """Membership changed: new epoch, no entry survives."""
+        self.epoch += 1
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for tests, metrics and reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "epoch": self.epoch,
+            "entries": len(self._entries),
+        }
+
+
+def _draw_key(p: int, rng: Optional[random.Random]) -> int:
+    """A fresh group key, uniform in ``F_q^*`` (same draw as the core)."""
+    if rng is not None:
+        return rng.randrange(1, p)
+    return secrets.randbelow(p - 1) + 1
+
+
+class _CachedAcvBuilder:
+    """Shared per-chunk build step: cache hit -> recombine, miss -> solve."""
+
+    def __init__(self, core: AcvBgkm, cache: Optional[AcvBuildCache]):
+        self.core = core
+        self.cache = cache
+
+    def build(
+        self,
+        rows: Sequence[Tuple[bytes, ...]],
+        n_max: int,
+        rng: Optional[random.Random],
+        key: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> Tuple[int, AcvHeader]:
+        """``(key, header)`` for ``rows``; pass ``key`` to bind an
+        existing one (bucket 2..B of a shared-key build).
+
+        The null-space combination ``Y`` never depends on the key --
+        ``X = Y + K e_0`` -- so one cached ``(zs, Y)`` serves any key,
+        and a cache miss with ``key=None`` is byte-identical to a plain
+        :meth:`AcvBgkm.generate` call (same RNG draws, in order).
+        ``use_cache=False`` forces a fresh solve (still stored): a
+        repeated chunk within one bucketed build must NOT be rebound
+        from the entry its twin just stored, or the two buckets come
+        out byte-identical and the header's own canonical decoding
+        (which refuses duplicate buckets) would reject the broadcast.
+        """
+        p = self.core.field.p
+        rows_key = tuple(rows)
+        cached = (
+            self.cache.lookup(rows_key, n_max)
+            if self.cache is not None and use_cache
+            else None
+        )
+        if cached is not None:
+            zs, y = cached
+            if key is None:
+                key = _draw_key(p, rng)
+            x = list(y)
+            x[0] = (x[0] + key) % p
+            return key, AcvHeader(q=p, x=tuple(x), zs=zs)
+        fresh_key, header = self.core.generate(rows, n_max=n_max, rng=rng)
+        if self.cache is not None:
+            y = list(header.x)
+            y[0] = (y[0] - fresh_key) % p
+            self.cache.store(rows_key, n_max, header.zs, tuple(y))
+        if key is None or key == fresh_key:
+            return fresh_key, header
+        x = list(header.x)
+        x[0] = (x[0] - fresh_key + key) % p
+        return key, AcvHeader(q=p, x=tuple(x), zs=header.zs)
+
+
+class DenseGkmStrategy:
+    """One matrix per configuration -- the paper's Section V-C baseline."""
+
+    name = "dense"
+
+    def __init__(self, core: AcvBgkm, cache: Optional[AcvBuildCache] = None):
+        self.core = core
+        self._builder = _CachedAcvBuilder(core, cache)
+
+    def build(
+        self,
+        rows: Sequence[Tuple[bytes, ...]],
+        capacity: Optional[int],
+        slack: int,
+        rng: Optional[random.Random],
+    ) -> Tuple[int, AcvHeader]:
+        n_max = capacity if capacity is not None else max(len(rows), 1) + slack
+        return self._builder.build(rows, n_max, rng)
+
+
+class BucketedGkmStrategy:
+    """Row-order buckets, one ACV each, one shared key (Section VIII-C).
+
+    ``bucket_size`` is the fixed rows-per-bucket knob; ``None`` selects
+    the auto policy ``ceil(sqrt(m))`` for ``m`` rows, which balances the
+    per-bucket cubic cost against header fan-out without configuration.
+    An explicit ``capacity`` is interpreted *per bucket* (it must cover
+    the largest bucket); otherwise each bucket gets the Eq.-1 minimum
+    for its own rows plus the publisher's ``capacity_slack``.
+    """
+
+    name = "bucketed"
+
+    def __init__(
+        self,
+        core: AcvBgkm,
+        cache: Optional[AcvBuildCache] = None,
+        bucket_size: Optional[int] = None,
+    ):
+        if bucket_size is not None and bucket_size < 1:
+            raise InvalidParameterError("bucket_size must be >= 1 or None (auto)")
+        self.core = core
+        self.bucket_size = bucket_size
+        self._builder = _CachedAcvBuilder(core, cache)
+
+    def resolve_bucket_size(self, row_count: int) -> int:
+        """The effective rows-per-bucket for ``row_count`` rows."""
+        if self.bucket_size is not None:
+            return self.bucket_size
+        return auto_bucket_size(row_count)
+
+    def chunk(
+        self, rows: Sequence[Tuple[bytes, ...]]
+    ) -> List[List[Tuple[bytes, ...]]]:
+        """Row-order bucket assignment (the layout subscribers scan)."""
+        size = self.resolve_bucket_size(len(rows))
+        return [
+            list(rows[i : i + size]) for i in range(0, max(len(rows), 1), size)
+        ] or [[]]
+
+    def build(
+        self,
+        rows: Sequence[Tuple[bytes, ...]],
+        capacity: Optional[int],
+        slack: int,
+        rng: Optional[random.Random],
+    ) -> Tuple[int, BucketedHeader]:
+        key: Optional[int] = None
+        headers = []
+        seen_chunks = set()
+        for chunk in self.chunk(rows):
+            n_max = (
+                capacity if capacity is not None else max(len(chunk), 1) + slack
+            )
+            chunk_id = (tuple(chunk), n_max)
+            key, header = self._builder.build(
+                chunk, n_max, rng, key=key,
+                use_cache=chunk_id not in seen_chunks,
+            )
+            seen_chunks.add(chunk_id)
+            headers.append(header)
+        assert key is not None
+        return key, BucketedHeader(buckets=tuple(headers))
+
+
+def build_strategy(
+    gkm: str,
+    core: AcvBgkm,
+    cache: Optional[AcvBuildCache] = None,
+    bucket_size: Optional[int] = None,
+):
+    """Instantiate the named publish-path strategy."""
+    if gkm == "dense":
+        return DenseGkmStrategy(core, cache)
+    if gkm == "bucketed":
+        return BucketedGkmStrategy(core, cache, bucket_size=bucket_size)
+    raise InvalidParameterError(
+        "gkm strategy must be one of %s, got %r" % (GKM_STRATEGIES, gkm)
+    )

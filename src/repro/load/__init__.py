@@ -19,6 +19,8 @@ See DESIGN.md ("Load & churn engine") for the scenario schema.
 from repro.load.engine import LoadEngine, run_scenario
 from repro.load.invariants import (
     REGISTRATION_KINDS,
+    check_bucket_layout,
+    check_bucketed_package,
     check_members,
     check_rekey_window,
     expected_plaintexts,
@@ -26,6 +28,7 @@ from repro.load.invariants import (
 from repro.load.metrics import LoadReport, MetricsCollector, PhaseMetrics
 from repro.load.scenarios import (
     BUILTIN_SCENARIOS,
+    bucketed,
     builtin_scenario,
     churn_scenario,
     feed_publisher,
@@ -56,7 +59,10 @@ __all__ = [
     "PolicySpec",
     "PublisherSpec",
     "REGISTRATION_KINDS",
+    "bucketed",
     "builtin_scenario",
+    "check_bucket_layout",
+    "check_bucketed_package",
     "check_members",
     "check_rekey_window",
     "churn_phases",

@@ -139,6 +139,14 @@ class LoadEngine:
         #: zero-unicast invariant inspects).
         self.last_rekey_records: list = []
         self.last_rekey_broadcasts = 0
+        #: ``(publisher name, BroadcastPackage)`` of the most recent rekey
+        #: window (what the bucket-layout invariant inspects).
+        self.last_rekey_packages: list = []
+        #: Wall time spent inside ``service.publish`` during the most
+        #: recent rekey window -- the publisher-side matrix-build cost,
+        #: isolated from settling/delivery (the number the dense-vs-
+        #: bucketed comparison gates on).
+        self.last_rekey_publish_s = 0.0
 
     # -- world construction --------------------------------------------------
 
@@ -165,6 +173,8 @@ class LoadEngine:
                 rng=random.Random(
                     "%s/publisher/%s" % (scenario.seed, spec.name)
                 ),
+                gkm=scenario.gkm,
+                gkm_bucket_size=scenario.gkm_bucket_size or None,
             )
             for policy in spec.parsed_policies():
                 publisher.add_policy(policy)
@@ -490,6 +500,7 @@ class LoadEngine:
             self.last_rekey_broadcasts,
             context="flap down-window",
         )
+        invariants.check_bucket_layout(self, context="flap down-window")
         mark = self._accounting_mark()
         for member in chosen:
             self._recover(member)
@@ -511,14 +522,24 @@ class LoadEngine:
     def _rekey(self, quiet: bool = True, repeat: int = 1) -> None:
         mark = self._accounting_mark()
         publishes = 0
+        # Latest package per (publisher, document): a repeat>1 broadcast
+        # re-publishes under fresh keys, and publisher.last_keys (which
+        # the bucket-layout audit needs) only knows the newest ones.
+        packages = {}
+        publish_s = 0.0
         for _ in range(repeat):
             for name, service in self.services.items():
                 for document in self._documents[name]:
-                    service.publish(document)
+                    publish_started = time.perf_counter()
+                    package = service.publish(document)
+                    publish_s += time.perf_counter() - publish_started
+                    packages[(name, document.name)] = (name, package)
                     publishes += 1
                     for member in self.members.values():
                         if member.publisher == name:
                             member.expected_packages += 1
+        self.last_rekey_packages = list(packages.values())
+        self.last_rekey_publish_s = publish_s
         self._settle(
             lambda: all(
                 len(m.client.packages) >= m.expected_packages
@@ -559,6 +580,7 @@ class LoadEngine:
             context=label,
         )
         invariants.check_members(self, context=label)
+        invariants.check_bucket_layout(self, context=label)
         epochs_after = sum(
             service.publisher.epoch for service in self.services.values()
         )
@@ -571,6 +593,7 @@ class LoadEngine:
             rekeys=epochs_after - epochs_before,
             members_alive=len(self.alive_members()),
             members_revoked=self.revoked_count(),
+            rekey_publish_s=self.last_rekey_publish_s,
         )
 
     def run(self) -> LoadReport:
@@ -585,6 +608,8 @@ class LoadEngine:
                 "seed": self.scenario.seed,
                 "group": self.scenario.group,
                 "gkm_field": self.scenario.gkm_field,
+                "gkm": self.scenario.gkm,
+                "gkm_bucket_size": self.scenario.gkm_bucket_size,
                 "publishers": len(self.scenario.publishers),
                 "phases": len(self.scenario.phases),
                 "members_total": len(self.members),

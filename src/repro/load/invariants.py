@@ -1,7 +1,7 @@
 """Post-phase invariant checks: the properties churn must never break.
 
 After every phase the engine hands the checker its members and the
-accounting window of the rekey it just performed.  Three families of
+accounting window of the rekey it just performed.  Four families of
 invariants, straight from the paper's claims:
 
 * **zero-unicast rekey** -- inside the rekey window, everything a
@@ -12,6 +12,12 @@ invariants, straight from the paper's claims:
   attribute values: entitled segments decrypt, nothing else does.
 * **lockout** -- a revoked member's latest broadcast decrypts to
   nothing, and its pseudonym is gone from the publisher's CSS table.
+* **bucket layout** (bucketed strategy only) -- the broadcast's
+  :class:`~repro.gkm.buckets.BucketedHeader` matches the layout the
+  publisher's *current* table implies: the right number of buckets of
+  the right capacity, every qualified row deriving the configuration
+  key from exactly its row-order bucket, and no foreign bucket (e.g. a
+  stale pre-revocation one) deriving it.
 
 Violations raise :class:`repro.errors.InvariantViolation` with enough
 context to debug the phase; they are never warnings.
@@ -22,11 +28,15 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.errors import InvariantViolation
+from repro.gkm.acv import AcvBgkm
+from repro.gkm.buckets import BucketedHeader
 from repro.policy.evaluate import satisfies_policy
 from repro.system.transport import BROADCAST, Message
 
 __all__ = [
     "REGISTRATION_KINDS",
+    "check_bucket_layout",
+    "check_bucketed_package",
     "check_members",
     "check_rekey_window",
     "expected_plaintexts",
@@ -134,3 +144,93 @@ def check_members(engine, context: str) -> None:
                 "%s: revoked member %s still has CSS table rows"
                 % (context, member.user)
             )
+
+
+def check_bucketed_package(publisher, package, context: str) -> None:
+    """Bucket-layout invariants for one broadcast of a bucketed publisher.
+
+    The layout is *recomputed* from the publisher's current CSS table
+    (via the condition-key lists each header carries) and compared
+    against the broadcast header, so a header that kept a stale
+    pre-revocation bucket, dropped one, or filed a member's row in the
+    wrong bucket is caught even though every bucket looks like a valid
+    ACV in isolation.
+    """
+    core = AcvBgkm(publisher.params.gkm_field, publisher.params.hash_fn)
+    for header in package.headers:
+        if header.acv is None:
+            continue
+        if not isinstance(header.acv, BucketedHeader):
+            raise InvariantViolation(
+                "%s: bucketed publisher %r broadcast a dense header for "
+                "configuration %r" % (context, publisher.name, header.config_id)
+            )
+        key = publisher.last_keys.get((package.document, header.config_id))
+        if key is None:
+            raise InvariantViolation(
+                "%s: no recorded key for (%r, %r); cannot audit the layout"
+                % (context, package.document, header.config_id)
+            )
+        rows = [
+            row
+            for bucket in publisher.table.rows_for_policies(list(header.policies))
+            for row in bucket
+        ]
+        chunks = publisher.bucket_layout_for(rows)
+        if chunks is None:
+            raise InvariantViolation(
+                "%s: publisher %r runs the dense strategy; its broadcasts "
+                "have no bucket layout to audit" % (context, publisher.name)
+            )
+        if len(header.acv.buckets) != len(chunks):
+            raise InvariantViolation(
+                "%s: configuration %r broadcast %d buckets, the current "
+                "table implies %d (stale or missing bucket)"
+                % (context, header.config_id, len(header.acv.buckets),
+                   len(chunks))
+            )
+        # A row may legitimately appear in several chunks when two member
+        # policies share a condition-key list; such a row derives the key
+        # from each of its own buckets, so only genuinely foreign buckets
+        # count as violations below.
+        chunks_of: Dict[tuple, set] = {}
+        for index, chunk in enumerate(chunks):
+            for row in chunk:
+                chunks_of.setdefault(row, set()).add(index)
+        for index, chunk in enumerate(chunks):
+            bucket = header.acv.buckets[index]
+            expected_capacity = max(len(chunk), 1) + publisher.capacity_slack
+            if bucket.capacity != expected_capacity:
+                raise InvariantViolation(
+                    "%s: configuration %r bucket %d has capacity %d, the "
+                    "current table implies %d"
+                    % (context, header.config_id, index, bucket.capacity,
+                       expected_capacity)
+                )
+            for row in chunk:
+                if core.derive(bucket, row) != key:
+                    raise InvariantViolation(
+                        "%s: configuration %r: a qualified row does not "
+                        "derive the key from its assigned bucket %d "
+                        "(member in the wrong bucket?)"
+                        % (context, header.config_id, index)
+                    )
+                for other_index, other in enumerate(header.acv.buckets):
+                    if other_index in chunks_of[row]:
+                        continue
+                    if core.derive(other, row) == key:
+                        raise InvariantViolation(
+                            "%s: configuration %r: a row of bucket %d also "
+                            "derives the key from foreign bucket %d (stale "
+                            "bucket surviving a rekey?)"
+                            % (context, header.config_id, index, other_index)
+                        )
+
+
+def check_bucket_layout(engine, context: str) -> None:
+    """Bucket-layout invariants over the engine's last rekey window."""
+    for publisher_name, package in getattr(engine, "last_rekey_packages", []):
+        publisher = engine.services[publisher_name].publisher
+        if publisher.gkm != "bucketed":
+            continue
+        check_bucketed_package(publisher, package, context)

@@ -34,12 +34,17 @@ class PhaseMetrics:
     rekeys: int
     members_alive: int
     members_revoked: int
+    #: Wall time inside ``service.publish`` for the phase's closing rekey
+    #: window: the publisher-side ACV build + encryption cost, isolated
+    #: from settling/delivery.  This is the dense-vs-bucketed number.
+    rekey_publish_s: float = 0.0
 
     def to_payload(self) -> dict:
         return {
             "label": self.label,
             "kind": self.kind,
             "wall_s": self.wall_s,
+            "rekey_publish_s": self.rekey_publish_s,
             "frames": self.frames,
             "bytes_total": self.bytes_total,
             "bytes_by_kind": dict(sorted(self.bytes_by_kind.items())),
@@ -67,6 +72,7 @@ class MetricsCollector:
         rekeys: int,
         members_alive: int,
         members_revoked: int,
+        rekey_publish_s: float = 0.0,
     ) -> PhaseMetrics:
         """Fold one phase's accounting window into a :class:`PhaseMetrics`."""
         bytes_by_kind: Dict[str, int] = {}
@@ -93,6 +99,7 @@ class MetricsCollector:
             rekeys=rekeys,
             members_alive=members_alive,
             members_revoked=members_revoked,
+            rekey_publish_s=rekey_publish_s,
         )
         self.phases.append(metrics)
         return metrics
@@ -111,6 +118,11 @@ class LoadReport:
     def wall_s(self) -> float:
         return sum(phase.wall_s for phase in self.phases)
 
+    @property
+    def rekey_publish_s(self) -> float:
+        """Total publisher-side rekey (publish-call) wall time."""
+        return sum(phase.rekey_publish_s for phase in self.phases)
+
     def bytes_by_kind(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}
         for phase in self.phases:
@@ -124,6 +136,7 @@ class LoadReport:
                 phase.label,
                 phase.kind,
                 phase.wall_s * 1e3,
+                phase.rekey_publish_s * 1e3,
                 phase.frames,
                 phase.bytes_total,
                 phase.broadcasts,
@@ -136,8 +149,8 @@ class LoadReport:
         return format_table(
             "load scenario %r over the %s driver (%.0f ms total)"
             % (self.scenario, self.driver, self.wall_s * 1e3),
-            ["phase", "kind", "ms", "frames", "bytes", "bcasts", "rekeys",
-             "alive", "revoked"],
+            ["phase", "kind", "ms", "rekey ms", "frames", "bytes", "bcasts",
+             "rekeys", "alive", "revoked"],
             rows,
         )
 
@@ -167,8 +180,24 @@ class LoadReport:
             )
             for phase in self.phases
         }
+        for phase in self.phases:
+            # The publisher-side rekey cost per phase, tracked separately
+            # so the dense-vs-bucketed trajectory is gateable on the
+            # matrix-build number alone.
+            measurements["%s:rekey-publish" % phase.label] = Measurement(
+                mean=phase.rekey_publish_s,
+                minimum=phase.rekey_publish_s,
+                maximum=phase.rekey_publish_s,
+                rounds=1,
+            )
         measurements["total"] = Measurement(
             mean=self.wall_s, minimum=self.wall_s, maximum=self.wall_s, rounds=1
+        )
+        measurements["rekey_publish_total"] = Measurement(
+            mean=self.rekey_publish_s,
+            minimum=self.rekey_publish_s,
+            maximum=self.rekey_publish_s,
+            rounds=1,
         )
         bytes_counts = self.bytes_by_kind()
         bytes_counts["total"] = sum(

@@ -9,6 +9,8 @@ the derivation invariant real negative cases, not just happy paths.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.errors import InvalidParameterError
 from repro.load.spec import (
     AttributeSpec,
@@ -21,6 +23,7 @@ from repro.load.spec import (
 
 __all__ = [
     "BUILTIN_SCENARIOS",
+    "bucketed",
     "builtin_scenario",
     "churn_scenario",
     "feed_publisher",
@@ -107,9 +110,27 @@ def churn_scenario(
     ).validate()
 
 
+def bucketed(scenario: LoadScenario, bucket_size: int = 0) -> LoadScenario:
+    """The same experiment under the bucketed publish-path strategy.
+
+    Only the GKM strategy knob changes (and the name gains a
+    ``-bucketed`` suffix): population, seed, phases and documents stay
+    identical, which is what lets the differential harness assert
+    byte-identical delivered plaintexts against the dense run.
+    """
+    return replace(
+        scenario,
+        name="%s-bucketed" % scenario.name,
+        gkm="bucketed",
+        gkm_bucket_size=bucket_size,
+    ).validate()
+
+
 BUILTIN_SCENARIOS = {
     "smoke": smoke_scenario,
     "churn": churn_scenario,
+    "smoke-bucketed": lambda: bucketed(smoke_scenario()),
+    "churn-bucketed": lambda: bucketed(churn_scenario()),
 }
 
 

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.documents.model import Document
 from repro.errors import InvalidParameterError
 from repro.gkm.acv import FAST_FIELD, PAPER_FIELD
+from repro.gkm.strategy import GKM_STRATEGIES
 from repro.mathx.field import PrimeField
 from repro.policy.acp import AccessControlPolicy, parse_policy
 
@@ -255,6 +256,13 @@ class LoadScenario:
     gkm_field: str = "fast"
     attribute_bits: int = 8
     capacity_slack: int = 0
+    #: Publish-path GKM strategy for every publisher: "dense" (one ACV
+    #: per configuration) or "bucketed" (Section VIII-C row-order
+    #: buckets, shared key).
+    gkm: str = "dense"
+    #: Fixed rows-per-bucket for the bucketed strategy; 0 = the auto
+    #: ceil(sqrt(m)) policy.
+    gkm_bucket_size: int = 0
 
     # -- validation --------------------------------------------------------
 
@@ -268,6 +276,12 @@ class LoadScenario:
             )
         if self.attribute_bits < 1 or self.capacity_slack < 0:
             raise InvalidParameterError("invalid attribute_bits/capacity_slack")
+        if self.gkm not in GKM_STRATEGIES:
+            raise InvalidParameterError(
+                "gkm must be one of %s" % (GKM_STRATEGIES,)
+            )
+        if not isinstance(self.gkm_bucket_size, int) or self.gkm_bucket_size < 0:
+            raise InvalidParameterError("gkm_bucket_size must be an int >= 0")
         if not self.publishers:
             raise InvalidParameterError("scenario needs at least one publisher")
         names = [p.name for p in self.publishers]
@@ -317,6 +331,8 @@ class LoadScenario:
             "seed": self.seed,
             "group": self.group,
             "gkm_field": self.gkm_field,
+            "gkm": self.gkm,
+            "gkm_bucket_size": self.gkm_bucket_size,
             "attribute_bits": self.attribute_bits,
             "capacity_slack": self.capacity_slack,
             "publishers": [
@@ -400,6 +416,8 @@ class LoadScenario:
                 phases=phases,
                 group=payload.get("group", "nist-p192"),
                 gkm_field=payload.get("gkm_field", "fast"),
+                gkm=payload.get("gkm", "dense"),
+                gkm_bucket_size=payload.get("gkm_bucket_size", 0),
                 attribute_bits=payload.get("attribute_bits", 8),
                 capacity_slack=payload.get("capacity_slack", 0),
             )

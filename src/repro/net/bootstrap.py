@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 from repro.crypto.pedersen import PedersenParams
 from repro.errors import InvalidParameterError
 from repro.gkm.acv import FAST_FIELD, PAPER_FIELD
+from repro.gkm.strategy import GKM_STRATEGIES
 from repro.groups import get_group
 from repro.groups.base import CyclicGroup, GroupElement
 from repro.mathx.field import PrimeField
@@ -82,6 +83,8 @@ def load_scenario(path: str) -> dict:
         )
     scenario.setdefault("attribute_bits", 8)
     scenario.setdefault("gkm_field", "fast")
+    scenario.setdefault("gkm", "dense")
+    scenario.setdefault("gkm_bucket_size", 0)
     scenario.setdefault("idp", "idp")
     scenario.setdefault("idmgr", "idmgr")
     scenario.setdefault("publisher", "pub")
@@ -92,6 +95,14 @@ def load_scenario(path: str) -> dict:
         raise InvalidParameterError(
             "gkm_field must be one of %s" % sorted(_GKM_FIELDS)
         )
+    if scenario["gkm"] not in GKM_STRATEGIES:
+        raise InvalidParameterError(
+            "gkm must be one of %s" % (GKM_STRATEGIES,)
+        )
+    if not isinstance(scenario["gkm_bucket_size"], int) or (
+        scenario["gkm_bucket_size"] < 0
+    ):
+        raise InvalidParameterError("gkm_bucket_size must be an int >= 0")
     names = [spec["name"] for spec in publisher_specs(scenario)]
     if len(set(names)) != len(names):
         raise InvalidParameterError("duplicate publisher names: %s" % names)
@@ -228,7 +239,11 @@ def build_system_params(scenario: dict, public_key: GroupElement) -> SystemParam
 
 
 def build_publisher(
-    scenario: dict, public_key: GroupElement, name: Optional[str] = None
+    scenario: dict,
+    public_key: GroupElement,
+    name: Optional[str] = None,
+    gkm: Optional[str] = None,
+    gkm_bucket_size: Optional[int] = None,
 ) -> Publisher:
     """Build one of the scenario's publishers (default: the first/only).
 
@@ -236,12 +251,27 @@ def build_publisher(
     scenarios, so two publisher processes sharing one broker never mint
     correlated CSSs; the classic single-publisher derivation is kept
     verbatim for reproducibility of existing scenarios.
+
+    The publish-path GKM strategy resolves most-specific-first: the
+    ``gkm``/``gkm_bucket_size`` arguments (a CLI override such as
+    ``--gkm-buckets``), else the publisher spec's own ``gkm`` fields,
+    else the scenario-level ones (default dense).
     """
     spec = _publisher_spec(scenario, name)
     if scenario.get("publishers"):
         salt = "%s/publisher/%s" % (scenario["seed"], spec["name"])
     else:
         salt = "%s/publisher" % scenario["seed"]
+    if gkm is None:
+        gkm = spec.get("gkm", scenario.get("gkm", "dense"))
+    if gkm not in GKM_STRATEGIES:
+        raise InvalidParameterError("gkm must be one of %s" % (GKM_STRATEGIES,))
+    if gkm_bucket_size is None:
+        gkm_bucket_size = spec.get(
+            "gkm_bucket_size", scenario.get("gkm_bucket_size", 0)
+        )
+    if not isinstance(gkm_bucket_size, int) or gkm_bucket_size < 0:
+        raise InvalidParameterError("gkm_bucket_size must be an int >= 0")
     publisher = Publisher(
         spec["name"],
         PedersenParams(_group(scenario)),
@@ -249,6 +279,8 @@ def build_publisher(
         gkm_field=_GKM_FIELDS[scenario["gkm_field"]],
         attribute_bits=scenario["attribute_bits"],
         rng=random.Random(salt),
+        gkm=gkm,
+        gkm_bucket_size=gkm_bucket_size or None,
     )
     for policy in spec["policies"]:
         publisher.add_policy(

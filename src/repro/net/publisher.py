@@ -103,6 +103,8 @@ def _run_lifecycle(args, scenario, bundle, service, transport, stop,
     return {
         "publisher": publisher.name,
         "recovered_cells": recovered_cells,
+        "gkm": publisher.gkm,
+        "gkm_bucket_size": publisher.gkm_bucket_size or 0,
         "gkm_epoch": publisher.epoch,
         "table_cells_registered": cells_registered,
         "table_cells_after_revoke": publisher.table.cell_count(),
@@ -139,12 +141,23 @@ def main(argv=None) -> int:
                         help="which publisher spec to serve, for scenarios "
                              "with a 'publishers' list (default: the "
                              "first/only one)")
+    parser.add_argument("--gkm-buckets", type=int, default=None, metavar="SIZE",
+                        help="use the bucketed ACV strategy with SIZE rows "
+                             "per bucket (0 = the auto ceil(sqrt(m)) "
+                             "policy); omit to follow the scenario's 'gkm' "
+                             "fields (default dense)")
     args = parser.parse_args(argv)
+    if args.gkm_buckets is not None and args.gkm_buckets < 0:
+        parser.error("--gkm-buckets must be >= 0")
 
     scenario = load_scenario(args.scenario)
     wait_for_file(args.bundle, timeout=args.timeout)
     bundle = read_bundle(args.bundle)
-    publisher = build_publisher(scenario, bundle.public_key, name=args.name)
+    publisher = build_publisher(
+        scenario, bundle.public_key, name=args.name,
+        gkm="bucketed" if args.gkm_buckets is not None else None,
+        gkm_bucket_size=args.gkm_buckets,
+    )
 
     persistence = None
     recovered_cells = 0

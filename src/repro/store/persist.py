@@ -30,6 +30,7 @@ from repro.store.snapshots import (
     CssExtractedRecord,
     CssInstalledRecord,
     EpochAdvancedRecord,
+    GkmStrategyChangedRecord,
     IdMgrSnapshot,
     PublisherSnapshot,
     StateRecord,
@@ -200,6 +201,12 @@ class PublisherPersistence(_Persistence):
                 "a changed deployment needs a fresh data dir"
             )
         publisher.epoch = snapshot.epoch
+        # The strategy the durable table was broadcast under wins over
+        # whatever the restarted process was configured with: recovery
+        # must rekey with the same bucket layout its subscribers know.
+        publisher.set_gkm_strategy(
+            snapshot.gkm, snapshot.gkm_bucket_size or None
+        )
         for nym, cells in snapshot.table:
             for condition_key, css in cells:
                 publisher.table.set(nym, condition_key, css)
@@ -214,6 +221,10 @@ class PublisherPersistence(_Persistence):
             publisher.table.remove_row(record.nym)
         elif isinstance(record, EpochAdvancedRecord):
             publisher.epoch = record.epoch
+        elif isinstance(record, GkmStrategyChangedRecord):
+            publisher.set_gkm_strategy(
+                record.gkm, record.gkm_bucket_size or None
+            )
         else:
             raise LogCorruptionError(
                 "%s in a publisher WAL" % type(record).__name__
@@ -226,6 +237,8 @@ class PublisherPersistence(_Persistence):
             epoch=publisher.epoch,
             policies=tuple(publisher.policies),
             table=publisher.table.rows(),
+            gkm=publisher.gkm,
+            gkm_bucket_size=publisher.gkm_bucket_size or 0,
         )
 
     # journal protocol (called by Publisher)
@@ -245,6 +258,11 @@ class PublisherPersistence(_Persistence):
 
     def epoch_advanced(self, epoch: int) -> None:
         self._journal(EpochAdvancedRecord(epoch=epoch))
+
+    def gkm_strategy_changed(self, gkm: str, bucket_size: int) -> None:
+        self._journal(
+            GkmStrategyChangedRecord(gkm=gkm, gkm_bucket_size=bucket_size)
+        )
 
 
 class SubscriberPersistence(_Persistence):

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple, Type
 
 from repro.errors import SerializationError
+from repro.gkm.strategy import GKM_STRATEGIES
 from repro.groups.base import CyclicGroup
 from repro.policy.acp import AccessControlPolicy
 from repro.system.identity import IdentityToken
@@ -52,6 +53,7 @@ __all__ = [
     "EpochAdvancedRecord",
     "TokenHeldRecord",
     "CssExtractedRecord",
+    "GkmStrategyChangedRecord",
     "STORE_RECORD_TYPES",
     "decode_state",
 ]
@@ -148,13 +150,20 @@ class IdMgrSnapshot(StateRecord):
 class PublisherSnapshot(StateRecord):
     """The publisher's durable state: the policy configuration it was
     serving (recorded so recovery can refuse a drifted deployment), the
-    CSS table ``T``, and the GKM epoch (how many ACV rekeys this table
-    has been broadcast under)."""
+    CSS table ``T``, the GKM epoch (how many ACV rekeys this table has
+    been broadcast under), and the publish-path GKM strategy + bucket
+    layout, so a crash-recovered publisher rekeys with the exact
+    configuration its subscribers were dispatched under.
+
+    ``gkm_bucket_size`` 0 encodes "unset" (dense) or the bucketed auto
+    ``ceil(sqrt(m))`` policy -- both mean "no fixed rows-per-bucket"."""
 
     name: str
     epoch: int
     policies: Tuple[AccessControlPolicy, ...]
     table: Tuple[Tuple[str, Tuple[Tuple[str, bytes], ...]], ...]
+    gkm: str = "dense"
+    gkm_bucket_size: int = 0
 
     TYPE_ID = 2
 
@@ -170,6 +179,8 @@ class PublisherSnapshot(StateRecord):
             out += pack_u16(len(cells))
             for condition_key, css in cells:
                 out += pack_str(condition_key) + pack_bytes(css)
+        out += pack_str(self.gkm)
+        out += pack_u32(self.gkm_bucket_size)
         return bytes(out)
 
     @classmethod
@@ -186,8 +197,19 @@ class PublisherSnapshot(StateRecord):
                 for _ in range(cursor.read_u16())
             )
             rows.append((nym, cells))
+        gkm = cursor.read_str()
+        if gkm not in GKM_STRATEGIES:
+            raise SerializationError("unknown GKM strategy %r in snapshot" % gkm)
+        gkm_bucket_size = cursor.read_u32()
         cursor.expect_end()
-        return cls(name=name, epoch=epoch, policies=policies, table=tuple(rows))
+        return cls(
+            name=name,
+            epoch=epoch,
+            policies=policies,
+            table=tuple(rows),
+            gkm=gkm,
+            gkm_bucket_size=gkm_bucket_size,
+        )
 
 
 @dataclass(frozen=True)
@@ -405,6 +427,35 @@ class CssExtractedRecord(StateRecord):
         return record
 
 
+@dataclass(frozen=True)
+class GkmStrategyChangedRecord(StateRecord):
+    """Publisher: the publish-path GKM strategy was switched at runtime.
+
+    Journaled by :meth:`~repro.system.publisher.Publisher.set_gkm_strategy`
+    so a switch survives a crash before the next compaction snapshot --
+    recovery must rekey under the layout the subscribers last saw."""
+
+    gkm: str
+    gkm_bucket_size: int
+
+    TYPE_ID = 23
+
+    def to_bytes(self) -> bytes:
+        return pack_str(self.gkm) + pack_u32(self.gkm_bucket_size)
+
+    @classmethod
+    def from_payload(
+        cls, payload: bytes, group: CyclicGroup
+    ) -> "GkmStrategyChangedRecord":
+        cursor = Cursor(payload)
+        gkm = cursor.read_str()
+        if gkm not in GKM_STRATEGIES:
+            raise SerializationError("unknown GKM strategy %r in record" % gkm)
+        record = cls(gkm=gkm, gkm_bucket_size=cursor.read_u32())
+        cursor.expect_end()
+        return record
+
+
 STORE_RECORD_TYPES: Dict[int, Type[StateRecord]] = {
     cls.TYPE_ID: cls
     for cls in (
@@ -418,6 +469,7 @@ STORE_RECORD_TYPES: Dict[int, Type[StateRecord]] = {
         EpochAdvancedRecord,
         TokenHeldRecord,
         CssExtractedRecord,
+        GkmStrategyChangedRecord,
     )
 }
 

@@ -51,7 +51,10 @@ __all__ = ["STORE_VERSION", "SNAPSHOT_WRAPPER_TYPE", "WAL_GENESIS_TYPE", "StateS
 
 #: Bumped on any incompatible change to the wrapper/genesis layout or the
 #: snapshot encodings; recovery refuses foreign versions loudly.
-STORE_VERSION = 1
+#: Version 2: PublisherSnapshot carries the publish-path GKM strategy and
+#: bucket layout, so a v1 data dir refuses with a clear StoreVersionError
+#: instead of a corruption-shaped parse failure.
+STORE_VERSION = 2
 
 #: Record type of the snapshot file's single wrapper record.
 SNAPSHOT_WRAPPER_TYPE = 254

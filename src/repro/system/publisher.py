@@ -36,6 +36,7 @@ from repro.documents.package import (
 from repro.documents.segmentation import SegmentPlan, segment
 from repro.errors import RegistrationError, SignatureError
 from repro.gkm.acv import PAPER_FIELD, AcvBgkm
+from repro.gkm.strategy import AcvBuildCache, build_strategy
 from repro.groups.base import GroupElement
 from repro.mathx.field import PrimeField
 from repro.ocbe.base import OCBESetup, sender_for
@@ -109,9 +110,22 @@ class Publisher:
         attribute_bits: int = DEFAULT_BIT_LENGTH,
         capacity_slack: int = 0,
         rng: Optional[random.Random] = None,
+        gkm: str = "dense",
+        gkm_bucket_size: Optional[int] = None,
+        acv_cache: bool = True,
     ):
         """``capacity_slack`` extra columns beyond the Eq.-1 minimum let the
-        publisher hide the exact subscriber count and amortise joins."""
+        publisher hide the exact subscriber count and amortise joins.
+
+        ``gkm`` picks the publish-path strategy (``"dense"`` = one ACV
+        per configuration, the paper's baseline; ``"bucketed"`` = the
+        Section VIII-C row-order bucket layout with a shared key per
+        configuration).  ``gkm_bucket_size`` fixes the rows-per-bucket
+        (``None`` = the auto ``ceil(sqrt(m))`` policy).  ``acv_cache``
+        keeps the (member-row set, epoch)-keyed elimination cache on so
+        unchanged configurations across consecutive publishes skip the
+        cubic solve; joins/revocations invalidate it.
+        """
         self.name = name
         self.params = SystemParams(
             pedersen=pedersen,
@@ -128,6 +142,12 @@ class Publisher:
         self.css_bytes = css_bytes
         self.capacity_slack = capacity_slack
         self._gkm = AcvBgkm(gkm_field, self.params.hash_fn)
+        self._acv_cache = AcvBuildCache() if acv_cache else None
+        self.gkm = gkm
+        self.gkm_bucket_size = gkm_bucket_size
+        self._strategy = build_strategy(
+            gkm, self._gkm, self._acv_cache, gkm_bucket_size
+        )
         self._ocbe = OCBESetup(
             pedersen=pedersen,
             hash_fn=self.params.hash_fn,
@@ -148,12 +168,59 @@ class Publisher:
         #: write-ahead.  ``None`` keeps the publisher purely in-memory.
         self.journal = None
 
+    # -- GKM strategy ----------------------------------------------------------
+
+    def set_gkm_strategy(
+        self, gkm: str, bucket_size: Optional[int] = None
+    ) -> None:
+        """Switch the publish-path GKM strategy (see ``__init__``).
+
+        Also used by :mod:`repro.store.persist` during recovery so a
+        restarted publisher rekeys under the same strategy and bucket
+        layout its durable table was broadcast with.
+        """
+        self._strategy = build_strategy(
+            gkm, self._gkm, self._acv_cache, bucket_size
+        )
+        self.gkm = gkm
+        self.gkm_bucket_size = bucket_size
+        self._invalidate_acv_cache()
+        if self.journal is not None:
+            self.journal.gkm_strategy_changed(gkm, bucket_size or 0)
+
+    def bucket_size_for(self, row_count: int) -> Optional[int]:
+        """Effective rows-per-bucket for ``row_count`` rows (None = dense)."""
+        resolve = getattr(self._strategy, "resolve_bucket_size", None)
+        return resolve(row_count) if resolve is not None else None
+
+    def bucket_layout_for(self, rows) -> Optional[list]:
+        """The exact row-order bucket layout the strategy would broadcast
+        for ``rows`` (None = dense).  The invariant checker audits against
+        this instead of re-deriving the chunk rule, so checker and publish
+        path can never disagree about the layout."""
+        chunk = getattr(self._strategy, "chunk", None)
+        return chunk(rows) if chunk is not None else None
+
+    def acv_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/epoch counters of the ACV build cache (all zero when
+        the cache is disabled)."""
+        if self._acv_cache is None:
+            return {"hits": 0, "misses": 0, "epoch": 0, "entries": 0}
+        return self._acv_cache.stats()
+
+    def _invalidate_acv_cache(self) -> None:
+        """Membership (or policy) changed: cached ``(zs, Y)`` pairs must
+        not survive into the new epoch."""
+        if self._acv_cache is not None:
+            self._acv_cache.invalidate()
+
     # -- policy management ----------------------------------------------------
 
     def add_policy(self, policy: AccessControlPolicy) -> None:
         """Install an access control policy."""
         self.policies.append(policy)
         self._condition_map = None  # invalidate the key -> condition cache
+        self._invalidate_acv_cache()
 
     def condition_map(self) -> Dict[str, AttributeCondition]:
         """Distinct conditions keyed by their stable key (cached; rebuilt on
@@ -219,6 +286,7 @@ class Publisher:
         predicate = condition.predicate(self.params.attribute_bits)
         sender = sender_for(self._ocbe, predicate, self._rng)
         self.table.set(token.nym, condition.key(), css)
+        self._invalidate_acv_cache()
         if self.journal is not None:
             self.journal.css_installed(token.nym, condition.key(), css)
         return RegistrationOffer(
@@ -230,8 +298,10 @@ class Publisher:
     def revoke_subscription(self, nym: str) -> bool:
         """Remove a pseudonym entirely; next publish is the rekey."""
         removed = self.table.remove_row(nym)
-        if removed and self.journal is not None:
-            self.journal.subscription_revoked(nym)
+        if removed:
+            self._invalidate_acv_cache()
+            if self.journal is not None:
+                self.journal.subscription_revoked(nym)
         return removed
 
     def revoke_subscriptions(self, nyms: Sequence[str]) -> int:
@@ -248,8 +318,10 @@ class Publisher:
     def revoke_credential(self, nym: str, condition_key: str) -> bool:
         """Remove one CSS; next publish is the rekey."""
         removed = self.table.remove_cell(nym, condition_key)
-        if removed and self.journal is not None:
-            self.journal.credential_revoked(nym, condition_key)
+        if removed:
+            self._invalidate_acv_cache()
+            if self.journal is not None:
+                self.journal.credential_revoked(nym, condition_key)
         return removed
 
     # -- broadcast (Section V-C) --------------------------------------------------
@@ -298,10 +370,9 @@ class Publisher:
                 rows: List[Tuple[bytes, ...]] = [
                     row for bucket in buckets for row in bucket
                 ]
-                n_max = capacity
-                if n_max is None:
-                    n_max = max(len(rows), 1) + self.capacity_slack
-                key_int, acv_header = self._gkm.generate(rows, n_max=n_max, rng=rng)
+                key_int, acv_header = self._strategy.build(
+                    rows, capacity=capacity, slack=self.capacity_slack, rng=rng
+                )
                 self.last_keys[(document.name, config_id)] = key_int
                 sym_key = self._gkm.export_key(key_int, self.params.key_len)
                 headers.append(

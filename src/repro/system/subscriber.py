@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.documents.package import BroadcastPackage, ConfigHeader
 from repro.errors import DecryptionError, RegistrationError
 from repro.gkm.acv import AcvBgkm
+from repro.gkm.buckets import BucketedHeader
 from repro.ocbe.base import OCBESetup
 from repro.system.identity import IdentityToken
 from repro.system.publisher import RegistrationOffer, SystemParams
@@ -143,16 +144,30 @@ class Subscriber:
 
     def _derive_config_key(self, header: ConfigHeader) -> List[bytes]:
         """Candidate symmetric keys for a configuration, one per satisfiable
-        policy (most Subs satisfy at most one)."""
+        policy (most Subs satisfy at most one).
+
+        A bucketed header yields one candidate per bucket: the Sub does
+        not learn its bucket index (publishing an assignment would leak
+        membership structure), so it derives from every bucket and lets
+        authenticated decryption pick the real key -- wrong buckets
+        produce unpredictable field elements, exactly like a stale CSS.
+        """
         if header.acv is None:
             return []
         candidates = []
         for condition_keys in header.policies:
             if all(key in self.css_store for key in condition_keys):
                 css = tuple(self.css_store[key] for key in condition_keys)
-                key_int = self._gkm.derive(header.acv, css)
-                candidates.append(
+                if isinstance(header.acv, BucketedHeader):
+                    key_ints = [
+                        self._gkm.derive(bucket, css)
+                        for bucket in header.acv.buckets
+                    ]
+                else:
+                    key_ints = [self._gkm.derive(header.acv, css)]
+                candidates.extend(
                     self._gkm.export_key(key_int, self.params.key_len)
+                    for key_int in key_ints
                 )
         return candidates
 

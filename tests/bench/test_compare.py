@@ -138,6 +138,104 @@ def test_load_bench_dir_rejects_garbage(tmp_path):
         bc.load_bench_dir(str(tmp_path))
 
 
+def test_per_benchmark_tolerance_override():
+    """A noisy benchmark can carry a wider gate than the global default."""
+    base = {"a": _payload("a", 1.0), "b": _payload("b", 1.0)}
+    current = {"a": _payload("a", 1.6), "b": _payload("b", 1.6)}
+    # Globally +60% is a regression...
+    plain = bc.compare_payloads(base, current, tolerance=0.30)
+    assert _statuses(plain) == {
+        ("a", "work"): "regression", ("b", "work"): "regression",
+    }
+    # ...but an override widens exactly one benchmark, not the other.
+    report = bc.compare_payloads(
+        base, current, tolerance=0.30, tolerance_overrides={"a": 0.80}
+    )
+    assert _statuses(report) == {
+        ("a", "work"): "ok", ("b", "work"): "regression",
+    }
+
+
+def test_label_override_beats_bench_override():
+    base = {"a": _payload("a", 1.0)}
+    current = {"a": _payload("a", 1.6)}
+    report = bc.compare_payloads(
+        base, current, tolerance=0.30,
+        tolerance_overrides={"a": 0.10, "a/work": 0.80},
+    )
+    assert _statuses(report)[("a", "work")] == "ok"
+
+
+def test_bytes_tolerance_override():
+    base = {"a": _payload("a", 1.0, total_bytes=1000)}
+    current = {"a": _payload("a", 1.0, total_bytes=1050)}
+    exact = bc.compare_payloads(base, current)
+    assert _statuses(exact, field="bytes")[("a", "total")] == "regression"
+    report = bc.compare_payloads(
+        base, current, bytes_tolerance_overrides={"a/total": 0.10}
+    )
+    assert _statuses(report, field="bytes")[("a", "total")] == "ok"
+    assert report.ok()
+
+
+def test_parse_overrides():
+    assert bc.parse_overrides(["a=0.5", "b/label=0.2"]) == {
+        "a": 0.5, "b/label": 0.2,
+    }
+    for bad in ("a", "=0.5", "a=x", "a=-0.1", "a=nan", "a=inf", "a=-inf"):
+        with pytest.raises(InvalidParameterError):
+            bc.parse_overrides([bad])
+    for value in (-1.0, float("nan"), float("inf")):
+        with pytest.raises(InvalidParameterError):
+            bc.compare_payloads({}, {}, tolerance_overrides={"a": value})
+
+
+def test_cli_tolerance_override(tmp_path):
+    baseline = tmp_path / "baseline"
+    current = tmp_path / "current"
+    baseline.mkdir()
+    current.mkdir()
+    (baseline / "BENCH_a.json").write_text(json.dumps(_payload("a", 1.0)))
+    (current / "BENCH_a.json").write_text(json.dumps(_payload("a", 1.6)))
+    args = ["--baseline", str(baseline), "--current", str(current)]
+    assert bc.main(args) == 1
+    assert bc.main(args + ["--tolerance-override", "a=0.80"]) == 0
+    assert bc.main(args + ["--tolerance-override", "nonsense"]) == 2
+
+
+def test_trend_view(tmp_path, capsys):
+    runs = []
+    for index, mean in enumerate((1.0, 1.2, 0.9)):
+        run_dir = tmp_path / ("run%d" % index)
+        run_dir.mkdir()
+        (run_dir / "BENCH_a.json").write_text(
+            json.dumps(_payload("a", mean, total_bytes=1000 + index))
+        )
+        runs.append(run_dir)
+    # A benchmark that appears mid-history renders with "-" gaps.
+    (runs[-1] / "BENCH_late.json").write_text(json.dumps(_payload("late", 2.0)))
+    text = bc.format_trend(
+        [(p.name, bc.load_bench_dir(str(p))) for p in runs]
+    )
+    line = next(
+        ln for ln in text.splitlines()
+        if ln.startswith("a") and "| time" in ln
+    )
+    assert "1000.000" in line and "1200.000" in line and "900.000" in line
+    late = next(ln for ln in text.splitlines() if ln.startswith("late"))
+    assert late.count(" - ") >= 2
+    # CLI: view only, exit 0, rejects mixing with the gate mode.
+    argv = []
+    for run_dir in runs:
+        argv += ["--trend", str(run_dir)]
+    assert bc.main(argv) == 0
+    assert "bench trend" in capsys.readouterr().out
+    with pytest.raises(SystemExit):
+        bc.main(argv + ["--baseline", str(runs[0])])
+    with pytest.raises(InvalidParameterError):
+        bc.format_trend([])
+
+
 def test_vanished_benchmark_file_is_dropped():
     base = {"a": _payload("a", 1.0), "b": _payload("b", 1.0)}
     current = {"a": _payload("a", 1.0)}  # BENCH_b.json never emitted

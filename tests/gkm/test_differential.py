@@ -1,0 +1,309 @@
+"""Differential GKM harness: dense and bucketed ACV-BGKM are equivalent.
+
+Wiring :class:`~repro.gkm.buckets.BucketedAcvBgkm` into the live publish
+path is only safe if bucketing is *behaviorally invisible*: for any
+member set, bucket count and join/revoke history, members derive exactly
+the key the dense scheme would give them and everyone else fails exactly
+as before.  This file proves it differentially, at three levels:
+
+* **core** -- random CSS rows under :class:`AcvBgkm` vs
+  :class:`BucketedAcvBgkm` at every bucket size;
+* **flat adapters** -- :class:`AcvBroadcastGkm` vs
+  :class:`BucketedBroadcastGkm` driven through identical random
+  join/revoke sequences, including ``member_state()`` /
+  ``restore_members()`` checkpoint round trips;
+* **end to end** -- the load-engine smoke scenario run under both
+  publish-path strategies (and, in the slow tier, both drivers),
+  asserting byte-identical delivered plaintexts.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyDerivationError
+from repro.gkm.acv import FAST_FIELD, AcvBgkm, AcvBroadcastGkm
+from repro.gkm.buckets import BucketedAcvBgkm, BucketedBroadcastGkm
+from repro.gkm.strategy import BucketedGkmStrategy, DenseGkmStrategy
+from repro.load import LoadEngine, bucketed, smoke_scenario
+from repro.workloads.generator import make_css_rows
+
+
+# -- core level ---------------------------------------------------------------
+
+
+@given(
+    n_rows=st.integers(min_value=0, max_value=12),
+    bucket_size=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40)
+def test_core_members_derive_nonmembers_fail(n_rows, bucket_size, seed):
+    rng = random.Random(seed)
+    rows = make_css_rows(n_rows, rng=rng) if n_rows else []
+    dense = AcvBgkm(FAST_FIELD)
+    split = BucketedAcvBgkm(bucket_size=bucket_size, field=FAST_FIELD)
+    dense_key, dense_header = dense.generate(rows, rng=rng)
+    split_key, split_header = split.generate(rows, rng=rng)
+    outsider = (bytes(rng.randrange(256) for _ in range(16)),)
+    for index, row in enumerate(rows):
+        # Every member derives its scheme's key...
+        assert dense.derive(dense_header, row) == dense_key
+        assert split.derive(split_header, row, bucket=index // bucket_size) == (
+            split_key
+        )
+    # ...and a non-member CSS fails under both schemes alike.
+    assert dense.derive(dense_header, outsider) != dense_key
+    assert split_key not in split.derive_candidates(split_header, outsider)
+
+
+@given(
+    n_rows=st.integers(min_value=1, max_value=10),
+    bucket_size=st.integers(min_value=0, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=25)
+def test_strategy_layer_matches_core(n_rows, bucket_size, seed):
+    """The publish-path strategy objects agree with the raw schemes."""
+    rng = random.Random(seed)
+    rows = make_css_rows(n_rows, rng=rng)
+    core = AcvBgkm(FAST_FIELD)
+    dense = DenseGkmStrategy(core)
+    split = BucketedGkmStrategy(
+        core, bucket_size=bucket_size or None
+    )  # 0 -> auto
+    dense_key, dense_header = dense.build(
+        rows, capacity=None, slack=0, rng=random.Random(seed)
+    )
+    split_key, split_header = split.build(
+        rows, capacity=None, slack=0, rng=random.Random(seed)
+    )
+    size = split.resolve_bucket_size(len(rows))
+    assert len(split_header.buckets) == (len(rows) + size - 1) // size
+    for index, row in enumerate(rows):
+        assert core.derive(dense_header, row) == dense_key
+        assert core.derive(split_header.buckets[index // size], row) == split_key
+
+
+# -- flat adapters under churn ------------------------------------------------
+
+
+def _secret(rng):
+    return bytes(rng.randrange(256) for _ in range(16))
+
+
+def _apply_ops(schemes, ops):
+    """Replay a join/revoke script against every scheme identically."""
+    members = {}
+    counter = 0
+    rng = random.Random(0xD1FF)
+    for op in ops:
+        if op == "join" or not members:
+            member_id = "m%03d" % counter
+            counter += 1
+            secret = _secret(rng)
+            members[member_id] = secret
+            for scheme in schemes:
+                scheme.join(member_id, secret)
+        else:
+            member_id = sorted(members)[op % len(members)]
+            members.pop(member_id)
+            for scheme in schemes:
+                scheme.leave(member_id)
+    return members
+
+
+def _assert_equivalent(dense, split, members, removed, seed):
+    dense_key, dense_bcast = dense.rekey(rng=random.Random(seed))
+    split_key, split_bcast = split.rekey(rng=random.Random(seed))
+    for secret in members.values():
+        assert dense.derive(secret, dense_bcast) == dense_key
+        assert split.derive(secret, split_bcast) == split_key
+    for secret in removed:
+        # "Fails" for the soft-failure ACV family: the derived bytes are
+        # not the group key (or derivation refuses outright).
+        for scheme, broadcast, key in (
+            (dense, dense_bcast, dense_key),
+            (split, split_bcast, split_key),
+        ):
+            try:
+                assert scheme.derive(secret, broadcast) != key
+            except KeyDerivationError:
+                pass
+
+
+@given(
+    ops=st.lists(
+        st.one_of(st.just("join"), st.integers(min_value=0, max_value=10)),
+        min_size=1,
+        max_size=14,
+    ),
+    bucket_size=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=25)
+def test_adapters_equivalent_under_churn(ops, bucket_size, seed):
+    dense = AcvBroadcastGkm(field=FAST_FIELD)
+    split = BucketedBroadcastGkm(
+        bucket_size=bucket_size or None, field=FAST_FIELD
+    )
+    members = _apply_ops((dense, split), ops)
+    all_secrets = {m: s for m, s in members.items()}
+    removed = [_secret(random.Random(seed + 1))]  # a never-joined outsider
+    _assert_equivalent(dense, split, all_secrets, removed, seed)
+    # Revoke roughly half and rekey: the leavers must now fail too.
+    leavers = sorted(members)[: len(members) // 2]
+    removed_secrets = [members[m] for m in leavers]
+    for member_id in leavers:
+        dense.leave(member_id)
+        split.leave(member_id)
+        members.pop(member_id)
+    if members:
+        _assert_equivalent(
+            dense, split, members, removed + removed_secrets, seed + 2
+        )
+
+
+@given(
+    n_members=st.integers(min_value=1, max_value=10),
+    bucket_size=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=20)
+def test_member_state_round_trip_equivalence(n_members, bucket_size, seed):
+    """Checkpoint/restore preserves the differential equivalence, and the
+    two schemes' checkpoints are byte-identical (shared base encoding)."""
+    rng = random.Random(seed)
+    dense = AcvBroadcastGkm(field=FAST_FIELD)
+    split = BucketedBroadcastGkm(
+        bucket_size=bucket_size or None, field=FAST_FIELD
+    )
+    members = {}
+    for index in range(n_members):
+        secret = _secret(rng)
+        members["m%03d" % index] = secret
+        dense.join("m%03d" % index, secret)
+        split.join("m%03d" % index, secret)
+    assert dense.member_state() == split.member_state()
+
+    restored_dense = AcvBroadcastGkm(field=FAST_FIELD)
+    restored_split = BucketedBroadcastGkm(
+        bucket_size=bucket_size or None, field=FAST_FIELD
+    )
+    # Cross-restore: each scheme restores the OTHER's checkpoint, which
+    # only works if membership state is scheme-independent.
+    restored_dense.restore_members(split.member_state())
+    restored_split.restore_members(dense.member_state())
+    assert restored_dense.members == members
+    assert restored_split.members == members
+    outsider = [_secret(random.Random(seed + 7))]
+    _assert_equivalent(restored_dense, restored_split, members, outsider, seed)
+    # Restore-away: replace with half the membership; the removed half
+    # must stop deriving after the next rekey, exactly like a revoke.
+    keep = dict(sorted(members.items())[: (n_members + 1) // 2])
+    gone = [members[m] for m in members if m not in keep]
+    checkpoint_holder = AcvBroadcastGkm(field=FAST_FIELD)
+    for member_id, secret in keep.items():
+        checkpoint_holder.join(member_id, secret)
+    state = checkpoint_holder.member_state()
+    restored_dense.restore_members(state)
+    restored_split.restore_members(state)
+    _assert_equivalent(restored_dense, restored_split, keep, gone, seed + 3)
+
+
+def test_adapter_capacity_is_per_bucket():
+    """The capacity knob means the same thing on both adapters: padded
+    columns that hide the fill (per header for dense, per bucket for
+    bucketed) — members derive, the column count is the configured one,
+    and an undersized capacity is a typed CapacityError."""
+    from repro.errors import CapacityError
+
+    rng = random.Random(11)
+    members = {"m%d" % i: _secret(rng) for i in range(5)}
+    dense = AcvBroadcastGkm(field=FAST_FIELD, capacity=8)
+    split = BucketedBroadcastGkm(bucket_size=2, field=FAST_FIELD, capacity=8)
+    for member_id, secret in members.items():
+        dense.join(member_id, secret)
+        split.join(member_id, secret)
+    dense_key, dense_bcast = dense.rekey(rng=random.Random(1))
+    split_key, split_bcast = split.rekey(rng=random.Random(1))
+    assert dense_bcast.parts.capacity == 8
+    assert all(b.capacity == 8 for b in split_bcast.parts.buckets)
+    for secret in members.values():
+        assert dense.derive(secret, dense_bcast) == dense_key
+        assert split.derive(secret, split_bcast) == split_key
+
+    tight = BucketedBroadcastGkm(bucket_size=4, field=FAST_FIELD, capacity=2)
+    for member_id, secret in members.items():
+        tight.join(member_id, secret)
+    with pytest.raises(CapacityError):
+        tight.rekey(rng=random.Random(2))
+
+
+# -- end to end through the load engine --------------------------------------
+
+
+def _delivered_plaintexts(scenario, driver="memory"):
+    """{user: {document: {segment: plaintext}}} after a full scenario run."""
+    with LoadEngine(scenario, driver=driver) as engine:
+        engine.run()
+        return {
+            member.user: {
+                name: dict(plaintexts)
+                for name, plaintexts in member.client.documents.items()
+            }
+            for member in engine.members.values()
+            if member.client is not None
+        }
+
+
+def test_smoke_scenario_differential_memory():
+    """Dense vs bucketed smoke run: byte-identical delivered plaintexts."""
+    dense = _delivered_plaintexts(smoke_scenario())
+    split = _delivered_plaintexts(bucketed(smoke_scenario()))
+    assert dense.keys() == split.keys()
+    assert dense == split
+
+
+@pytest.mark.slow
+def test_smoke_scenario_differential_both_drivers():
+    """The full 2x2: {dense, bucketed} x {memory, tcp} all agree."""
+    runs = {
+        (gkm, driver): _delivered_plaintexts(
+            bucketed(smoke_scenario()) if gkm == "bucketed" else smoke_scenario(),
+            driver=driver,
+        )
+        for gkm in ("dense", "bucketed")
+        for driver in ("memory", "tcp")
+    }
+    reference = runs[("dense", "memory")]
+    assert reference  # the population actually decrypted something
+    for key, plaintexts in runs.items():
+        assert plaintexts == reference, "run %r diverged" % (key,)
+
+
+@pytest.mark.slow
+def test_large_population_core_differential():
+    """The nightly N=256 sweep: every member of a large population derives
+    the shared key from its bucket; a revoked batch fails everywhere."""
+    rng = random.Random(0x256)
+    rows = make_css_rows(256, rng=rng)
+    dense = AcvBgkm(FAST_FIELD)
+    split = BucketedAcvBgkm(bucket_size=16, field=FAST_FIELD)
+    dense_key, dense_header = dense.generate(rows, rng=rng)
+    split_key, split_header = split.generate(rows, rng=rng)
+    for index, row in enumerate(rows):
+        assert dense.derive(dense_header, row) == dense_key
+        assert split.derive(split_header, row, bucket=index // 16) == split_key
+    # Revoke a batch: regenerate over the survivors only.
+    survivors = rows[32:]
+    dense_key2, dense_header2 = dense.generate(survivors, rng=rng)
+    split_key2, split_header2 = split.generate(survivors, rng=rng)
+    for index, row in enumerate(survivors):
+        assert dense.derive(dense_header2, row) == dense_key2
+        assert split.derive(split_header2, row, bucket=index // 16) == split_key2
+    for row in rows[:32]:
+        assert dense.derive(dense_header2, row) != dense_key2
+        assert split_key2 not in split.derive_candidates(split_header2, row)

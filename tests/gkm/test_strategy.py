@@ -1,0 +1,154 @@
+"""The publish-path strategy layer: caching, invalidation, dispatch."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidParameterError, SerializationError
+from repro.gkm.acv import FAST_FIELD, AcvBgkm, AcvHeader
+from repro.gkm.buckets import BucketedHeader
+from repro.gkm.strategy import (
+    AcvBuildCache,
+    BucketedGkmStrategy,
+    DenseGkmStrategy,
+    build_strategy,
+    decode_keying_header,
+)
+from repro.workloads.generator import make_css_rows
+
+
+@pytest.fixture
+def core():
+    return AcvBgkm(FAST_FIELD)
+
+
+def test_decode_keying_header_dispatch(core, rng):
+    rows = make_css_rows(4, rng=rng)
+    _, dense = core.generate(rows, rng=rng)
+    assert isinstance(decode_keying_header(dense.to_bytes()), AcvHeader)
+    split = BucketedGkmStrategy(core, bucket_size=2)
+    _, header = split.build(rows, capacity=None, slack=0, rng=rng)
+    assert isinstance(decode_keying_header(header.to_bytes()), BucketedHeader)
+    with pytest.raises(SerializationError, match="magic"):
+        decode_keying_header(b"????rest")
+    with pytest.raises(SerializationError):
+        decode_keying_header(b"")
+
+
+def test_build_strategy_validates(core):
+    assert build_strategy("dense", core).name == "dense"
+    assert build_strategy("bucketed", core).name == "bucketed"
+    with pytest.raises(InvalidParameterError):
+        build_strategy("sparse", core)
+    with pytest.raises(InvalidParameterError):
+        BucketedGkmStrategy(core, bucket_size=0)
+
+
+def test_auto_bucket_size_policy(core):
+    strategy = BucketedGkmStrategy(core)  # auto = ceil(sqrt(m))
+    assert strategy.resolve_bucket_size(0) == 1
+    assert strategy.resolve_bucket_size(1) == 1
+    assert strategy.resolve_bucket_size(4) == 2
+    assert strategy.resolve_bucket_size(5) == 3
+    assert strategy.resolve_bucket_size(64) == 8
+    assert strategy.resolve_bucket_size(65) == 9
+    fixed = BucketedGkmStrategy(core, bucket_size=7)
+    assert fixed.resolve_bucket_size(1000) == 7
+
+
+def test_cache_hit_skips_elimination_and_stays_correct(core, rng):
+    """A hit returns fresh keys over the cached (zs, Y): every row still
+    derives, consecutive keys differ, zs/Y are reused verbatim."""
+    cache = AcvBuildCache()
+    strategy = DenseGkmStrategy(core, cache)
+    rows = make_css_rows(6, rng=rng)
+    key1, header1 = strategy.build(rows, capacity=None, slack=0, rng=rng)
+    key2, header2 = strategy.build(rows, capacity=None, slack=0, rng=rng)
+    assert cache.stats()["misses"] == 1
+    assert cache.stats()["hits"] == 1
+    assert key1 != key2
+    assert header1.zs == header2.zs  # nonces reused within the epoch
+    # Both headers carry the same Y: X2 - X1 = (K2 - K1) e0.
+    assert header1.x[1:] == header2.x[1:]
+    for row in rows:
+        assert core.derive(header1, row) == key1
+        assert core.derive(header2, row) == key2
+
+
+def test_cache_misses_on_different_rows_or_capacity(core, rng):
+    cache = AcvBuildCache()
+    strategy = DenseGkmStrategy(core, cache)
+    rows = make_css_rows(4, rng=rng)
+    strategy.build(rows, capacity=None, slack=0, rng=rng)
+    strategy.build(rows[:-1], capacity=None, slack=0, rng=rng)
+    strategy.build(rows, capacity=16, slack=0, rng=rng)
+    assert cache.stats()["misses"] == 3
+    assert cache.stats()["hits"] == 0
+
+
+def test_cache_invalidation_drops_entries(core, rng):
+    cache = AcvBuildCache()
+    strategy = DenseGkmStrategy(core, cache)
+    rows = make_css_rows(4, rng=rng)
+    _, header1 = strategy.build(rows, capacity=None, slack=0, rng=rng)
+    cache.invalidate()  # the publisher's join/revoke hook
+    _, header2 = strategy.build(rows, capacity=None, slack=0, rng=rng)
+    assert cache.stats() == {"hits": 0, "misses": 2, "epoch": 1, "entries": 1}
+    assert header1.zs != header2.zs  # fresh nonces in the new epoch
+
+
+def test_cache_bound_evicts_oldest(core, rng):
+    cache = AcvBuildCache(max_entries=2)
+    strategy = DenseGkmStrategy(core, cache)
+    row_sets = [make_css_rows(3, rng=rng) for _ in range(3)]
+    for rows in row_sets:
+        strategy.build(rows, capacity=None, slack=0, rng=rng)
+    assert cache.stats()["entries"] == 2
+    strategy.build(row_sets[0], capacity=None, slack=0, rng=rng)  # evicted
+    assert cache.stats()["misses"] == 4
+
+
+def test_bucketed_build_shares_cache_per_chunk(core, rng):
+    cache = AcvBuildCache()
+    strategy = BucketedGkmStrategy(core, cache, bucket_size=2)
+    rows = make_css_rows(6, rng=rng)
+    key1, header1 = strategy.build(rows, capacity=None, slack=0, rng=rng)
+    key2, header2 = strategy.build(rows, capacity=None, slack=0, rng=rng)
+    assert cache.stats() == {"hits": 3, "misses": 3, "epoch": 0, "entries": 3}
+    assert key1 != key2
+    for index, row in enumerate(rows):
+        assert core.derive(header1.buckets[index // 2], row) == key1
+        assert core.derive(header2.buckets[index // 2], row) == key2
+
+
+def test_repeated_chunk_never_duplicates_a_bucket(core, rng):
+    """Two policies sharing a condition-key list repeat each member row,
+    and aligned chunk boundaries then repeat whole chunks.  The repeat
+    must solve fresh instead of rebinding the twin's cache entry, or the
+    two buckets come out byte-identical and the header's own canonical
+    decoding (duplicate-bucket refusal) rejects the broadcast."""
+    cache = AcvBuildCache()
+    strategy = BucketedGkmStrategy(core, cache, bucket_size=2)
+    member_rows = make_css_rows(2, rng=rng)
+    rows = member_rows + member_rows
+    for _ in range(2):  # second build re-hits the stored entries
+        key, header = strategy.build(rows, capacity=None, slack=0, rng=rng)
+        payloads = [bucket.to_bytes() for bucket in header.buckets]
+        assert len(set(payloads)) == len(payloads)
+        assert BucketedHeader.from_bytes(header.to_bytes()) == header
+        for row in member_rows:
+            assert all(core.derive(b, row) == key for b in header.buckets)
+
+
+def test_bucketed_empty_rows(core, rng):
+    strategy = BucketedGkmStrategy(core, bucket_size=4)
+    key, header = strategy.build([], capacity=None, slack=0, rng=rng)
+    assert len(header.buckets) == 1
+    assert core.derive(header.buckets[0], (b"outsider",)) != key
+
+
+def test_capacity_slack_applies_per_bucket(core, rng):
+    strategy = BucketedGkmStrategy(core, bucket_size=2)
+    rows = make_css_rows(4, rng=rng)
+    _, header = strategy.build(rows, capacity=None, slack=3, rng=rng)
+    assert [b.capacity for b in header.buckets] == [5, 5]

@@ -97,7 +97,11 @@ def test_bench_emission(memory_engine, tmp_path, monkeypatch):
     assert payload["params"]["driver"] == "memory"
     assert set(payload["measurements"]) == {
         "00_join", "01_revoke", "02_flap", "03_broadcast", "total",
+        "00_join:rekey-publish", "01_revoke:rekey-publish",
+        "02_flap:rekey-publish", "03_broadcast:rekey-publish",
+        "rekey_publish_total",
     }
+    assert payload["measurements"]["rekey_publish_total"]["mean_s"] > 0
     assert payload["bytes"]["total"] > 0
     assert len(payload["phases"]) == 4
 

@@ -1,17 +1,31 @@
 """The invariant checker must catch violations, not just bless runs."""
 
+import random
+from dataclasses import replace as dc_replace
+
 import pytest
 
+from repro.documents.model import Document
 from repro.errors import InvariantViolation
+from repro.gkm.acv import FAST_FIELD
+from repro.gkm.buckets import BucketedHeader
+from repro.groups import get_group
 from repro.load import (
     LoadEngine,
     LoadScenario,
     PhaseSpec,
+    bucketed,
+    check_bucket_layout,
+    check_bucketed_package,
     check_members,
     check_rekey_window,
     expected_plaintexts,
     feed_publisher,
 )
+from repro.policy.acp import parse_policy
+from repro.system.idmgr import IdentityManager
+from repro.system.idp import IdentityProvider
+from repro.system.publisher import Publisher
 from repro.system.transport import BROADCAST, Message
 
 
@@ -100,6 +114,129 @@ def test_fake_revocation_detected(small_world):
             check_members(small_world, context="tampered")
     finally:
         member.revoked = False
+
+
+# -- bucketed-header violations ----------------------------------------------
+
+DOC = Document.of("doc", {"body": b"bulletin body"})
+N_MEMBERS = 6
+BUCKET_SIZE = 2
+
+
+def _bucketed_publisher():
+    rng = random.Random(0xB0C4)
+    group = get_group("nist-p192")
+    idp = IdentityProvider("hr", group, rng=rng)
+    idmgr = IdentityManager(group, rng=rng)
+    idmgr.trust_idp(idp)
+    publisher = Publisher(
+        "pub", idmgr.params, idmgr.public_key, gkm_field=FAST_FIELD,
+        attribute_bits=8, rng=rng, gkm="bucketed", gkm_bucket_size=BUCKET_SIZE,
+    )
+    publisher.add_policy(parse_policy("clr >= 40", ["body"], "doc"))
+    table_rng = random.Random(0xB0C5)
+    for i in range(N_MEMBERS):
+        publisher.table.set(
+            "pn-%04d" % i, "clr >= 40",
+            bytes(table_rng.randrange(256) for _ in range(16)),
+        )
+    return publisher
+
+
+def _tamper_acv(package, acv):
+    header = dc_replace(package.headers[0], acv=acv)
+    return dc_replace(package, headers=(header,) + package.headers[1:])
+
+
+def test_clean_bucketed_package_passes():
+    publisher = _bucketed_publisher()
+    package = publisher.publish(DOC)
+    assert len(package.headers[0].acv.buckets) == N_MEMBERS // BUCKET_SIZE
+    check_bucketed_package(publisher, package, context="clean")
+
+
+def test_member_in_wrong_bucket_detected():
+    publisher = _bucketed_publisher()
+    package = publisher.publish(DOC)
+    buckets = package.headers[0].acv.buckets
+    # Swap the first two buckets: every row of chunk 0 now sits behind
+    # chunk 1's ACV and vice versa -- each bucket is still a perfectly
+    # valid ACV in isolation, only the assignment is wrong.
+    swapped = BucketedHeader(buckets=(buckets[1], buckets[0]) + buckets[2:])
+    with pytest.raises(InvariantViolation, match="wrong bucket"):
+        check_bucketed_package(
+            publisher, _tamper_acv(package, swapped), context="tampered"
+        )
+
+
+def test_stale_bucket_surviving_revoke_detected():
+    publisher = _bucketed_publisher()
+    before = publisher.publish(DOC)
+    stale = before.headers[0].acv.buckets[-1]
+    # Revoke exactly one bucket's worth of members, rekey...
+    revoked = ["pn-%04d" % i for i in range(N_MEMBERS - BUCKET_SIZE, N_MEMBERS)]
+    assert publisher.revoke_subscriptions(revoked) == BUCKET_SIZE
+    after = publisher.publish(DOC)
+    good = after.headers[0].acv.buckets
+    assert len(good) == len(before.headers[0].acv.buckets) - 1
+    # ...then fabricate a broadcast that still carries the pre-revoke
+    # bucket: one extra bucket vs what the current table implies.
+    appended = BucketedHeader(buckets=good + (stale,))
+    with pytest.raises(InvariantViolation, match="stale or missing"):
+        check_bucketed_package(
+            publisher, _tamper_acv(after, appended), context="tampered"
+        )
+    # The sneakier variant: same bucket count, but the last live bucket
+    # replaced by the stale one (old nonces, old key) -- its chunk's rows
+    # no longer derive the current key.
+    replaced = BucketedHeader(buckets=good[:-1] + (stale,))
+    with pytest.raises(InvariantViolation):
+        check_bucketed_package(
+            publisher, _tamper_acv(after, replaced), context="tampered"
+        )
+
+
+def test_dense_header_from_bucketed_publisher_detected():
+    publisher = _bucketed_publisher()
+    package = publisher.publish(DOC)
+    dense_acv = package.headers[0].acv.buckets[0]  # a plain AcvHeader
+    with pytest.raises(InvariantViolation, match="dense header"):
+        check_bucketed_package(
+            publisher, _tamper_acv(package, dense_acv), context="tampered"
+        )
+
+
+def test_engine_level_bucket_layout_wiring():
+    """check_bucket_layout reads the engine's retained rekey packages."""
+    scenario = bucketed(LoadScenario(
+        name="tamper",
+        seed=0xBAD2,
+        publishers=(feed_publisher("alpha"),),
+        phases=(PhaseSpec(kind="join", count=6),),
+    ), bucket_size=1)  # one row per bucket: any 2-member config splits
+    with LoadEngine(scenario, driver="memory") as engine:
+        engine.run()
+        check_bucket_layout(engine, context="clean")
+        tampered = False
+        rebuilt = []
+        for name, package in engine.last_rekey_packages:
+            headers = list(package.headers)
+            for index, header in enumerate(headers):
+                if header.acv is not None and len(header.acv.buckets) > 1:
+                    buckets = header.acv.buckets
+                    headers[index] = dc_replace(
+                        header,
+                        acv=BucketedHeader(
+                            buckets=(buckets[1], buckets[0]) + buckets[2:]
+                        ),
+                    )
+                    tampered = True
+                    break
+            rebuilt.append((name, dc_replace(package, headers=tuple(headers))))
+        assert tampered, "no multi-bucket configuration to tamper with"
+        engine.last_rekey_packages = rebuilt
+        with pytest.raises(InvariantViolation):
+            check_bucket_layout(engine, context="tampered")
 
 
 def test_overclaimed_entitlement_detected(small_world):

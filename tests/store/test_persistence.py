@@ -127,6 +127,55 @@ class TestFullLifecycleRecovery:
         assert pub2.table.cell_count() == 0  # the revocations replayed too
         store2.close()
 
+    def test_gkm_strategy_survives_recovery(self, tmp_path):
+        """A bucketed publisher's strategy + bucket layout are durable:
+        the recovered process rekeys under the configuration its
+        subscribers were dispatched with, even when the restarted
+        binary was (mis)configured dense."""
+        from repro.gkm.buckets import BucketedHeader
+
+        pub_dir = str(tmp_path / "pub")
+        idp, idmgr, pub, sub = build_world()
+        pub.set_gkm_strategy("bucketed", 4)
+        store = PublisherPersistence.attach(pub_dir, pub, sync=False)
+        transport = InMemoryTransport()
+        _register_everyone(idp, idmgr, pub, sub, transport)
+        store.snapshot_now()
+        store.close()
+
+        _, _, pub2, _ = build_world()  # default: dense
+        assert pub2.gkm == "dense"
+        store2 = PublisherPersistence.attach(pub_dir, pub2, sync=False)
+        assert store2.recovered
+        assert pub2.gkm == "bucketed"
+        assert pub2.gkm_bucket_size == 4
+        package = pub2.publish(DOC)
+        assert any(
+            isinstance(header.acv, BucketedHeader)
+            for header in package.headers
+            if header.acv is not None
+        )
+        store2.close()
+
+    def test_runtime_strategy_switch_survives_crash_before_snapshot(
+        self, tmp_path
+    ):
+        """set_gkm_strategy on an attached publisher is journaled: a crash
+        before the next compaction snapshot must not roll the recovered
+        publisher back to the strategy of the stale snapshot."""
+        pub_dir = str(tmp_path / "pub")
+        idp, idmgr, pub, sub = build_world()
+        store = PublisherPersistence.attach(pub_dir, pub, sync=False)
+        assert pub.gkm == "dense"  # snapshotted dense at attach
+        pub.set_gkm_strategy("bucketed", 4)  # runtime switch, WAL only
+        store.close()
+
+        _, _, pub2, _ = build_world()
+        store2 = PublisherPersistence.attach(pub_dir, pub2, sync=False)
+        assert pub2.gkm == "bucketed"
+        assert pub2.gkm_bucket_size == 4
+        store2.close()
+
     def test_idmgr_registry_and_key_survive(self, tmp_path):
         idm_dir = str(tmp_path / "idmgr")
         idp, idmgr, pub, sub = build_world()

@@ -15,6 +15,7 @@ from repro.store.snapshots import (
     CssExtractedRecord,
     CssInstalledRecord,
     EpochAdvancedRecord,
+    GkmStrategyChangedRecord,
     IdMgrSnapshot,
     PublisherSnapshot,
     SubscriberSnapshot,
@@ -46,6 +47,14 @@ def _samples():
             policies=tuple(pub.policies),
             table=pub.table.rows(),
         ),
+        PublisherSnapshot(
+            name=pub.name,
+            epoch=7,
+            policies=tuple(pub.policies),
+            table=pub.table.rows(),
+            gkm="bucketed",
+            gkm_bucket_size=8,
+        ),
         SubscriberSnapshot(
             nym=sub.nym,
             wallet=tuple((w.token.to_bytes(), w.x, w.r) for w in wallet),
@@ -60,6 +69,8 @@ def _samples():
         TokenHeldRecord(token_raw=wallet[0].token.to_bytes(),
                         x=wallet[0].x, r=wallet[0].r),
         CssExtractedRecord(condition_key="level >= 50", css=b"t" * 16),
+        GkmStrategyChangedRecord(gkm="bucketed", gkm_bucket_size=4),
+        GkmStrategyChangedRecord(gkm="dense", gkm_bucket_size=0),
     ]
 
 
@@ -109,6 +120,18 @@ def test_unknown_type_id_raises(group):
         decode_state(200, b"", group)
 
 
+def test_unknown_gkm_strategy_in_snapshot_raises(group):
+    snapshot = next(
+        s for s in SAMPLES
+        if isinstance(s, PublisherSnapshot) and s.gkm == "dense"
+    )
+    raw = snapshot.to_bytes()
+    # "dense" -> "densa": still a valid string, not a valid strategy.
+    mangled = raw.replace(b"dense", b"densa")
+    with pytest.raises(SerializationError, match="GKM strategy"):
+        PublisherSnapshot.from_payload(mangled, group)
+
+
 def test_type_ids_are_unique_and_stable():
     ids = [cls.TYPE_ID for cls in STORE_RECORD_TYPES.values()]
     assert len(ids) == len(set(ids))
@@ -125,7 +148,7 @@ def test_type_ids_are_unique_and_stable():
 
 
 def test_subscriber_snapshot_decodes_tokens(group):
-    snapshot = SAMPLES[2]
+    snapshot = next(s for s in SAMPLES if isinstance(s, SubscriberSnapshot))
     tokens = snapshot.tokens(group)
     assert [t.tag for t, _, _ in tokens] == ["level", "role"]
     assert all(t.nym == snapshot.nym for t, _, _ in tokens)
