@@ -36,34 +36,60 @@ Quickstart::
 See ``examples/`` for complete scenarios and DESIGN.md for the system map.
 """
 
-from repro.documents import BroadcastPackage, Document, Subdocument, document_from_xml
-from repro.gkm import AcvBgkm, AcvHeader, BucketedAcvBgkm
-from repro.groups import default_group, get_group, list_groups
-from repro.ocbe import OCBESetup, run_ocbe
-from repro.policy import (
-    AccessControlPolicy,
-    AttributeCondition,
-    PolicyConfiguration,
-    parse_condition,
-    parse_policy,
-)
-from repro.system import (
-    DisseminationService,
-    IdentityManager,
-    IdentityManagerEndpoint,
-    IdentityProvider,
-    InMemoryTransport,
-    Publisher,
-    Subscriber,
-    SubscriberClient,
-    Transport,
-    register_all_attributes,
-    register_for_attribute,
-    run_until_idle,
-)
-from repro.wire import decode_message, encode_message
+import importlib
 
 __version__ = "1.0.0"
+
+# Lazy (PEP 562) exports, like :mod:`repro.net`: importing any one
+# subsystem must not drag in the others.  This is a hard requirement for
+# the federation tier -- a relay OS process imports ``repro.net.relay``
+# and its keyless claim is pinned as an import boundary (it never loads
+# crypto, GKM, policy or publisher modules), which only holds if the
+# package root stays side-effect free.  ``from repro import X`` and
+# ``repro.X`` still resolve exactly as before, on first touch.
+_EXPORTS = {
+    "BroadcastPackage": "repro.documents",
+    "Document": "repro.documents",
+    "Subdocument": "repro.documents",
+    "document_from_xml": "repro.documents",
+    "AcvBgkm": "repro.gkm",
+    "AcvHeader": "repro.gkm",
+    "BucketedAcvBgkm": "repro.gkm",
+    "default_group": "repro.groups",
+    "get_group": "repro.groups",
+    "list_groups": "repro.groups",
+    "OCBESetup": "repro.ocbe",
+    "run_ocbe": "repro.ocbe",
+    "AccessControlPolicy": "repro.policy",
+    "AttributeCondition": "repro.policy",
+    "PolicyConfiguration": "repro.policy",
+    "parse_condition": "repro.policy",
+    "parse_policy": "repro.policy",
+    "DisseminationService": "repro.system",
+    "IdentityManager": "repro.system",
+    "IdentityManagerEndpoint": "repro.system",
+    "IdentityProvider": "repro.system",
+    "InMemoryTransport": "repro.system",
+    "Publisher": "repro.system",
+    "Subscriber": "repro.system",
+    "SubscriberClient": "repro.system",
+    "Transport": "repro.system",
+    "register_all_attributes": "repro.system",
+    "register_for_attribute": "repro.system",
+    "run_until_idle": "repro.system",
+    "decode_message": "repro.wire",
+    "encode_message": "repro.wire",
+}
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        return getattr(importlib.import_module(_EXPORTS[name]), name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
 
 __all__ = [
     "__version__",

@@ -145,6 +145,16 @@ class NetworkError(SystemError_):
     broker unreachable, or a peer closed the connection)."""
 
 
+class SlowConsumerError(NetworkError):
+    """A connection's outbound backlog exceeded its bound.
+
+    The broker/relay slow-consumer policy: rather than queue without
+    limit for a downstream that has stopped reading, the server
+    disconnects the connection, counts the event (surfaced in
+    ``StatsReply.counters``), and lets the entity's traffic fall back to
+    its bounded offline inbox at the root."""
+
+
 class RegistrationError(SystemError_):
     """Identity-token registration was rejected by the publisher."""
 

@@ -21,8 +21,10 @@ from repro.load.invariants import (
     REGISTRATION_KINDS,
     check_bucket_layout,
     check_bucketed_package,
+    check_exact_delivery,
     check_members,
     check_rekey_window,
+    check_relay_hops,
     expected_plaintexts,
 )
 from repro.load.metrics import LoadReport, MetricsCollector, PhaseMetrics
@@ -33,6 +35,7 @@ from repro.load.scenarios import (
     churn_scenario,
     feed_publisher,
     smoke_scenario,
+    with_relays,
 )
 from repro.load.spec import (
     AttributeSpec,
@@ -41,6 +44,7 @@ from repro.load.spec import (
     PhaseSpec,
     PolicySpec,
     PublisherSpec,
+    RelaySpec,
     churn_phases,
     load_scenario_file,
     save_scenario_file,
@@ -59,12 +63,15 @@ __all__ = [
     "PolicySpec",
     "PublisherSpec",
     "REGISTRATION_KINDS",
+    "RelaySpec",
     "bucketed",
     "builtin_scenario",
     "check_bucket_layout",
     "check_bucketed_package",
+    "check_exact_delivery",
     "check_members",
     "check_rekey_window",
+    "check_relay_hops",
     "churn_phases",
     "churn_scenario",
     "expected_plaintexts",
@@ -73,4 +80,5 @@ __all__ = [
     "run_scenario",
     "save_scenario_file",
     "smoke_scenario",
+    "with_relays",
 ]

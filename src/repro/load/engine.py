@@ -109,6 +109,12 @@ class LoadEngine:
             raise LoadScenarioError("driver must be one of %s" % (DRIVERS,))
         if broker not in BROKERS:
             raise LoadScenarioError("broker must be one of %s" % (BROKERS,))
+        if scenario.topology and driver != "tcp":
+            raise LoadScenarioError(
+                "scenario %r declares a relay topology; only the tcp driver "
+                "can deploy one (relays are real OS processes)"
+                % scenario.name
+            )
         self.scenario = scenario
         self.driver = driver
         self.broker_mode = broker
@@ -129,6 +135,11 @@ class LoadEngine:
         self._schedule_rng = random.Random("%s/schedule" % scenario.seed)
         self._user_counter = 0
         self._join_counter = 0
+        self._attach_counter = 0
+        #: Relay name -> bound (host, port), in topology (= spawn) order.
+        self._relay_endpoints: Dict[str, tuple] = {}
+        #: Leaf relays' endpoints; members attach round-robin across them.
+        self._leaf_relays: List[tuple] = []
         self._started = False
         self._closed = False
         self._broker_thread = None
@@ -142,6 +153,10 @@ class LoadEngine:
         #: ``(publisher name, BroadcastPackage)`` of the most recent rekey
         #: window (what the bucket-layout invariant inspects).
         self.last_rekey_packages: list = []
+        #: Relay name -> (before, after) local-stats samples bracketing
+        #: the most recent *globally quiet* rekey window (what the
+        #: per-hop invariants inspect; empty without a relay topology).
+        self.last_rekey_relay_stats: Dict[str, tuple] = {}
         #: Wall time spent inside ``service.publish`` during the most
         #: recent rekey window -- the publisher-side matrix-build cost,
         #: isolated from settling/delivery (the number the dense-vs-
@@ -217,7 +232,65 @@ class LoadEngine:
         else:
             self._broker_thread = BrokerThread()
             host, port = self._broker_thread.endpoint
+        if self.scenario.topology:
+            self._spawn_relays(host, port)
         return TcpTransport(host, port, timeout=self.timeout)
+
+    def _spawn_relays(self, root_host: str, root_port: int) -> None:
+        """Bring up the scenario's relay tree as chained OS processes.
+
+        Topology order is spawn order (``validate`` guarantees upstreams
+        come first), and each child's ``--port-file`` resolves the
+        ephemeral port the next child's ``--upstream`` needs.  Relays
+        are always separate processes, whatever the broker mode: the
+        keyless-distribution claim is only honest across a process
+        boundary.
+        """
+        from repro.net._cli import parse_endpoint
+        from repro.net.runtime import ProcessSupervisor, wait_for_file
+
+        if self._supervisor is None:
+            self._supervisor = ProcessSupervisor()
+        for relay in self.scenario.topology:
+            if relay.upstream is None:
+                upstream = (root_host, root_port)
+            else:
+                upstream = self._relay_endpoints[relay.upstream]
+            port_file = os.path.join(
+                self.data_root, "relay-%s.port" % relay.name
+            )
+            self._supervisor.spawn_module(
+                "repro.net.relay",
+                "--relay-id", relay.name,
+                "--upstream", "%s:%d" % upstream,
+                "--port", "0",
+                "--port-file", port_file,
+                name="relay-%s" % relay.name,
+            )
+            self._relay_endpoints[relay.name] = parse_endpoint(
+                wait_for_file(port_file, timeout=self.timeout).strip()
+            )
+        upstreams = {
+            relay.upstream for relay in self.scenario.topology
+            if relay.upstream is not None
+        }
+        self._leaf_relays = [
+            self._relay_endpoints[relay.name]
+            for relay in self.scenario.topology
+            if relay.name not in upstreams
+        ]
+
+    def _sample_relays(self) -> Dict[str, object]:
+        """One local-stats probe per relay (monitor path, no name-table
+        impact); empty without a topology."""
+        if not self._relay_endpoints:
+            return {}
+        from repro.net.relay import request_local_stats
+
+        return {
+            name: request_local_stats(host, port, timeout=self.timeout)
+            for name, (host, port) in self._relay_endpoints.items()
+        }
 
     def close(self) -> None:
         if self._closed:
@@ -338,6 +411,14 @@ class LoadEngine:
         member.persistence = SubscriberPersistence.attach(
             member.data_dir, subscriber, sync=False
         )
+        if self._leaf_relays:
+            # Round-robin across leaf relays, before the client's first
+            # connect; the attach point sticks across flap reconnects.
+            host, port = self._leaf_relays[
+                self._attach_counter % len(self._leaf_relays)
+            ]
+            self._attach_counter += 1
+            self.transport.set_attach_point(nym, host, port)
         member.client = SubscriberClient(
             subscriber,
             self.transport,
@@ -486,6 +567,19 @@ class LoadEngine:
         }
         for member in chosen:
             self._kill(member)
+        if self._relay_endpoints:
+            # A killed member's RelayDetach must reach the root *before*
+            # the down-window rekey: a multicast racing the detach would
+            # still be fanned toward the dead connection (at-most-once,
+            # like any in-flight frame) instead of queueing in the root
+            # inbox the comeback drains.  The root's relay_entities
+            # counter hitting the live population is that barrier.
+            expected = len(self.alive_members())
+            self._settle(
+                lambda: self.transport.stats().counter("relay_entities")
+                == expected,
+                quiet=False,
+            )
         # Rekey while they are down: the remaining members must keep
         # deriving, and the missed broadcast queues for the comeback.
         # Global quiescence is unreachable (their frames are parked), so
@@ -521,6 +615,10 @@ class LoadEngine:
 
     def _rekey(self, quiet: bool = True, repeat: int = 1) -> None:
         mark = self._accounting_mark()
+        # Per-hop counters are only meaningful over a *quiet* window (a
+        # non-quiet one may still have multicasts in flight toward a
+        # relay whose only members are down).
+        relay_mark = self._sample_relays() if quiet else {}
         publishes = 0
         # Latest package per (publisher, document): a repeat>1 broadcast
         # re-publishes under fresh keys, and publisher.last_keys (which
@@ -549,6 +647,13 @@ class LoadEngine:
         )
         self.last_rekey_records = self._records_since(mark)
         self.last_rekey_broadcasts = publishes
+        if relay_mark:
+            after = self._sample_relays()
+            self.last_rekey_relay_stats = {
+                name: (relay_mark[name], after[name]) for name in relay_mark
+            }
+        else:
+            self.last_rekey_relay_stats = {}
 
     # -- running ------------------------------------------------------------------
 
@@ -581,6 +686,8 @@ class LoadEngine:
         )
         invariants.check_members(self, context=label)
         invariants.check_bucket_layout(self, context=label)
+        invariants.check_exact_delivery(self, context=label)
+        invariants.check_relay_hops(self, context=label)
         epochs_after = sum(
             service.publisher.epoch for service in self.services.values()
         )
@@ -616,6 +723,7 @@ class LoadEngine:
                 "members_alive": len(self.alive_members()),
                 "members_revoked": self.revoked_count(),
                 "broker": self.broker_mode if self.driver == "tcp" else None,
+                "relays": len(self.scenario.topology),
             },
         )
         return report

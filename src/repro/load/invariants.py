@@ -18,6 +18,14 @@ invariants, straight from the paper's claims:
   the right capacity, every qualified row deriving the configuration
   key from exactly its row-order bucket, and no foreign bucket (e.g. a
   stale pre-revocation one) deriving it.
+* **exactly-once delivery** -- every live member received each broadcast
+  package exactly once (a relay tree that looped or replayed would
+  over-deliver; one that dropped would under-deliver).
+* **per-hop relay invariants** (relay topology only) -- across the rekey
+  window every relay forwarded each multicast exactly once and routed
+  **zero unicast frames downward**: the distribution tier adds no
+  per-member traffic to a rekey at any depth, which is the paper's
+  O(l'N)-broadcast claim surviving federation.
 
 Violations raise :class:`repro.errors.InvariantViolation` with enough
 context to debug the phase; they are never warnings.
@@ -37,8 +45,10 @@ __all__ = [
     "REGISTRATION_KINDS",
     "check_bucket_layout",
     "check_bucketed_package",
+    "check_exact_delivery",
     "check_members",
     "check_rekey_window",
+    "check_relay_hops",
     "expected_plaintexts",
 ]
 
@@ -144,6 +154,73 @@ def check_members(engine, context: str) -> None:
                 "%s: revoked member %s still has CSS table rows"
                 % (context, member.user)
             )
+
+
+def check_exact_delivery(engine, context: str) -> None:
+    """Every live member holds each owed broadcast package exactly once.
+
+    The engine settles on ``>=`` (packages arrived); equality on top of
+    that is the duplicate detector -- a relay tree that replayed a
+    multicast, or routed it to a member along two paths, shows up here
+    as an over-count even though every plaintext still decrypts.
+    """
+    for member in engine.alive_members():
+        received = len(member.client.packages)
+        if received != member.expected_packages:
+            raise InvariantViolation(
+                "%s: member %s received %d broadcast packages, owed exactly "
+                "%d (%s)"
+                % (context, member.user, received, member.expected_packages,
+                   "duplicates" if received > member.expected_packages
+                   else "losses")
+            )
+
+
+def check_relay_hops(engine, context: str) -> None:
+    """Per-hop invariants over the last (globally quiet) rekey window.
+
+    ``engine.last_rekey_relay_stats`` maps relay name to its local
+    ``(before, after)`` :class:`~repro.net.protocol.StatsReply` samples
+    bracketing the window.  Asserted per relay, per window:
+
+    * ``unicast_down`` unchanged -- a rekey pushes **zero** targeted
+      frames through any hop (join/flap phases legitimately route
+      unicast; the rekey window itself never does);
+    * ``broadcasts_down`` grew by exactly the window's publish count --
+      each multicast crossed the hop exactly once;
+    * ``dupes_dropped``, ``bounced_up`` and ``slow_consumer_disconnects``
+      unchanged -- a healthy tree neither replays, misroutes, nor sheds
+      load during a rekey.
+    """
+    samples = getattr(engine, "last_rekey_relay_stats", {})
+    expected = engine.last_rekey_broadcasts
+    for name, (before, after) in samples.items():
+        deltas = {
+            counter: after.counter(counter) - before.counter(counter)
+            for counter in (
+                "unicast_down", "broadcasts_down", "dupes_dropped",
+                "bounced_up", "slow_consumer_disconnects",
+            )
+        }
+        if deltas["unicast_down"] != 0:
+            raise InvariantViolation(
+                "%s: relay %r routed %d unicast frames downward during a "
+                "rekey window; rekeying must be broadcast-only at every hop"
+                % (context, name, deltas["unicast_down"])
+            )
+        if deltas["broadcasts_down"] != expected:
+            raise InvariantViolation(
+                "%s: relay %r accepted %d multicasts during a rekey window "
+                "of %d publishes (each must cross each hop exactly once)"
+                % (context, name, deltas["broadcasts_down"], expected)
+            )
+        for counter in ("dupes_dropped", "bounced_up",
+                        "slow_consumer_disconnects"):
+            if deltas[counter] != 0:
+                raise InvariantViolation(
+                    "%s: relay %r counted %d %s during a rekey window"
+                    % (context, name, deltas[counter], counter)
+                )
 
 
 def check_bucketed_package(publisher, package, context: str) -> None:

@@ -19,6 +19,7 @@ from repro.load.spec import (
     PhaseSpec,
     PolicySpec,
     PublisherSpec,
+    RelaySpec,
 )
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "churn_scenario",
     "feed_publisher",
     "smoke_scenario",
+    "with_relays",
 ]
 
 
@@ -126,11 +128,43 @@ def bucketed(scenario: LoadScenario, bucket_size: int = 0) -> LoadScenario:
     ).validate()
 
 
+def with_relays(scenario: LoadScenario, depth: int) -> LoadScenario:
+    """The same experiment behind a ``depth``-deep relay chain.
+
+    ``relay1`` hangs off the root broker, ``relay2`` off ``relay1`` and
+    so on.  A chain has a single leaf, so every subscriber attaches at
+    the deepest relay and every frame rides the full depth -- the worst
+    case the per-hop invariants and the fan-out benchmark exist to
+    stress.  Only the topology knob (and a ``-relayN`` name suffix)
+    changes: same seed, population and phases, so delivered plaintexts
+    must be byte-identical to the single-broker run.  TCP driver only.
+    """
+    if depth < 1:
+        raise InvalidParameterError("relay depth must be >= 1")
+    relays = []
+    for index in range(depth):
+        relays.append(
+            RelaySpec(
+                name="relay%d" % (index + 1),
+                upstream=None if index == 0 else "relay%d" % index,
+            )
+        )
+    return replace(
+        scenario,
+        name="%s-relay%d" % (scenario.name, depth),
+        topology=tuple(relays),
+    ).validate()
+
+
 BUILTIN_SCENARIOS = {
     "smoke": smoke_scenario,
     "churn": churn_scenario,
     "smoke-bucketed": lambda: bucketed(smoke_scenario()),
     "churn-bucketed": lambda: bucketed(churn_scenario()),
+    # The federation smokes: the same populations behind a relay chain
+    # (TCP driver required -- relays are real OS processes).
+    "smoke-relay": lambda: with_relays(smoke_scenario(), 2),
+    "churn-relay": lambda: with_relays(churn_scenario(), 3),
 }
 
 

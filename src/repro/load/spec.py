@@ -45,6 +45,7 @@ __all__ = [
     "PhaseSpec",
     "PolicySpec",
     "PublisherSpec",
+    "RelaySpec",
     "churn_phases",
     "load_scenario_file",
     "save_scenario_file",
@@ -199,6 +200,23 @@ class PublisherSpec:
 
 
 @dataclass(frozen=True)
+class RelaySpec:
+    """One node of the relay fan-out tree (:mod:`repro.net.relay`).
+
+    ``upstream`` names an **earlier** relay in the scenario's topology
+    list, or ``None`` for the root broker -- so a valid topology is a
+    tree by construction, and its declaration order is a valid spawn
+    order for the supervisor.
+    """
+
+    name: str
+    upstream: Optional[str] = None
+
+    def validate(self) -> None:
+        _require_name("relay name", self.name)
+
+
+@dataclass(frozen=True)
 class PhaseSpec:
     """One step of the scenario script.
 
@@ -263,6 +281,11 @@ class LoadScenario:
     #: Fixed rows-per-bucket for the bucketed strategy; 0 = the auto
     #: ceil(sqrt(m)) policy.
     gkm_bucket_size: int = 0
+    #: The relay fan-out tree the run deploys (TCP driver only; empty =
+    #: the classic single-broker topology).  Subscribers attach
+    #: round-robin across the tree's *leaf* relays; publishers and the
+    #: IdMgr stay at the root.
+    topology: Tuple[RelaySpec, ...] = ()
 
     # -- validation --------------------------------------------------------
 
@@ -308,6 +331,20 @@ class LoadScenario:
                         "document %r appears in publishers %r and %r"
                         % (document.name, owner, publisher.name)
                     )
+        seen_relays: List[str] = []
+        for relay in self.topology:
+            relay.validate()
+            if relay.name in seen_relays:
+                raise InvalidParameterError(
+                    "duplicate relay name %r" % relay.name
+                )
+            if relay.upstream is not None and relay.upstream not in seen_relays:
+                raise InvalidParameterError(
+                    "relay %r names upstream %r, which is not an earlier "
+                    "relay in the topology (None means the root broker)"
+                    % (relay.name, relay.upstream)
+                )
+            seen_relays.append(relay.name)
         if not self.phases:
             raise InvalidParameterError("scenario needs at least one phase")
         if self.phases[0].kind != "join":
@@ -373,6 +410,10 @@ class LoadScenario:
                 }
                 for phase in self.phases
             ],
+            "topology": [
+                {"name": relay.name, "upstream": relay.upstream}
+                for relay in self.topology
+            ],
         }
 
     @classmethod
@@ -409,11 +450,18 @@ class LoadScenario:
                 )
                 for phase in payload["phases"]
             )
+            topology = tuple(
+                RelaySpec(
+                    name=relay["name"], upstream=relay.get("upstream")
+                )
+                for relay in payload.get("topology", [])
+            )
             scenario = cls(
                 name=payload["name"],
                 seed=payload["seed"],
                 publishers=publishers,
                 phases=phases,
+                topology=topology,
                 group=payload.get("group", "nist-p192"),
                 gkm_field=payload.get("gkm_field", "fast"),
                 gkm=payload.get("gkm", "dense"),

@@ -3,13 +3,19 @@
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import threading
 from typing import Tuple
 
 from repro.errors import InvalidParameterError
 
-__all__ = ["add_common_arguments", "install_stop_signals", "parse_endpoint"]
+__all__ = [
+    "add_common_arguments",
+    "install_stop_signals",
+    "parse_endpoint",
+    "write_port_file",
+]
 
 
 def parse_endpoint(text: str) -> Tuple[str, int]:
@@ -18,6 +24,16 @@ def parse_endpoint(text: str) -> Tuple[str, int]:
     if not sep or not port.isdigit():
         raise InvalidParameterError("endpoint must be host:port, got %r" % text)
     return host, int(port)
+
+
+def write_port_file(path: str, host: str, port: int) -> None:
+    """Atomically publish a server's bound endpoint (readers poll for the
+    file) -- the ``--port 0``/``--port-file`` contract of both the broker
+    and relay CLIs."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write("%s:%d\n" % (host, port))
+    os.replace(tmp, path)
 
 
 def add_common_arguments(parser: argparse.ArgumentParser) -> None:

@@ -52,6 +52,8 @@ __all__ = [
     "conditions_per_attribute",
     "expected_registrations",
     "load_scenario",
+    "relay_for_entity",
+    "relay_specs",
     "publisher_for_user",
     "publisher_specs",
     "read_bundle",
@@ -91,6 +93,7 @@ def load_scenario(path: str) -> dict:
     scenario.setdefault("documents", [])
     scenario.setdefault("revoke", [])
     scenario.setdefault("assignments", {})
+    scenario.setdefault("topology", {})
     if scenario["gkm_field"] not in _GKM_FIELDS:
         raise InvalidParameterError(
             "gkm_field must be one of %s" % sorted(_GKM_FIELDS)
@@ -114,6 +117,12 @@ def load_scenario(path: str) -> dict:
         if name not in names:
             raise InvalidParameterError(
                 "user %r assigned to unknown publisher %r" % (user, name)
+            )
+    relay_names = {spec["name"] for spec in relay_specs(scenario)}
+    for entity, relay in scenario["topology"].get("attach", {}).items():
+        if relay not in relay_names:
+            raise InvalidParameterError(
+                "entity %r attached to unknown relay %r" % (entity, relay)
             )
     return scenario
 
@@ -139,6 +148,52 @@ def publisher_specs(scenario: dict) -> List[dict]:
             specs.append(spec)
         return specs
     return [{"name": scenario["publisher"], "policies": scenario["policies"]}]
+
+
+def relay_specs(scenario: dict) -> List[dict]:
+    """The normalized relay tree: ``[{"name": ..., "upstream": ...}, ...]``.
+
+    The optional scenario section ``topology`` describes the broker
+    federation::
+
+        "topology": {
+            "relays": [{"name": "r1"}, {"name": "r2", "upstream": "r1"}],
+            "attach": {"alice": "r2"}
+        }
+
+    ``upstream`` names an **earlier** relay in the list (omitted or null
+    means the root broker), so a well-formed spec is a tree by
+    construction -- the same declaration order a supervisor must spawn
+    the processes in.  ``attach`` maps entity names to the relay they
+    connect through; unlisted entities connect to the root directly.
+    Entirely optional: no ``topology`` section means the classic
+    single-broker deployment.
+    """
+    topology = scenario.get("topology") or {}
+    relays = topology.get("relays", [])
+    seen: List[str] = []
+    specs: List[dict] = []
+    for spec in relays:
+        if "name" not in spec:
+            raise InvalidParameterError("relay spec is missing 'name'")
+        name = spec["name"]
+        if name in seen:
+            raise InvalidParameterError("duplicate relay name %r" % name)
+        upstream = spec.get("upstream")
+        if upstream is not None and upstream not in seen:
+            raise InvalidParameterError(
+                "relay %r names upstream %r, which is not an earlier relay "
+                "in the list (the root broker is the implicit default)"
+                % (name, upstream)
+            )
+        seen.append(name)
+        specs.append({"name": name, "upstream": upstream})
+    return specs
+
+
+def relay_for_entity(scenario: dict, entity: str) -> Optional[str]:
+    """The relay ``entity`` attaches through, or None for the root."""
+    return scenario.get("topology", {}).get("attach", {}).get(entity)
 
 
 def _publisher_spec(scenario: dict, name: Optional[str]) -> dict:

@@ -26,11 +26,29 @@ Disconnection keeps the entity's inbox: a reconnecting entity drains the
 backlog.  Deliveries pushed but unacked at disconnect time are forgotten
 (at-most-once delivery); per-entity inboxes are bounded by ``max_inbox``
 (oldest dropped first), so hostile or dead peers cannot grow broker
-memory without bound.
+memory without bound.  A *connected* peer that stops reading trips the
+slow-consumer policy instead: once its outbound backlog crosses the
+bound the broker disconnects it and counts the event
+(``slow_consumer_disconnects`` in stats), converting the stall into the
+already-bounded offline case.
+
+Relay federation: a connection may open with ``RelayHello`` instead of
+``Hello``, binding it as a downstream *relay link* (see
+:mod:`repro.net.relay`).  The root broker stays the single authority --
+entities below relays are admitted through ``RelayAttach`` against the
+same global name table, every frame a relay forwards up is routed and
+accounted here exactly as if the entity were directly connected, and
+broadcasts go down each relay link as one ``RelayBroadcast`` carrying a
+root-assigned sequence id for per-hop dedup.  Relays never receive key
+material: the link carries only opaque routed payloads.
 
 Run standalone::
 
     python -m repro.net.broker --port 7812 [--port-file PATH]
+
+With ``--port 0`` the bound endpoint is printed on stdout as a
+machine-parseable ``ENDPOINT host:port`` line (and optionally written to
+``--port-file``), so supervisors can chain processes without port races.
 """
 
 from __future__ import annotations
@@ -38,19 +56,29 @@ from __future__ import annotations
 import argparse
 import asyncio
 import logging
-import os
 import signal
 import sys
-from typing import Dict, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, Optional, Set, Tuple, Union
 
 from repro.errors import NetworkError, ReproError, SerializationError
+from repro.net._cli import write_port_file
 from repro.net.protocol import (
     ENVELOPE_OVERHEAD,
+    MAX_NAME_LEN,
     Ack,
     Hello,
     NetBroadcast,
     NetDeliver,
     NetMessage,
+    RelayAttach,
+    RelayAttachReply,
+    RelayBroadcast,
+    RelayDetach,
+    RelayHello,
+    RelayStatsReply,
+    RelayStatsRequest,
+    RelayWelcome,
     Shutdown,
     StatsReply,
     StatsRequest,
@@ -59,7 +87,7 @@ from repro.net.protocol import (
     decode_net_payload,
 )
 from repro.net.stream import FrameStream
-from repro.system.transport import BROADCAST, InMemoryTransport
+from repro.system.transport import BROADCAST, Delivery, InMemoryTransport
 from repro.wire.codec import DEFAULT_MAX_FRAME_PAYLOAD
 
 __all__ = ["BrokerServer", "main"]
@@ -85,6 +113,40 @@ class _Connection:
         self.pusher: Optional[asyncio.Task] = None
 
 
+class _RelayLink:
+    """Broker-side state for one downstream relay connection.
+
+    Unlike a leaf :class:`_Connection` (which drains a router inbox), a
+    relay link has its own bounded outbound queue: frames for *many*
+    entities share it, and overflow means the relay process itself has
+    stalled -- the slow-consumer policy drops the whole link rather than
+    queue without bound.
+    """
+
+    __slots__ = (
+        "relay_id", "stream", "outbound", "wake", "in_flight",
+        "sender_task", "entities", "closed",
+    )
+
+    def __init__(self, relay_id: str, stream: FrameStream):
+        self.relay_id = relay_id
+        self.stream = stream
+        #: (message, counted) pairs awaiting transmission.  ``counted``
+        #: marks routed units that participate in quiescence accounting
+        #: (NetDeliver/RelayBroadcast); control replies are uncounted.
+        self.outbound: Deque[Tuple[NetMessage, bool]] = deque()
+        self.wake = asyncio.Event()
+        #: Counted units queued/sent down this link but not yet acked by
+        #: the relay (which acks only once its whole subtree processed
+        #: them) -- incremented at *queue* time so a frame is never in
+        #: neither ``pending`` nor ``in_flight``.
+        self.in_flight = 0
+        self.sender_task: Optional[asyncio.Task] = None
+        #: Entity names attached below this link (global table mirror).
+        self.entities: Set[str] = set()
+        self.closed = False
+
+
 async def _send(stream: FrameStream, message: NetMessage) -> None:
     await stream.send(message.TYPE_ID, message.payload_bytes())
 
@@ -102,6 +164,8 @@ class BrokerServer:
         max_entities: int = 10_000,
         handshake_timeout: float = 10.0,
         max_log: int = 100_000,
+        max_backlog: int = 10_000,
+        max_relays: int = 256,
     ):
         self.host = host
         self.port = port  # updated to the bound port by start()
@@ -121,12 +185,27 @@ class BrokerServer:
         #: oldest records (flagged via ``log_complete=False`` in stats)
         #: rather than growing per-delivery state forever.
         self.max_log = max_log
+        #: Slow-consumer policy: a connected peer whose outbound backlog
+        #: (inbox for leaves, link queue for relays) crosses this bound
+        #: is disconnected and counted, never queued for without limit.
+        self.max_backlog = max_backlog
+        #: Bound on simultaneously connected downstream relay links.
+        self.max_relays = max_relays
         #: Routing + accounting: the same router the in-process tests use.
         self.route = InMemoryTransport()
         self.delivered_total = 0
         self.dropped_total = 0
+        self.slow_consumer_disconnects = 0
+        self.relay_broadcasts_down = 0
+        self.bounced_requeues = 0
+        self._broadcast_seq = 0
         self._log_trimmed = False
         self._connections: Dict[str, _Connection] = {}
+        self._relays: Dict[str, _RelayLink] = {}
+        #: Entity name -> the relay link it is attached below.  A name in
+        #: this table is live (refused at Hello/RelayAttach) and its
+        #: root-side inbox stays empty: traffic routes down the link.
+        self._via_relay: Dict[str, _RelayLink] = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown = asyncio.Event()
 
@@ -163,6 +242,13 @@ class BrokerServer:
                 conn.pusher.cancel()
             await conn.stream.aclose()
         self._connections.clear()
+        for link in list(self._relays.values()):
+            link.closed = True
+            if link.sender_task is not None:
+                link.sender_task.cancel()
+            await link.stream.aclose()
+        self._relays.clear()
+        self._via_relay.clear()
 
     # -- per-connection handling ---------------------------------------------
 
@@ -174,13 +260,19 @@ class BrokerServer:
         # separately in _require_payload.
         stream = FrameStream(reader, writer, self.max_frame + ENVELOPE_OVERHEAD)
         conn: Optional[_Connection] = None
+        link: Optional[_RelayLink] = None
         try:
-            conn = await asyncio.wait_for(
+            peer = await asyncio.wait_for(
                 self._handshake(stream), self.handshake_timeout
             )
-            if conn is None:
+            if peer is None:
                 return
-            await self._read_loop(conn)
+            if isinstance(peer, _RelayLink):
+                link = peer
+                await self._relay_read_loop(link)
+            else:
+                conn = peer
+                await self._read_loop(conn)
         except asyncio.TimeoutError:
             logger.warning(
                 "dropping connection %s: no Hello within %.1fs",
@@ -189,43 +281,37 @@ class BrokerServer:
         except (ReproError, ConnectionError, OSError) as exc:
             # Hostile/garbage input or a vanished peer: drop this
             # connection, never the broker.
+            who = "pre-hello"
+            if conn is not None:
+                who = conn.entity
+            elif link is not None:
+                who = "relay %s" % link.relay_id
             logger.warning(
                 "dropping connection %s (%s): %s",
-                stream.peername(),
-                conn.entity if conn else "pre-hello",
-                exc,
+                stream.peername(), who, exc,
             )
         finally:
             if conn is not None:
                 self._unregister(conn)
+            if link is not None:
+                self._drop_relay_link(link, "connection closed")
             await stream.aclose()
 
-    async def _handshake(self, stream: FrameStream) -> Optional[_Connection]:
+    async def _handshake(
+        self, stream: FrameStream
+    ) -> Optional[Union[_Connection, _RelayLink]]:
         first = await stream.recv()
         if first is None:
             return None  # connected and left; not an error
         hello = decode_net_payload(*first)
+        if isinstance(hello, RelayHello):
+            return await self._relay_handshake(stream, hello)
         if not isinstance(hello, Hello):
             raise SerializationError(
                 "first frame must be Hello, got %s" % type(hello).__name__
             )
         entity = hello.entity
-        refusal = None
-        if not entity:
-            refusal = "entity name must be non-empty"
-        elif entity == BROADCAST:
-            refusal = "entity name %r is reserved for multicast" % BROADCAST
-        elif entity in self._connections:
-            # Spoof-on-connect: the name is bound to a live connection.
-            refusal = "entity %r is already connected" % entity
-        elif (
-            not self.route.registered(entity)
-            and self.route.entity_count() >= self.max_entities
-        ):
-            # The same bound _admit_entity applies to receivers: inboxes
-            # survive disconnects, so churning Hellos under fresh names
-            # must not mint unbounded broker state either.
-            refusal = "entity bound (%d) reached" % self.max_entities
+        refusal = self._admission_refusal(entity)
         if refusal is not None:
             logger.warning("refusing hello from %s: %s", stream.peername(), refusal)
             await _send(stream, Welcome(ok=False, entity=entity, reason=refusal))
@@ -246,6 +332,79 @@ class BrokerServer:
         logger.info("entity %r connected from %s", entity, stream.peername())
         return conn
 
+    def _admission_refusal(self, entity: str) -> Optional[str]:
+        """Why ``entity`` may not come live now (None = admitted).
+
+        One rule for both admission paths -- direct Hello and
+        RelayAttach forwarded up a relay chain -- so a name can be live
+        on at most one connection anywhere in the federation tree.
+        """
+        if not entity:
+            return "entity name must be non-empty"
+        if len(entity) > MAX_NAME_LEN:
+            return "entity name of %d bytes exceeds %d" % (
+                len(entity), MAX_NAME_LEN,
+            )
+        if entity == BROADCAST:
+            return "entity name %r is reserved for multicast" % BROADCAST
+        if entity in self._connections or entity in self._via_relay:
+            # Spoof-on-connect: the name is bound to a live connection
+            # (directly here, or below some relay).
+            return "entity %r is already connected" % entity
+        if (
+            not self.route.registered(entity)
+            and self.route.entity_count() >= self.max_entities
+        ):
+            # The same bound _admit_entity applies to receivers: inboxes
+            # survive disconnects, so churning Hellos under fresh names
+            # must not mint unbounded broker state either.
+            return "entity bound (%d) reached" % self.max_entities
+        return None
+
+    async def _relay_handshake(
+        self, stream: FrameStream, hello: RelayHello
+    ) -> Optional[_RelayLink]:
+        relay_id = hello.relay_id
+        refusal = None
+        if not relay_id:
+            refusal = "relay id must be non-empty"
+        elif len(relay_id) > MAX_NAME_LEN:
+            refusal = "relay id of %d bytes exceeds %d" % (
+                len(relay_id), MAX_NAME_LEN,
+            )
+        elif relay_id == BROADCAST:
+            refusal = "relay id %r is reserved for multicast" % BROADCAST
+        elif relay_id in self._relays:
+            refusal = "relay %r is already connected" % relay_id
+        elif len(self._relays) >= self.max_relays:
+            refusal = "relay bound (%d) reached" % self.max_relays
+        if refusal is not None:
+            logger.warning(
+                "refusing relay hello from %s: %s", stream.peername(), refusal
+            )
+            await _send(
+                stream,
+                RelayWelcome(ok=False, relay_id=relay_id[:MAX_NAME_LEN],
+                             reason=refusal),
+            )
+            return None
+        link = _RelayLink(relay_id, stream)
+        self._relays[relay_id] = link
+        try:
+            # The root's path is empty: the connecting relay appends
+            # itself to form the path it hands its own downstreams.
+            await _send(stream, RelayWelcome(ok=True, relay_id=relay_id, path=()))
+        except BaseException:
+            self._drop_relay_link(link, "handshake interrupted")
+            raise
+        link.sender_task = asyncio.get_running_loop().create_task(
+            self._link_send_loop(link)
+        )
+        logger.info(
+            "relay %r connected from %s", relay_id, stream.peername()
+        )
+        return link
+
     def _unregister(self, conn: _Connection) -> None:
         if self._connections.get(conn.entity) is conn:
             del self._connections[conn.entity]
@@ -264,34 +423,11 @@ class BrokerServer:
             if isinstance(message, NetDeliver):
                 self._require_sender(conn, message.sender)
                 self._require_payload(message.payload)
-                if message.receiver == BROADCAST:
-                    raise SerializationError(
-                        "unicast frame addressed to %r" % BROADCAST
-                    )
-                if not self._admit_entity(message.receiver):
-                    continue  # over the name bound: accounted as dropped
-                self.route.deliver(
-                    message.sender,
-                    message.receiver,
-                    message.kind,
-                    message.payload,
-                    note=message.note,
-                )
-                self.delivered_total += 1
-                self._trim_inbox(message.receiver)
-                self._kick(message.receiver)
+                self._route_unicast(message)
             elif isinstance(message, NetBroadcast):
                 self._require_sender(conn, message.sender)
                 self._require_payload(message.payload)
-                before = self.route.pending()
-                self.route.broadcast(
-                    message.sender, message.kind, message.payload, note=message.note
-                )
-                self.delivered_total += self.route.pending() - before
-                for entity in self.route.entities():
-                    if entity != message.sender:
-                        self._trim_inbox(entity)
-                        self._kick(entity)
+                self._fan_broadcast(message)
             elif isinstance(message, Ack):
                 conn.in_flight = max(0, conn.in_flight - message.count)
             elif isinstance(message, StatsRequest):
@@ -304,6 +440,280 @@ class BrokerServer:
                 raise SerializationError(
                     "client may not send %s" % type(message).__name__
                 )
+
+    # -- relay links -----------------------------------------------------------
+
+    async def _relay_read_loop(self, link: _RelayLink) -> None:
+        """Dispatch frames a downstream relay forwards up.
+
+        The sender-spoof rule generalizes: a relay may only speak *for*
+        entities attached below it, so ``sender`` must be bound via this
+        very link -- with one deliberate exception.  A ``NetDeliver``
+        whose sender is *not* attached below the link is a **bounce**: a
+        frame this broker routed down that the subtree could no longer
+        deliver (its entity detached while the frame was in flight), now
+        returning behind the ``RelayDetach`` on the same FIFO link.  It
+        is requeued toward the entity's current location *without* a
+        second accounting record -- the bytes were accounted when first
+        routed, and the audit log must stay topology-independent.  (A
+        hostile relay could shape forgeries like bounces; the relay tier
+        is routing infrastructure, trusted exactly as far as the root
+        broker itself is for metadata -- never for content, which stays
+        self-protecting.)  ``RelayBroadcast`` travelling *up* is a
+        protocol violation -- no downstream node may inject multicast
+        traffic.
+        """
+        while True:
+            frame = await link.stream.recv()
+            if frame is None:
+                return
+            message = decode_net_payload(*frame)
+            if isinstance(message, NetDeliver):
+                self._require_payload(message.payload)
+                if self._via_relay.get(message.sender) is link:
+                    self._route_unicast(message)
+                else:
+                    self._requeue_bounced(message)
+            elif isinstance(message, NetBroadcast):
+                self._require_attached(link, message.sender)
+                self._require_payload(message.payload)
+                self._fan_broadcast(message)
+            elif isinstance(message, RelayAttach):
+                self._attach(link, message.entity)
+            elif isinstance(message, RelayDetach):
+                self._detach(link, message.entity)
+            elif isinstance(message, Ack):
+                link.in_flight = max(0, link.in_flight - message.count)
+            elif isinstance(message, RelayStatsRequest):
+                self._route_stats(message)
+            elif isinstance(message, Shutdown):
+                logger.info("shutdown requested via relay %r", link.relay_id)
+                self.shutdown()
+                return
+            else:
+                raise SerializationError(
+                    "relay may not send %s" % type(message).__name__
+                )
+
+    def _require_attached(self, link: _RelayLink, sender: str) -> None:
+        if self._via_relay.get(sender) is not link:
+            raise SerializationError(
+                "relay %r forwarded traffic for unattached sender %r"
+                % (link.relay_id, sender)
+            )
+
+    def _requeue_bounced(self, message: NetDeliver) -> None:
+        """Requeue a frame a subtree returned undeliverable.
+
+        The ``RelayDetach`` that caused the bounce precedes it on the
+        FIFO link, so the stale binding is already gone: the frame goes
+        to the entity's root-side inbox (front -- it predates anything
+        queued since the detach) or down its *new* link if it reattached
+        elsewhere meanwhile.  No accounting, no ``delivered_total``: both
+        were recorded when the frame was first routed.
+        """
+        self.bounced_requeues += 1
+        if not self._admit_entity(message.receiver):
+            return
+        link = self._via_relay.get(message.receiver)
+        if link is not None:
+            self._queue_to_link(link, message, counted=True)
+            return
+        self.route.requeue(
+            message.receiver,
+            [Delivery(sender=message.sender, receiver=message.receiver,
+                      kind=message.kind, payload=message.payload,
+                      note=message.note)],
+        )
+        self._trim_inbox(message.receiver)
+        self._kick(message.receiver)
+
+    def _attach(self, link: _RelayLink, entity: str) -> None:
+        """Admit an entity that said Hello somewhere below ``link``."""
+        refusal = self._admission_refusal(entity)
+        if refusal is not None:
+            logger.warning(
+                "refusing attach of %r via relay %r: %s",
+                entity, link.relay_id, refusal,
+            )
+            self._queue_to_link(
+                link,
+                RelayAttachReply(ok=False, entity=entity[:MAX_NAME_LEN],
+                                 reason=refusal),
+                counted=False,
+            )
+            return
+        self.route.register(entity)
+        self._via_relay[entity] = link
+        link.entities.add(entity)
+        self._queue_to_link(
+            link, RelayAttachReply(ok=True, entity=entity), counted=False
+        )
+        # Flush-on-attach: the offline backlog queued at the root drains
+        # down the link, after the reply (the link queue is FIFO, so the
+        # entity sees Welcome before its backlog -- same order a direct
+        # reconnect observes).
+        for delivery in self.route.poll(entity, None):
+            self._queue_to_link(
+                link,
+                NetDeliver(
+                    sender=delivery.sender,
+                    receiver=delivery.receiver,
+                    kind=delivery.kind,
+                    note=delivery.note,
+                    payload=delivery.payload,
+                ),
+                counted=True,
+            )
+        logger.info("entity %r attached via relay %r", entity, link.relay_id)
+
+    def _detach(self, link: _RelayLink, entity: str) -> None:
+        if self._via_relay.get(entity) is link:
+            del self._via_relay[entity]
+            link.entities.discard(entity)
+            # The inbox survives: traffic for the name queues at the
+            # root again (offline semantics) until it reattaches.
+            logger.info("entity %r detached from relay %r", entity, link.relay_id)
+
+    def _route_stats(self, message: RelayStatsRequest) -> None:
+        link = self._via_relay.get(message.entity)
+        if link is None:
+            return  # raced a detach; nobody is waiting anymore
+        reply = self._stats(message.include_log)
+        self._queue_to_link(
+            link,
+            RelayStatsReply(entity=message.entity, reply=reply.payload_bytes()),
+            counted=False,
+        )
+
+    def _queue_to_link(
+        self, link: _RelayLink, message: NetMessage, counted: bool
+    ) -> bool:
+        """Enqueue one frame down a relay link, enforcing the backlog bound."""
+        if link.closed:
+            return False
+        if len(link.outbound) >= self.max_backlog:
+            self.slow_consumer_disconnects += 1
+            self._drop_relay_link(
+                link,
+                "outbound backlog over %d frames (slow consumer)"
+                % self.max_backlog,
+            )
+            return False
+        link.outbound.append((message, counted))
+        if counted:
+            link.in_flight += 1
+        link.wake.set()
+        return True
+
+    def _drop_relay_link(self, link: _RelayLink, reason: str) -> None:
+        """Tear down a relay link and everything bound through it."""
+        if link.closed:
+            return
+        link.closed = True
+        if self._relays.get(link.relay_id) is link:
+            del self._relays[link.relay_id]
+        for entity in list(link.entities):
+            if self._via_relay.get(entity) is link:
+                del self._via_relay[entity]
+        link.entities.clear()
+        if link.sender_task is not None:
+            link.sender_task.cancel()
+        asyncio.get_running_loop().create_task(link.stream.aclose())
+        logger.warning("dropping relay link %r: %s", link.relay_id, reason)
+
+    async def _link_send_loop(self, link: _RelayLink) -> None:
+        """Drain the link's outbound queue in order.
+
+        At-most-once on link death: unsent frames are dropped with the
+        link -- every entity they address just became unreachable, and
+        its name unbinds back to offline queueing at the root.
+        """
+        while True:
+            await link.wake.wait()
+            link.wake.clear()
+            while link.outbound:
+                message, counted = link.outbound[0]
+                try:
+                    await _send(link.stream, message)
+                except SerializationError:
+                    if counted:
+                        link.in_flight = max(0, link.in_flight - 1)
+                    self.dropped_total += 1
+                    logger.warning(
+                        "dropping undeliverable frame for relay %r "
+                        "(envelope over the cap)", link.relay_id,
+                    )
+                except (NetworkError, ConnectionError, OSError):
+                    return  # the read loop observes EOF and cleans up
+                link.outbound.popleft()
+
+    # -- routing ---------------------------------------------------------------
+
+    def _route_unicast(self, message: NetDeliver) -> None:
+        """Route one admitted unicast to a leaf inbox or down a relay link."""
+        if message.receiver == BROADCAST:
+            raise SerializationError(
+                "unicast frame addressed to %r" % BROADCAST
+            )
+        if not self._admit_entity(message.receiver):
+            return  # over the name bound: accounted as dropped
+        link = self._via_relay.get(message.receiver)
+        if link is None:
+            self.route.deliver(
+                message.sender,
+                message.receiver,
+                message.kind,
+                message.payload,
+                note=message.note,
+            )
+            self.delivered_total += 1
+            self._trim_inbox(message.receiver)
+            self._kick(message.receiver)
+        else:
+            # Same accounting record as a direct delivery (the audit log
+            # must not depend on topology), but the bytes travel down the
+            # relay link instead of into a root-side inbox.
+            self.route.send(
+                message.sender, message.receiver, message.kind,
+                len(message.payload), note=message.note,
+            )
+            self.delivered_total += 1
+            self._trim_log()
+            self._queue_to_link(link, message, counted=True)
+
+    def _fan_broadcast(self, message: NetBroadcast) -> None:
+        """One multicast: root inboxes directly, one frame per relay link.
+
+        Relay-bound entities are excluded from local inbox delivery --
+        they receive the broadcast through their link's single
+        ``RelayBroadcast`` copy, keyed by a fresh sequence id so every
+        hop can dedup.  The accounting stays exactly one ``"*"`` record.
+        """
+        exclude = set(self._via_relay)
+        before = self.route.pending()
+        self.route.broadcast(
+            message.sender, message.kind, message.payload,
+            note=message.note, exclude=exclude,
+        )
+        self.delivered_total += self.route.pending() - before
+        for entity in self.route.entities():
+            if entity != message.sender and entity not in exclude:
+                self._trim_inbox(entity)
+                self._kick(entity)
+        if self._relays:
+            self._broadcast_seq += 1
+            frame = RelayBroadcast(
+                seq=self._broadcast_seq,
+                sender=message.sender,
+                kind=message.kind,
+                note=message.note,
+                payload=message.payload,
+            )
+            for link in list(self._relays.values()):
+                if self._queue_to_link(link, frame, counted=True):
+                    self.delivered_total += 1
+                    self.relay_broadcasts_down += 1
 
     @staticmethod
     def _require_sender(conn: _Connection, sender: str) -> None:
@@ -338,12 +748,30 @@ class BrokerServer:
         return False
 
     def _trim_inbox(self, entity: str) -> None:
-        """Hold the per-entity queue bound by discarding the oldest."""
+        """Hold the per-entity queue bound by discarding the oldest.
+
+        For a *connected* entity an over-bound inbox means its pusher is
+        stuck behind a peer that stopped reading: the slow-consumer
+        policy disconnects it (counted in stats) so the stall degrades to
+        the ordinary bounded offline case instead of unbounded growth.
+        """
         excess = self.route.pending(entity) - self.max_inbox
         if excess > 0:
+            conn = self._connections.get(entity)
+            if conn is not None:
+                self.slow_consumer_disconnects += 1
+                logger.warning(
+                    "slow consumer %r: inbox over bound while connected, "
+                    "disconnecting", entity,
+                )
+                self._unregister(conn)
+                asyncio.get_running_loop().create_task(conn.stream.aclose())
             self.route.poll(entity, excess)
             self.dropped_total += excess
             logger.warning("inbox %r over bound: dropped %d oldest", entity, excess)
+        self._trim_log()
+
+    def _trim_log(self) -> None:
         log_excess = len(self.route.messages) - self.max_log
         if log_excess > 0:
             del self.route.messages[:log_excess]
@@ -422,7 +850,11 @@ class BrokerServer:
             # The reply must itself fit one frame: fill a byte budget from
             # the newest record backwards and flag truncation rather than
             # blow the cap (which would drop the requester's connection).
-            budget = self.max_frame - 64
+            # The slack covers the fixed header, the counters, and the
+            # RelayStatsReply wrapper a forwarded reply rides in (both
+            # sides' streams allow ENVELOPE_OVERHEAD beyond max_frame,
+            # which absorbs the floor at tiny frame caps).
+            budget = max(self.max_frame - 512, self.max_frame // 2)
             records = []
             for m in reversed(self.route.messages):
                 record = TrafficRecord(m.sender, m.receiver, m.kind, m.size, m.note)
@@ -434,23 +866,27 @@ class BrokerServer:
             log = tuple(reversed(records))
         return StatsReply(
             pending=self.route.pending(),
-            in_flight=sum(c.in_flight for c in self._connections.values()),
+            in_flight=(
+                sum(c.in_flight for c in self._connections.values())
+                + sum(link.in_flight for link in self._relays.values())
+            ),
             delivered_total=self.delivered_total,
             dropped=self.dropped_total,
             log_complete=log_complete,
             log=log,
+            counters=(
+                ("leaf_connections", len(self._connections)),
+                ("relay_links", len(self._relays)),
+                ("relay_entities", len(self._via_relay)),
+                ("relay_broadcasts_down", self.relay_broadcasts_down),
+                ("broadcast_seq", self._broadcast_seq),
+                ("slow_consumer_disconnects", self.slow_consumer_disconnects),
+                ("bounced_requeues", self.bounced_requeues),
+            ),
         )
 
 
 # -- CLI ---------------------------------------------------------------------
-
-
-def _write_port_file(path: str, host: str, port: int) -> None:
-    """Atomically publish the bound endpoint (readers poll for the file)."""
-    tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write("%s:%d\n" % (host, port))
-    os.replace(tmp, path)
 
 
 async def _amain(args: argparse.Namespace) -> int:
@@ -458,13 +894,17 @@ async def _amain(args: argparse.Namespace) -> int:
         args.host, args.port, max_frame=args.max_frame,
         max_inbox=args.max_inbox, max_entities=args.max_entities,
         handshake_timeout=args.handshake_timeout,
+        max_backlog=args.max_backlog, max_relays=args.max_relays,
     )
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGTERM, signal.SIGINT):
         loop.add_signal_handler(signum, broker.shutdown)
     host, port = await broker.start()
     if args.port_file:
-        _write_port_file(args.port_file, host, port)
+        write_port_file(args.port_file, host, port)
+    # Machine-parseable first (supervisors/tests chain processes off this
+    # line -- essential with --port 0), human-readable second.
+    print("ENDPOINT %s:%d" % (host, port), flush=True)
     print("broker listening on %s:%d" % (host, port), flush=True)
     try:
         await broker.serve_forever()
@@ -491,6 +931,11 @@ def main(argv=None) -> int:
                         help="bound on distinct entity names (inboxes)")
     parser.add_argument("--handshake-timeout", type=float, default=10.0,
                         help="seconds a connection gets to send its Hello")
+    parser.add_argument("--max-backlog", type=int, default=10_000,
+                        help="per-connection outbound backlog bound "
+                             "(slow consumers are disconnected beyond it)")
+    parser.add_argument("--max-relays", type=int, default=256,
+                        help="bound on connected downstream relay links")
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
     logging.basicConfig(

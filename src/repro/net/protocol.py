@@ -16,6 +16,18 @@ entity's inbox by connecting under its nym (spoof-on-connect).  After the
 handshake the broker enforces that every routed frame's declared sender
 equals the connection's entity.
 
+Relay federation rides on the same framing.  A relay node opens its
+downstream connection with :class:`RelayHello` instead of ``Hello``; the
+upstream answers :class:`RelayWelcome` carrying its *path* (the chain of
+relay ids from the root), which both sides check for loops.  Entities
+attaching below a relay are forwarded up as :class:`RelayAttach` so the
+root broker keeps the one global name table (spoof-on-connect stays a
+single-authority decision); broadcasts travel down as
+:class:`RelayBroadcast` carrying a root-assigned sequence id that each
+hop dedups against a bounded seen-set.  Relays never unwrap routed
+payloads -- the messages here carry names, labels and opaque bytes only,
+so a relay provably cannot hold keys or CSS state.
+
 :class:`Ack` implements processed-message accounting for quiescence
 detection: a client acknowledges deliveries only after its endpoint has
 *handled* them, so ``pending == 0 and in_flight == 0`` at the broker
@@ -40,7 +52,10 @@ from repro.wire.codec import (
 )
 
 __all__ = [
+    "BROADCAST",
     "ENVELOPE_OVERHEAD",
+    "MAX_NAME_LEN",
+    "MAX_RELAY_PATH",
     "NetMessage",
     "Hello",
     "Welcome",
@@ -51,6 +66,14 @@ __all__ = [
     "StatsReply",
     "TrafficRecord",
     "Shutdown",
+    "RelayHello",
+    "RelayWelcome",
+    "RelayAttach",
+    "RelayAttachReply",
+    "RelayDetach",
+    "RelayBroadcast",
+    "RelayStatsRequest",
+    "RelayStatsReply",
     "NET_MESSAGE_TYPES",
     "decode_net_message",
     "decode_net_payload",
@@ -65,6 +88,24 @@ __all__ = [
 #: survives wrapping; the routed payload itself is checked against
 #: ``max_frame`` explicitly on both sides.
 ENVELOPE_OVERHEAD = 4 * (2 + 65535) + 4
+
+#: The reserved multicast receiver name, mirrored from
+#: :data:`repro.system.transport.BROADCAST`.  Redeclared here (rather
+#: than imported) so the net layer's leaf modules -- in particular a
+#: relay process, whose keyless claim is pinned as an import boundary --
+#: never pull in :mod:`repro.system` and the crypto stack behind it.
+BROADCAST = "*"
+
+#: Longest entity or relay name a server will accept at handshake.  The
+#: wire codec allows strings up to 64 KiB; names are operator-chosen
+#: identifiers, so anything longer is a hostile or broken peer and the
+#: handshake refuses it before the name enters any table.
+MAX_NAME_LEN = 128
+
+#: Deepest relay chain a :class:`RelayWelcome` may describe.  Bounds the
+#: decode-side allocation and caps how deep a federation tree can grow;
+#: a path longer than this is refused as malformed.
+MAX_RELAY_PATH = 64
 
 
 class NetMessage:
@@ -278,7 +319,10 @@ class StatsReply(NetMessage):
       caller can detect that traffic has genuinely stopped;
     * ``dropped`` -- deliveries discarded to hold broker state bounds;
     * ``log_complete`` -- False when the accounting log was too large to
-      fit one frame and only its newest suffix is included.
+      fit one frame and only its newest suffix is included;
+    * ``counters`` -- named server-role counters (leaf vs relay link
+      counts, slow-consumer disconnects, relay hop totals).  A generic
+      name/value list so relay and broker stats share one reply shape.
     """
 
     pending: int
@@ -287,8 +331,16 @@ class StatsReply(NetMessage):
     dropped: int = 0
     log_complete: bool = True
     log: Tuple[TrafficRecord, ...] = field(default_factory=tuple)
+    counters: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
 
     TYPE_ID = 70
+
+    def counter(self, name: str, default: int = 0) -> int:
+        """Look up one named counter (missing -> ``default``)."""
+        for key, value in self.counters:
+            if key == name:
+                return value
+        return default
 
     def payload_bytes(self) -> bytes:
         out = (
@@ -299,7 +351,12 @@ class StatsReply(NetMessage):
             + pack_bool(self.log_complete)
             + pack_u32(len(self.log))
         )
-        return out + b"".join(record.to_bytes() for record in self.log)
+        out += b"".join(record.to_bytes() for record in self.log)
+        out += pack_u32(len(self.counters))
+        out += b"".join(
+            pack_str(name) + pack_u32(value) for name, value in self.counters
+        )
+        return out
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "StatsReply":
@@ -311,6 +368,10 @@ class StatsReply(NetMessage):
         log_complete = cursor.read_bool()
         count = cursor.read_u32()
         log = tuple(TrafficRecord.read_from(cursor) for _ in range(count))
+        counter_count = cursor.read_u32()
+        counters = tuple(
+            (cursor.read_str(), cursor.read_u32()) for _ in range(counter_count)
+        )
         cursor.expect_end()
         return cls(
             pending=pending,
@@ -319,6 +380,7 @@ class StatsReply(NetMessage):
             dropped=dropped,
             log_complete=log_complete,
             log=log,
+            counters=counters,
         )
 
 
@@ -342,6 +404,242 @@ class Shutdown(NetMessage):
         return cls()
 
 
+@dataclass(frozen=True)
+class RelayHello(NetMessage):
+    """Relay -> upstream: bind this connection as a downstream relay link.
+
+    The alternate first frame of a handshake: where an entity sends
+    :class:`Hello`, a relay sends this.  ``relay_id`` names the relay in
+    the federation tree; upstreams refuse duplicates and any id already
+    on their own path (loop refusal, accepting side).
+    """
+
+    relay_id: str
+
+    TYPE_ID = 72
+
+    def payload_bytes(self) -> bytes:
+        return pack_str(self.relay_id)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "RelayHello":
+        cursor = Cursor(payload)
+        message = cls(relay_id=cursor.read_str())
+        cursor.expect_end()
+        return message
+
+
+@dataclass(frozen=True)
+class RelayWelcome(NetMessage):
+    """Upstream -> relay: relay handshake outcome.
+
+    ``path`` is the accepting node's own relay-id chain from the root
+    (the root broker's path is empty, a first-hop relay's is its own id,
+    and so on).  The connecting relay refuses the link if its id appears
+    in the returned path -- loop refusal, connecting side -- and appends
+    itself to form the path it will hand to *its* downstreams.
+    """
+
+    ok: bool
+    relay_id: str
+    path: Tuple[str, ...] = ()
+    reason: str = ""
+
+    TYPE_ID = 73
+
+    def payload_bytes(self) -> bytes:
+        out = (
+            pack_bool(self.ok)
+            + pack_str(self.relay_id)
+            + pack_u32(len(self.path))
+        )
+        out += b"".join(pack_str(hop) for hop in self.path)
+        return out + pack_str(self.reason)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "RelayWelcome":
+        cursor = Cursor(payload)
+        ok = cursor.read_bool()
+        relay_id = cursor.read_str()
+        count = cursor.read_u32()
+        if count > MAX_RELAY_PATH:
+            raise SerializationError(
+                "relay path of %d hops exceeds the %d-hop bound"
+                % (count, MAX_RELAY_PATH)
+            )
+        path = tuple(cursor.read_str() for _ in range(count))
+        reason = cursor.read_str()
+        cursor.expect_end()
+        return cls(ok=ok, relay_id=relay_id, path=path, reason=reason)
+
+
+@dataclass(frozen=True)
+class RelayAttach(NetMessage):
+    """Relay -> upstream: an entity sent Hello below this subtree.
+
+    Forwarded hop by hop to the root broker, which owns the global name
+    table and answers :class:`RelayAttachReply`.  Admission therefore
+    stays a single-authority decision exactly as for direct connections:
+    a name can be live on at most one connection anywhere in the tree.
+    """
+
+    entity: str
+
+    TYPE_ID = 74
+
+    def payload_bytes(self) -> bytes:
+        return pack_str(self.entity)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "RelayAttach":
+        cursor = Cursor(payload)
+        message = cls(entity=cursor.read_str())
+        cursor.expect_end()
+        return message
+
+
+@dataclass(frozen=True)
+class RelayAttachReply(NetMessage):
+    """Root -> relay: attach verdict, routed back down the asking path."""
+
+    ok: bool
+    entity: str
+    reason: str = ""
+
+    TYPE_ID = 75
+
+    def payload_bytes(self) -> bytes:
+        return pack_bool(self.ok) + pack_str(self.entity) + pack_str(self.reason)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "RelayAttachReply":
+        cursor = Cursor(payload)
+        message = cls(
+            ok=cursor.read_bool(),
+            entity=cursor.read_str(),
+            reason=cursor.read_str(),
+        )
+        cursor.expect_end()
+        return message
+
+
+@dataclass(frozen=True)
+class RelayDetach(NetMessage):
+    """Relay -> upstream: a previously attached entity disconnected.
+
+    Frees the name in the root table and redirects the entity's traffic
+    back into its root-side inbox (offline queueing) until it reattaches.
+    """
+
+    entity: str
+
+    TYPE_ID = 76
+
+    def payload_bytes(self) -> bytes:
+        return pack_str(self.entity)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "RelayDetach":
+        cursor = Cursor(payload)
+        message = cls(entity=cursor.read_str())
+        cursor.expect_end()
+        return message
+
+
+@dataclass(frozen=True)
+class RelayBroadcast(NetMessage):
+    """Upstream -> relay: one multicast travelling down the tree.
+
+    ``seq`` is assigned once by the root broker (monotonically
+    increasing, never 0) and carried unchanged to every hop; each relay
+    keeps a bounded seen-set of sequence ids and drops duplicates, so a
+    replayed or multiply-routed broadcast is delivered at most once per
+    subtree.  Strictly a downstream message: a relay receiving it from a
+    *downstream* peer treats that as a protocol violation (no downstream
+    node can inject traffic into a sibling subtree).
+    """
+
+    seq: int
+    sender: str
+    kind: str
+    note: str
+    payload: bytes
+
+    TYPE_ID = 77
+
+    def payload_bytes(self) -> bytes:
+        return (
+            pack_u32(self.seq)
+            + pack_str(self.sender)
+            + pack_str(self.kind)
+            + pack_str(self.note)
+            + pack_bytes(self.payload)
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "RelayBroadcast":
+        cursor = Cursor(payload)
+        message = cls(
+            seq=cursor.read_u32(),
+            sender=cursor.read_str(),
+            kind=cursor.read_str(),
+            note=cursor.read_str(),
+            payload=cursor.read_bytes(),
+        )
+        cursor.expect_end()
+        return message
+
+
+@dataclass(frozen=True)
+class RelayStatsRequest(NetMessage):
+    """Relay -> upstream: a downstream entity asked for broker stats.
+
+    Wraps the entity's plain :class:`StatsRequest` with its name so the
+    root can route the reply back down the tree by entity binding.
+    """
+
+    entity: str
+    include_log: bool = False
+
+    TYPE_ID = 78
+
+    def payload_bytes(self) -> bytes:
+        return pack_str(self.entity) + pack_bool(self.include_log)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "RelayStatsRequest":
+        cursor = Cursor(payload)
+        message = cls(entity=cursor.read_str(), include_log=cursor.read_bool())
+        cursor.expect_end()
+        return message
+
+
+@dataclass(frozen=True)
+class RelayStatsReply(NetMessage):
+    """Root -> relay: stats for one asking entity, routed back down.
+
+    ``reply`` is a complete :class:`StatsReply` payload; the last-hop
+    relay unwraps it and hands the entity a plain ``StatsReply`` frame,
+    so clients see identical stats whether attached directly or through
+    relays.
+    """
+
+    entity: str
+    reply: bytes
+
+    TYPE_ID = 79
+
+    def payload_bytes(self) -> bytes:
+        return pack_str(self.entity) + pack_bytes(self.reply)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "RelayStatsReply":
+        cursor = Cursor(payload)
+        message = cls(entity=cursor.read_str(), reply=cursor.read_bytes())
+        cursor.expect_end()
+        return message
+
+
 NET_MESSAGE_TYPES: Dict[int, Type[NetMessage]] = {
     cls.TYPE_ID: cls
     for cls in (
@@ -353,6 +651,14 @@ NET_MESSAGE_TYPES: Dict[int, Type[NetMessage]] = {
         StatsRequest,
         StatsReply,
         Shutdown,
+        RelayHello,
+        RelayWelcome,
+        RelayAttach,
+        RelayAttachReply,
+        RelayDetach,
+        RelayBroadcast,
+        RelayStatsRequest,
+        RelayStatsReply,
     )
 }
 

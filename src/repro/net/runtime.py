@@ -40,6 +40,7 @@ from repro.net.broker import BrokerServer
 __all__ = [
     "BrokerThread",
     "ProcessSupervisor",
+    "RelayThread",
     "StopRequested",
     "pump_forever",
     "pump_until",
@@ -220,6 +221,68 @@ class BrokerThread:
             self._stop_loop()
 
     def __enter__(self) -> "BrokerThread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class RelayThread:
+    """A :class:`~repro.net.relay.RelayServer` on a dedicated asyncio thread.
+
+    The relay-tier counterpart of :class:`BrokerThread`, for tests that
+    chain hops in-process::
+
+        with BrokerThread() as broker:
+            with RelayThread("r1", broker.host, broker.port) as relay:
+                transport = TcpTransport(broker.host, broker.port)
+                transport.set_attach_point("sub-0", relay.host, relay.port)
+    """
+
+    def __init__(
+        self,
+        relay_id: str,
+        upstream_host: str,
+        upstream_port: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **relay_kw,
+    ):
+        from repro.net.relay import RelayServer
+
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="RelayThread-%s" % relay_id,
+            daemon=True,
+        )
+        self._thread.start()
+        self.relay = RelayServer(
+            relay_id, upstream_host, upstream_port, host, port, **relay_kw
+        )
+        future = asyncio.run_coroutine_threadsafe(self.relay.start(), self._loop)
+        try:
+            self.host, self.port = future.result(10.0)
+        except Exception:
+            self._stop_loop()
+            raise
+
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(10.0)
+
+    def stop(self) -> None:
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self.relay.aclose(), self._loop
+            ).result(10.0)
+        finally:
+            self._stop_loop()
+
+    def __enter__(self) -> "RelayThread":
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -31,7 +31,7 @@ import queue
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError, SerializationError
 from repro.net.protocol import (
@@ -95,6 +95,11 @@ class TcpTransport:
         self.max_frame = max_frame
         self.timeout = timeout
         self._conns: Dict[str, _EntityConn] = {}
+        #: Per-entity attach point overriding the root endpoint: entities
+        #: assigned to a relay of the federation tree connect there
+        #: instead (same Hello/Welcome handshake; the relay forwards the
+        #: admission decision to the root).
+        self._attach: Dict[str, Tuple[str, int]] = {}
         self._entity_locks: Dict[str, threading.Lock] = {}
         self._reconnect_at: Dict[str, float] = {}
         self._lock = threading.Lock()
@@ -135,10 +140,11 @@ class TcpTransport:
         await conn.stream.send(message.TYPE_ID, message.payload_bytes())
 
     async def _connect(self, entity: str) -> _EntityConn:
+        host, port = self._attach.get(entity, (self.host, self.port))
         # Headroom mirrors the broker's: envelopes may exceed max_frame by
         # their routing fields; routed payloads may not exceed it at all.
         stream = await open_frame_stream(
-            self.host, self.port, self.max_frame + ENVELOPE_OVERHEAD
+            host, port, self.max_frame + ENVELOPE_OVERHEAD
         )
         try:
             await stream.send(Hello.TYPE_ID, Hello(entity=entity).payload_bytes())
@@ -366,6 +372,22 @@ class TcpTransport:
         conn.ack_exempt += len(deliveries) - from_owed
 
     # -- beyond the protocol: introspection and control ----------------------
+
+    def set_attach_point(self, entity: str, host: str, port: int) -> None:
+        """Route ``entity``'s connection to a relay instead of the root.
+
+        Must be called before the entity's first :meth:`register` (a
+        live connection is not migrated -- reconnects after a disconnect
+        do use the new endpoint).  The entity's behaviour is otherwise
+        identical: admission, routing and accounting stay root decisions,
+        the relay tier only fans bytes out.
+        """
+        with self._lock:
+            self._attach[entity] = (host, port)
+
+    def attach_point(self, entity: str) -> Tuple[str, int]:
+        """Where ``entity`` connects: its relay, or the root endpoint."""
+        return self._attach.get(entity, (self.host, self.port))
 
     def disconnect(self, entity: str) -> None:
         """Close one entity's broker connection and forget it locally.

@@ -21,22 +21,47 @@ session state machines, and the transport's accounting log lets tests and
 examples audit precisely what the publisher observes.
 :mod:`~repro.system.registration` keeps the seed's one-call registration
 helpers as shims over that machinery.
+
+Exports resolve lazily (PEP 562), like the package root's: an eager
+``from repro.system.service import ...`` here would close a cycle with
+:mod:`repro.wire.messages` (which needs only the leaf
+:mod:`repro.system.identity`) and would drag the whole entity stack
+into any process that touches one submodule.
 """
 
-from repro.system.css import CssTable
-from repro.system.identity import AttributeAssertion, IdentityToken
-from repro.system.idmgr import IdentityManager
-from repro.system.idp import IdentityProvider
-from repro.system.publisher import Publisher, SystemParams
-from repro.system.registration import register_all_attributes, register_for_attribute
-from repro.system.service import (
-    DisseminationService,
-    IdentityManagerEndpoint,
-    SubscriberClient,
-    run_until_idle,
-)
-from repro.system.subscriber import Subscriber
-from repro.system.transport import BROADCAST, Delivery, InMemoryTransport, Transport
+import importlib
+
+_EXPORTS = {
+    "CssTable": "repro.system.css",
+    "AttributeAssertion": "repro.system.identity",
+    "IdentityToken": "repro.system.identity",
+    "IdentityManager": "repro.system.idmgr",
+    "IdentityProvider": "repro.system.idp",
+    "Publisher": "repro.system.publisher",
+    "SystemParams": "repro.system.publisher",
+    "register_all_attributes": "repro.system.registration",
+    "register_for_attribute": "repro.system.registration",
+    "DisseminationService": "repro.system.service",
+    "IdentityManagerEndpoint": "repro.system.service",
+    "SubscriberClient": "repro.system.service",
+    "run_until_idle": "repro.system.service",
+    "Subscriber": "repro.system.subscriber",
+    "BROADCAST": "repro.system.transport",
+    "Delivery": "repro.system.transport",
+    "InMemoryTransport": "repro.system.transport",
+    "Transport": "repro.system.transport",
+}
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        return getattr(importlib.import_module(_EXPORTS[name]), name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
 
 __all__ = [
     "CssTable",

@@ -22,7 +22,16 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import (
+    AbstractSet,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.errors import SystemError_
 
@@ -144,14 +153,22 @@ class InMemoryTransport:
         )
 
     def broadcast(
-        self, sender: str, kind: str, payload: bytes, note: str = ""
+        self, sender: str, kind: str, payload: bytes, note: str = "",
+        exclude: Optional[AbstractSet[str]] = None,
     ) -> None:
-        """One multicast: accounted once, delivered to every other inbox."""
+        """One multicast: accounted once, delivered to every other inbox.
+
+        ``exclude`` suppresses local inbox delivery for names reached by
+        some other fan-out path (the broker's relay-bound entities, which
+        receive the multicast through their relay link instead); the
+        single accounted transmission is unchanged.
+        """
         payload = self._coerce_payload(payload)
         self.register(sender)
         self.send(sender, BROADCAST, kind, len(payload), note=note)
+        skip = exclude if exclude is not None else frozenset()
         for receiver, inbox in self._inboxes.items():
-            if receiver != sender:
+            if receiver != sender and receiver not in skip:
                 inbox.append(
                     Delivery(sender=sender, receiver=receiver, kind=kind,
                              payload=payload, note=note)

@@ -4,11 +4,20 @@ import pytest
 
 from repro.errors import SerializationError
 from repro.net.protocol import (
+    MAX_RELAY_PATH,
     NET_MESSAGE_TYPES,
     Ack,
     Hello,
     NetBroadcast,
     NetDeliver,
+    RelayAttach,
+    RelayAttachReply,
+    RelayBroadcast,
+    RelayDetach,
+    RelayHello,
+    RelayStatsReply,
+    RelayStatsRequest,
+    RelayWelcome,
     Shutdown,
     StatsReply,
     StatsRequest,
@@ -29,7 +38,19 @@ SAMPLES = [
                log=(TrafficRecord("a", "b", "k", 9, "n"),
                     TrafficRecord("p", "*", "pkg", 300))),
     StatsReply(pending=0, in_flight=0, delivered_total=7, log_complete=False),
+    StatsReply(pending=0, in_flight=0, delivered_total=7,
+               counters=(("relay_links", 2), ("slow_consumer_disconnects", 1))),
     Shutdown(),
+    RelayHello(relay_id="r1"),
+    RelayWelcome(ok=True, relay_id="r1", path=("root", "r0")),
+    RelayWelcome(ok=False, relay_id="r1", reason="loop refused"),
+    RelayAttach(entity="pn-0042"),
+    RelayAttachReply(ok=True, entity="pn-0042"),
+    RelayAttachReply(ok=False, entity="*", reason="reserved"),
+    RelayDetach(entity="pn-0042"),
+    RelayBroadcast(seq=7, sender="pub", kind="pkg", note="doc", payload=b"body"),
+    RelayStatsRequest(entity="pn-0042", include_log=True),
+    RelayStatsReply(entity="pn-0042", reply=b"\x01\x02\x03"),
 ]
 
 
@@ -70,3 +91,24 @@ def test_trailing_garbage_rejected(message):
     payload = message.payload_bytes() + b"!"
     with pytest.raises(SerializationError):
         type(message).from_payload(payload)
+
+
+def test_relay_welcome_path_bounded():
+    """A hostile upstream cannot declare an absurd path (pre-allocation
+    bound, same idea as the frame-header check)."""
+    long_path = tuple("r%d" % i for i in range(MAX_RELAY_PATH + 1))
+    payload = RelayWelcome(
+        ok=True, relay_id="r", path=long_path
+    ).payload_bytes()
+    with pytest.raises(SerializationError, match="path"):
+        RelayWelcome.from_payload(payload)
+
+
+def test_stats_counters_lookup():
+    stats = StatsReply(
+        pending=0, in_flight=0, delivered_total=0,
+        counters=(("unicast_down", 5),),
+    )
+    assert stats.counter("unicast_down") == 5
+    assert stats.counter("missing") == 0
+    assert stats.counter("missing", default=-1) == -1

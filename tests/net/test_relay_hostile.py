@@ -1,0 +1,435 @@
+"""Hostile peers against the relay tier.
+
+A relay faces raw TCP on both sides: a forged or misbehaving *upstream*
+(replayed sequence ids, loop-inducing welcomes) and hostile
+*downstreams* (oversized handshakes, injected multicast, readers that
+simply stop).  Every case must end with exactly the offending link or
+connection dropped -- never the tree -- and with the per-hop counters
+telling the truth about what was refused.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.protocol import (
+    MAX_NAME_LEN,
+    Ack,
+    Hello,
+    NetDeliver,
+    RelayAttach,
+    RelayAttachReply,
+    RelayBroadcast,
+    RelayHello,
+    RelayWelcome,
+    Welcome,
+    decode_net_payload,
+)
+from repro.net.relay import request_local_stats
+from repro.net.runtime import BrokerThread, RelayThread
+from repro.net.stream import FrameDecoder
+from repro.net.transport import TcpTransport
+
+
+def read_frames(sock, count, timeout=5.0):
+    """Read up to ``count`` frames off a raw socket (EOF/timeout returns
+    what arrived)."""
+    decoder = FrameDecoder()
+    frames = []
+    sock.settimeout(timeout)
+    deadline = time.monotonic() + timeout
+    while len(frames) < count and time.monotonic() < deadline:
+        try:
+            chunk = sock.recv(65536)
+        except socket.timeout:
+            break
+        if not chunk:
+            break
+        frames.extend(decoder.feed(chunk))
+    return frames
+
+
+def assert_closed(sock, timeout=5.0):
+    sock.settimeout(timeout)
+    assert sock.recv(65536) == b"", "expected the server to close the connection"
+
+
+def poll_until(probe, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if probe():
+            return True
+        time.sleep(interval)
+    return probe()
+
+
+class FakeUpstream:
+    """A scripted stand-in for the root broker (or a parent relay).
+
+    Accepts one downstream connection, auto-answers ``RelayHello`` with a
+    configurable :class:`RelayWelcome` and ``RelayAttach`` with an ok
+    reply, records everything else it receives, and lets the test inject
+    arbitrary frames downstream -- including ones a healthy root would
+    never send.
+    """
+
+    def __init__(self, welcome=None, attach_ok=True):
+        self.welcome = welcome
+        self.attach_ok = attach_ok
+        self.received = []
+        self._cond = threading.Condition()
+        self._conn = None
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(1)
+        self.host, self.port = self._listener.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        try:
+            conn, _ = self._listener.accept()
+        except OSError:
+            return
+        with self._cond:
+            self._conn = conn
+            self._cond.notify_all()
+        decoder = FrameDecoder()
+        while True:
+            try:
+                chunk = conn.recv(65536)
+            except OSError:
+                return
+            if not chunk:
+                return
+            for frame in decoder.feed(chunk):
+                message = decode_net_payload(*frame)
+                if isinstance(message, RelayHello):
+                    welcome = self.welcome or RelayWelcome(
+                        ok=True, relay_id=message.relay_id, path=()
+                    )
+                    conn.sendall(welcome.encode())
+                elif isinstance(message, RelayAttach):
+                    conn.sendall(
+                        RelayAttachReply(
+                            ok=self.attach_ok, entity=message.entity,
+                            reason="" if self.attach_ok else "scripted refusal",
+                        ).encode()
+                    )
+                with self._cond:
+                    self.received.append(message)
+                    self._cond.notify_all()
+
+    def send(self, message):
+        with self._cond:
+            self._cond.wait_for(lambda: self._conn is not None, timeout=5.0)
+            assert self._conn is not None, "no downstream relay connected"
+            self._conn.sendall(message.encode())
+
+    def wait_received(self, kind, count=1, timeout=5.0):
+        with self._cond:
+            self._cond.wait_for(
+                lambda: sum(isinstance(m, kind) for m in self.received) >= count,
+                timeout=timeout,
+            )
+            return [m for m in self.received if isinstance(m, kind)]
+
+    def close(self):
+        self._listener.close()
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+
+
+class TestForgedUpstreamTraffic:
+    def test_replayed_seq_dropped_forged_payload_never_delivered(self):
+        """Two RelayBroadcasts under one sequence id: the second is a
+        replay (or a forgery riding a seen id) and must die at this hop
+        -- the attached entity sees exactly the first payload."""
+        fake = FakeUpstream()
+        try:
+            with RelayThread("r1", fake.host, fake.port) as relay:
+                carol = socket.create_connection((relay.host, relay.port), 5)
+                try:
+                    carol.sendall(Hello(entity="carol").encode())
+                    [frame] = read_frames(carol, 1)
+                    welcome = decode_net_payload(*frame)
+                    assert isinstance(welcome, Welcome) and welcome.ok
+                    fake.wait_received(RelayAttach)
+                    fake.send(RelayBroadcast(
+                        seq=9, sender="pub", kind="pkg", note="",
+                        payload=b"genuine",
+                    ))
+                    fake.send(RelayBroadcast(
+                        seq=9, sender="pub", kind="pkg", note="",
+                        payload=b"forged-replay",
+                    ))
+                    frames = read_frames(carol, 2, timeout=1.0)
+                    assert len(frames) == 1
+                    delivery = decode_net_payload(*frames[0])
+                    assert isinstance(delivery, NetDeliver)
+                    assert delivery.payload == b"genuine"
+                    carol.sendall(Ack(count=1).encode())
+                    # Both units ack upstream: delivered once, dropped once.
+                    assert len(fake.wait_received(Ack, count=2)) >= 2
+                    local = request_local_stats(relay.host, relay.port)
+                    assert local.counter("broadcasts_down") == 1
+                    assert local.counter("dupes_dropped") == 1
+                    assert local.counter("broadcast_deliveries") == 1
+                finally:
+                    carol.close()
+        finally:
+            fake.close()
+
+    def test_welcome_naming_own_id_on_path_is_loop_refused(self):
+        """Connecting side of loop refusal: an upstream whose advertised
+        path already contains this relay's id must be refused -- joining
+        would make the node its own ancestor."""
+        fake = FakeUpstream(
+            welcome=RelayWelcome(ok=True, relay_id="r1", path=("r0", "r1"))
+        )
+        try:
+            with pytest.raises(NetworkError, match="loop"):
+                RelayThread("r1", fake.host, fake.port)
+        finally:
+            fake.close()
+
+    def test_upstream_refusal_fails_startup(self):
+        fake = FakeUpstream(
+            welcome=RelayWelcome(ok=False, relay_id="r1", reason="no capacity")
+        )
+        try:
+            with pytest.raises(NetworkError, match="refused"):
+                RelayThread("r1", fake.host, fake.port)
+        finally:
+            fake.close()
+
+
+class TestHostileDownstream:
+    def test_oversized_relay_hello_refused_at_broker(self):
+        with BrokerThread() as broker:
+            sock = socket.create_connection((broker.host, broker.port), 5)
+            try:
+                sock.sendall(
+                    RelayHello(relay_id="r" * (MAX_NAME_LEN + 1)).encode()
+                )
+                [frame] = read_frames(sock, 1)
+                welcome = decode_net_payload(*frame)
+                assert isinstance(welcome, RelayWelcome)
+                assert not welcome.ok and "exceeds" in welcome.reason
+                assert_closed(sock)
+            finally:
+                sock.close()
+
+    def test_oversized_relay_hello_refused_at_relay(self):
+        with BrokerThread() as broker:
+            with RelayThread("r1", broker.host, broker.port) as relay:
+                sock = socket.create_connection((relay.host, relay.port), 5)
+                try:
+                    sock.sendall(
+                        RelayHello(relay_id="r" * (MAX_NAME_LEN + 1)).encode()
+                    )
+                    [frame] = read_frames(sock, 1)
+                    welcome = decode_net_payload(*frame)
+                    assert isinstance(welcome, RelayWelcome)
+                    assert not welcome.ok and "exceeds" in welcome.reason
+                    assert_closed(sock)
+                finally:
+                    sock.close()
+
+    def test_self_id_refused_on_accept(self):
+        """A RelayHello carrying an id already on the accepting relay's
+        path (including its own) is the accepting side of loop refusal."""
+        with BrokerThread() as broker:
+            with RelayThread("r1", broker.host, broker.port) as relay:
+                sock = socket.create_connection((relay.host, relay.port), 5)
+                try:
+                    sock.sendall(RelayHello(relay_id="r1").encode())
+                    [frame] = read_frames(sock, 1)
+                    welcome = decode_net_payload(*frame)
+                    assert isinstance(welcome, RelayWelcome)
+                    assert not welcome.ok and "loop" in welcome.reason
+                finally:
+                    sock.close()
+
+    def test_forged_relay_broadcast_up_drops_link_at_broker(self):
+        """Multicast only ever travels downstream; a downstream link
+        injecting RelayBroadcast is hostile and loses the link -- while
+        root entities keep working."""
+        with BrokerThread() as broker:
+            with TcpTransport(broker.host, broker.port) as transport:
+                transport.register("alice")
+                transport.register("bob")
+                sock = socket.create_connection((broker.host, broker.port), 5)
+                try:
+                    sock.sendall(RelayHello(relay_id="evil").encode())
+                    [frame] = read_frames(sock, 1)
+                    assert decode_net_payload(*frame).ok
+                    sock.sendall(RelayBroadcast(
+                        seq=1, sender="alice", kind="pkg", note="",
+                        payload=b"injected",
+                    ).encode())
+                    assert_closed(sock)
+                finally:
+                    sock.close()
+                # The injection reached nobody and the broker still routes.
+                assert transport.poll("bob") == []
+                transport.deliver("alice", "bob", "k", b"still fine")
+                assert poll_until(
+                    lambda: [d.payload for d in transport.poll("bob")]
+                    == [b"still fine"]
+                )
+                assert transport.stats(via="alice").counter("relay_links") == 0
+
+    def test_forged_relay_broadcast_up_drops_link_at_relay(self):
+        """Same rule one hop down: a fake downstream relay injecting
+        multicast loses its link; the relay's real entities are
+        untouched."""
+        with BrokerThread() as broker:
+            with RelayThread("r1", broker.host, broker.port) as relay:
+                with TcpTransport(broker.host, broker.port) as transport:
+                    transport.set_attach_point("carol", relay.host, relay.port)
+                    transport.register("alice")
+                    transport.register("carol")
+                    sock = socket.create_connection(
+                        (relay.host, relay.port), 5
+                    )
+                    try:
+                        sock.sendall(RelayHello(relay_id="evil").encode())
+                        [frame] = read_frames(sock, 1)
+                        welcome = decode_net_payload(*frame)
+                        assert welcome.ok and welcome.path == ("r1",)
+                        sock.sendall(RelayBroadcast(
+                            seq=77, sender="alice", kind="pkg", note="",
+                            payload=b"injected",
+                        ).encode())
+                        assert_closed(sock)
+                    finally:
+                        sock.close()
+                    assert transport.poll("carol") == []
+                    transport.deliver("alice", "carol", "k", b"across the hop")
+                    assert poll_until(
+                        lambda: [d.payload for d in transport.poll("carol")]
+                        == [b"across the hop"]
+                    )
+                    local = request_local_stats(relay.host, relay.port)
+                    assert local.counter("downstream_relays") == 0
+                    assert local.counter("entities_attached") == 1
+
+
+def slow_socket(host, port):
+    """Connect with a tiny receive buffer (set *before* connect, so the
+    window scale is negotiated small): once this peer stops reading, the
+    kernel can absorb almost nothing and the server's backlog bound is
+    what actually gets exercised."""
+    sock = socket.socket()
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+    sock.settimeout(5)
+    sock.connect((host, port))
+    return sock
+
+
+class TestSlowConsumers:
+    # The stalled peer's kernel buffers absorb traffic before any
+    # server-side backlog builds (tcp_wmem autotunes to megabytes even
+    # against a tiny receive window), so the storm must comfortably
+    # exceed that absorbency for the bounded-backlog policy to be what
+    # actually trips.
+    STORM = 160
+    PAYLOAD = b"\xab" * 65536
+
+    def test_slow_relay_link_disconnected_at_broker(self):
+        """A relay that stops reading mid-storm is disconnected by the
+        bounded-backlog policy and counted in root stats -- it cannot
+        buffer the broker out of memory."""
+        with BrokerThread(max_backlog=8) as broker:
+            with TcpTransport(broker.host, broker.port) as transport:
+                transport.register("pub")
+                sock = slow_socket(broker.host, broker.port)
+                try:
+                    sock.sendall(RelayHello(relay_id="stalled").encode())
+                    [frame] = read_frames(sock, 1)
+                    assert decode_net_payload(*frame).ok
+                    sock.sendall(RelayAttach(entity="victim").encode())
+                    [frame] = read_frames(sock, 1)
+                    reply = decode_net_payload(*frame)
+                    assert isinstance(reply, RelayAttachReply) and reply.ok
+                    # ... and never read another byte.
+                    for _ in range(self.STORM):
+                        transport.broadcast("pub", "pkg", self.PAYLOAD)
+
+                    def dropped():
+                        stats = transport.stats(via="pub")
+                        return (
+                            stats.counter("slow_consumer_disconnects") >= 1
+                            and stats.counter("relay_links") == 0
+                        )
+
+                    assert poll_until(dropped), (
+                        "broker never applied the slow-consumer policy"
+                    )
+                finally:
+                    sock.close()
+                # The victim fell back to offline queueing at the root;
+                # the broker itself keeps serving.
+                assert transport.stats(via="pub").counter("relay_entities") == 0
+                transport.register("probe")
+                transport.deliver("pub", "probe", "k", b"alive")
+                assert poll_until(
+                    lambda: [d.payload for d in transport.poll("probe")]
+                    == [b"alive"]
+                )
+
+    def test_slow_entity_below_relay_disconnected_locally(self):
+        """A paused entity reader below a relay trips the *relay's*
+        backlog bound: the relay sheds that one connection (counted
+        locally, detached at the root) and the rest of the tree stays
+        healthy and quiet."""
+        with BrokerThread() as broker:
+            with RelayThread(
+                "r1", broker.host, broker.port, max_backlog=8
+            ) as relay:
+                with TcpTransport(broker.host, broker.port) as transport:
+                    transport.register("pub")
+                    victim = slow_socket(relay.host, relay.port)
+                    try:
+                        victim.sendall(Hello(entity="victim").encode())
+                        [frame] = read_frames(victim, 1)
+                        assert decode_net_payload(*frame).ok
+                        # ... and never read another byte.
+                        for _ in range(self.STORM):
+                            transport.broadcast("pub", "pkg", self.PAYLOAD)
+
+                        def shed():
+                            local = request_local_stats(
+                                relay.host, relay.port
+                            )
+                            return (
+                                local.counter("slow_consumer_disconnects") >= 1
+                                and local.counter("entities_attached") == 0
+                            )
+
+                        assert poll_until(shed), (
+                            "relay never applied the slow-consumer policy"
+                        )
+                    finally:
+                        victim.close()
+                    # Detach propagated: the root counts no relay-attached
+                    # entities, keeps the link, and drains to in_flight 0
+                    # (the dropped connection's units were acked as done).
+                    def settled():
+                        stats = transport.stats(via="pub")
+                        return (
+                            stats.counter("relay_entities") == 0
+                            and stats.counter("relay_links") == 1
+                            and stats.in_flight == 0
+                        )
+
+                    assert poll_until(settled)
+                    local = request_local_stats(relay.host, relay.port)
+                    assert local.counter("downstream_relays") == 0
