@@ -1,0 +1,117 @@
+"""The observability overhead gate (nightly slow tier).
+
+Runs the builtin smoke scenario over real TCP sockets twice -- once with
+the process-global metrics registry enabled (every WAL fsync timed,
+every decrypt counted, every phase sampled) and once with it disabled --
+and gates the difference:
+
+* wall overhead of instrumentation must stay within 5% (plus a small
+  absolute epsilon so a sub-second scenario cannot fail on scheduler
+  noise alone);
+* the byte-accounting stream must be *identical* frame for frame: with
+  no ``--metrics-interval`` push configured, metrics collection rides
+  only the engine's phase-boundary probe frames, which the broker
+  answers directly and never accounts.  Observability must not change
+  what the bandwidth experiments measure.
+
+Emits ``BENCH_obs_overhead.json`` so the on/off ratio is a trend CI can
+watch across PRs.
+"""
+
+from repro.bench.runner import Measurement, emit_bench_json, format_table
+from repro.load import run_scenario, smoke_scenario
+from repro.obs.metrics import get_registry
+
+ROUNDS = 2
+#: Allowed instrumentation cost: 5% relative plus 50 ms absolute (the
+#: smoke scenario settles in about a second; a pure ratio would gate on
+#: scheduler jitter, not on instrumentation).
+REL_OVERHEAD = 0.05
+ABS_EPSILON_S = 0.05
+
+
+def _run_once(enabled: bool):
+    registry = get_registry()
+    registry.reset()
+    registry.enabled = enabled
+    try:
+        return run_scenario(smoke_scenario(), driver="tcp", broker="thread")
+    finally:
+        registry.enabled = True
+        registry.reset()
+
+
+def _measure(enabled: bool):
+    walls = []
+    reports = []
+    for _ in range(ROUNDS):
+        report = _run_once(enabled)
+        walls.append(report.wall_s)
+        reports.append(report)
+    return (
+        Measurement(
+            mean=sum(walls) / len(walls),
+            minimum=min(walls),
+            maximum=max(walls),
+            rounds=len(walls),
+        ),
+        reports,
+    )
+
+
+def test_obs_overhead_within_budget():
+    off_m, off_reports = _measure(enabled=False)
+    on_m, on_reports = _measure(enabled=True)
+
+    print()
+    print(format_table(
+        "smoke scenario over TCP, metrics registry on vs off",
+        ["registry", "mean ms", "min ms", "max ms"],
+        [
+            ["off", off_m.mean_ms, off_m.minimum * 1e3, off_m.maximum * 1e3],
+            ["on", on_m.mean_ms, on_m.minimum * 1e3, on_m.maximum * 1e3],
+        ],
+    ))
+    path = emit_bench_json(
+        "obs_overhead",
+        op="obs-on-vs-off",
+        params={"scenario": "smoke", "driver": "tcp", "rounds": ROUNDS},
+        measurements={"metrics_off": off_m, "metrics_on": on_m},
+        extra={
+            "overhead_ratio": (
+                on_m.minimum / off_m.minimum if off_m.minimum else 0.0
+            ),
+            "frames_per_phase": [
+                p.frames for p in on_reports[0].phases
+            ],
+        },
+    )
+    print("wrote %s" % path)
+
+    # Gate on the minimum (the stable estimator under scheduler noise).
+    assert on_m.minimum <= off_m.minimum * (1 + REL_OVERHEAD) + ABS_EPSILON_S, (
+        "instrumentation overhead %.1f ms exceeds %d%% + %d ms of the "
+        "%.1f ms baseline"
+        % ((on_m.minimum - off_m.minimum) * 1e3, REL_OVERHEAD * 100,
+           ABS_EPSILON_S * 1e3, off_m.minimum * 1e3)
+    )
+
+    # With no metrics interval configured, the accounted protocol traffic
+    # is bit-for-bit unchanged by observability: same frame counts, same
+    # per-kind byte totals, every run, on or off.
+    baseline = off_reports[0]
+    for report in off_reports[1:] + on_reports:
+        assert [p.frames for p in report.phases] == [
+            p.frames for p in baseline.phases
+        ]
+        assert report.bytes_by_kind() == baseline.bytes_by_kind()
+
+    # The enabled run actually collected something: the phase samples
+    # carry live counters from every vantage (local registry + broker).
+    last = on_reports[0].phases[-1]
+    assert last.obs is not None
+    assert last.obs["local"]["counters"].get("wal.appends", 0) > 0
+    assert last.obs["root"]["counters"].get("broker.deliver", 0) > 0
+    # And the disabled run's local registry stayed silent.
+    off_last = off_reports[0].phases[-1]
+    assert off_last.obs["local"]["counters"] == {}

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.errors import InvalidParameterError, SerializationError
 from repro.gkm.acv import AcvBgkm, AcvHeader
 from repro.gkm.buckets import BucketedHeader, auto_bucket_size
+from repro.obs.metrics import get_registry
 
 __all__ = [
     "GKM_STRATEGIES",
@@ -102,8 +103,10 @@ class AcvBuildCache:
         entry = self._entries.get((rows, n_max))
         if entry is None:
             self.misses += 1
+            get_registry().inc("gkm.acv_cache.miss")
             return None
         self.hits += 1
+        get_registry().inc("gkm.acv_cache.hit")
         return entry
 
     def store(
@@ -183,7 +186,8 @@ class _CachedAcvBuilder:
             x = list(y)
             x[0] = (x[0] + key) % p
             return key, AcvHeader(q=p, x=tuple(x), zs=zs)
-        fresh_key, header = self.core.generate(rows, n_max=n_max, rng=rng)
+        with get_registry().timer("gkm.acv_solve_seconds"):
+            fresh_key, header = self.core.generate(rows, n_max=n_max, rng=rng)
         if self.cache is not None:
             y = list(header.x)
             y[0] = (y[0] - fresh_key) % p

@@ -20,6 +20,7 @@ violations print and exit 1.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 
@@ -59,12 +60,24 @@ def main(argv=None) -> int:
                         help="override the emitted bench name")
     parser.add_argument("--report", default=None,
                         help="also write the full report JSON here")
+    parser.add_argument("--obs-dir", default=None,
+                        help="collect per-entity obs.jsonl span logs from "
+                             "the broker/relay tier under this directory "
+                             "(readable by python -m repro.obs.report)")
+    parser.add_argument("--metrics-interval", type=float, default=None,
+                        help="override the scenario's metrics push/snapshot "
+                             "interval in seconds (0 disables the periodic "
+                             "push; phase-boundary sampling always happens)")
     args = parser.parse_args(argv)
 
     if args.builtin:
         scenario = builtin_scenario(args.builtin)
     else:
         scenario = load_scenario_file(args.scenario)
+    if args.metrics_interval is not None:
+        scenario = dataclasses.replace(
+            scenario, metrics_interval=args.metrics_interval
+        ).validate()
 
     try:
         report = run_scenario(
@@ -73,12 +86,16 @@ def main(argv=None) -> int:
             broker=args.broker,
             data_root=args.data_root,
             timeout=args.timeout,
+            obs_dir=args.obs_dir,
         )
     except ReproError as exc:
         print("FAILED: %s: %s" % (type(exc).__name__, exc), file=sys.stderr)
         return 1
 
     print(report.format())
+    obs_table = report.format_obs()
+    if obs_table:
+        print(obs_table)
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             json.dump(report.to_payload(), handle, indent=2, sort_keys=True)

@@ -103,6 +103,7 @@ class LoadEngine:
         broker: str = "thread",
         data_root: Optional[str] = None,
         timeout: float = 120.0,
+        obs_dir: Optional[str] = None,
     ):
         scenario.validate()
         if driver not in DRIVERS:
@@ -119,6 +120,9 @@ class LoadEngine:
         self.driver = driver
         self.broker_mode = broker
         self.timeout = timeout
+        #: Root of the per-entity ``obs.jsonl`` span logs (broker and
+        #: relays get subdirectories); ``None`` = no span telemetry.
+        self.obs_dir = obs_dir
         self.members: Dict[str, Member] = {}
         self.services: Dict[str, DisseminationService] = {}
         self.metrics = MetricsCollector()
@@ -224,13 +228,21 @@ class LoadEngine:
                 "repro.net.broker",
                 "--port", "0",
                 "--port-file", port_file,
+                *self._obs_args("broker"),
                 name="broker",
             )
             host, port = parse_endpoint(
                 wait_for_file(port_file, timeout=self.timeout).strip()
             )
         else:
-            self._broker_thread = BrokerThread()
+            broker_kw = {}
+            if self.scenario.metrics_interval > 0:
+                broker_kw["metrics_interval"] = self.scenario.metrics_interval
+            if self.obs_dir:
+                broker_kw["obs_path"] = os.path.join(
+                    self.obs_dir, "broker", "obs.jsonl"
+                )
+            self._broker_thread = BrokerThread(**broker_kw)
             host, port = self._broker_thread.endpoint
         if self.scenario.topology:
             self._spawn_relays(host, port)
@@ -265,6 +277,7 @@ class LoadEngine:
                 "--upstream", "%s:%d" % upstream,
                 "--port", "0",
                 "--port-file", port_file,
+                *self._obs_args("relay-%s" % relay.name),
                 name="relay-%s" % relay.name,
             )
             self._relay_endpoints[relay.name] = parse_endpoint(
@@ -279,6 +292,42 @@ class LoadEngine:
             for relay in self.scenario.topology
             if relay.name not in upstreams
         ]
+
+    def _obs_args(self, entity: str) -> List[str]:
+        """Extra CLI args wiring one spawned process into the obs tier."""
+        args: List[str] = []
+        if self.scenario.metrics_interval > 0:
+            args += ["--metrics-interval", str(self.scenario.metrics_interval)]
+        if self.obs_dir:
+            args += ["--obs-dir", os.path.join(self.obs_dir, entity)]
+        return args
+
+    def _sample_obs(self) -> Dict[str, dict]:
+        """Point-in-time :mod:`repro.obs` snapshots from every vantage.
+
+        ``local`` is this process's global registry (publisher/subscriber
+        timers, WAL/GKM costs); with the TCP driver ``root`` adds the
+        broker's root aggregate (its own registry merged with whatever
+        subtree reports relays have pushed), and each relay contributes
+        its local view via the monitor port.  The probe frames are
+        answered broker/relay-side directly -- they never enter the byte
+        accounting the invariants and phase metrics are computed over.
+        """
+        from repro.obs.metrics import get_registry
+
+        samples: Dict[str, dict] = {"local": get_registry().snapshot()}
+        if self.driver == "tcp":
+            # idmgr attaches at the root broker (only members get relay
+            # attach points), so this probe draws the *root* aggregate.
+            samples["root"] = self.transport.metrics(via="idmgr")
+            if self._relay_endpoints:
+                from repro.net.relay import request_local_metrics
+
+                for name, (host, port) in self._relay_endpoints.items():
+                    samples["relay:%s" % name] = request_local_metrics(
+                        host, port, timeout=self.timeout
+                    )
+        return samples
 
     def _sample_relays(self) -> Dict[str, object]:
         """One local-stats probe per relay (monitor path, no name-table
@@ -701,6 +750,7 @@ class LoadEngine:
             members_alive=len(self.alive_members()),
             members_revoked=self.revoked_count(),
             rekey_publish_s=self.last_rekey_publish_s,
+            obs=self._sample_obs(),
         )
 
     def run(self) -> LoadReport:
@@ -735,10 +785,11 @@ def run_scenario(
     broker: str = "thread",
     data_root: Optional[str] = None,
     timeout: float = 120.0,
+    obs_dir: Optional[str] = None,
 ) -> LoadReport:
     """Run ``scenario`` in a fresh engine and tear the world down after."""
     with LoadEngine(
         scenario, driver=driver, broker=broker, data_root=data_root,
-        timeout=timeout,
+        timeout=timeout, obs_dir=obs_dir,
     ) as engine:
         return engine.run()

@@ -38,9 +38,16 @@ class PhaseMetrics:
     #: window: the publisher-side ACV build + encryption cost, isolated
     #: from settling/delivery.  This is the dense-vs-bucketed number.
     rekey_publish_s: float = 0.0
+    #: Point-in-time :mod:`repro.obs` snapshots taken at the end of the
+    #: phase, keyed by vantage point (``local`` = this process's
+    #: registry; ``root`` = the broker's root-aggregated subtree;
+    #: ``relay:<name>`` = one relay's local view).  ``None`` when the
+    #: engine ran without obs sampling -- the JSON round trip simply
+    #: omits the key then.
+    obs: Optional[Dict[str, dict]] = None
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "label": self.label,
             "kind": self.kind,
             "wall_s": self.wall_s,
@@ -54,6 +61,9 @@ class PhaseMetrics:
             "members_alive": self.members_alive,
             "members_revoked": self.members_revoked,
         }
+        if self.obs is not None:
+            payload["obs"] = self.obs
+        return payload
 
 
 class MetricsCollector:
@@ -73,6 +83,7 @@ class MetricsCollector:
         members_alive: int,
         members_revoked: int,
         rekey_publish_s: float = 0.0,
+        obs: Optional[Dict[str, dict]] = None,
     ) -> PhaseMetrics:
         """Fold one phase's accounting window into a :class:`PhaseMetrics`."""
         bytes_by_kind: Dict[str, int] = {}
@@ -100,6 +111,7 @@ class MetricsCollector:
             members_alive=members_alive,
             members_revoked=members_revoked,
             rekey_publish_s=rekey_publish_s,
+            obs=obs,
         )
         self.phases.append(metrics)
         return metrics
@@ -151,6 +163,36 @@ class LoadReport:
             % (self.scenario, self.driver, self.wall_s * 1e3),
             ["phase", "kind", "ms", "rekey ms", "frames", "bytes", "bcasts",
              "rekeys", "alive", "revoked"],
+            rows,
+        )
+
+    def format_obs(self) -> str:
+        """The per-phase :mod:`repro.obs` metrics table, or ``""``.
+
+        One row per (phase, vantage point, metric): counters and gauges
+        verbatim, histograms as ``count/mean ms``.  Values are cumulative
+        per vantage (each phase samples the same live registries), so
+        reading down a column shows the series growing phase over phase.
+        """
+        rows = []
+        for phase in self.phases:
+            for vantage, snapshot in sorted((phase.obs or {}).items()):
+                for name, value in snapshot.get("counters", {}).items():
+                    rows.append([phase.label, vantage, name, int(value)])
+                for name, value in snapshot.get("gauges", {}).items():
+                    rows.append([phase.label, vantage, name, value])
+                for name, hist in snapshot.get("histograms", {}).items():
+                    count = hist.get("count", 0)
+                    mean_ms = (hist.get("sum", 0.0) / count * 1e3) if count else 0.0
+                    rows.append([
+                        phase.label, vantage, name,
+                        "%d obs, %.3f ms mean" % (count, mean_ms),
+                    ])
+        if not rows:
+            return ""
+        return format_table(
+            "obs metrics per phase (cumulative per vantage)",
+            ["phase", "vantage", "metric", "value"],
             rows,
         )
 

@@ -286,6 +286,10 @@ class LoadScenario:
     #: round-robin across the tree's *leaf* relays; publishers and the
     #: IdMgr stay at the root.
     topology: Tuple[RelaySpec, ...] = ()
+    #: Seconds between metrics pushes/snapshots in the broker/relay tier
+    #: (:mod:`repro.obs`); 0 disables the periodic push entirely (the
+    #: engine still samples on demand at phase boundaries).
+    metrics_interval: float = 0.0
 
     # -- validation --------------------------------------------------------
 
@@ -305,6 +309,12 @@ class LoadScenario:
             )
         if not isinstance(self.gkm_bucket_size, int) or self.gkm_bucket_size < 0:
             raise InvalidParameterError("gkm_bucket_size must be an int >= 0")
+        if (
+            not isinstance(self.metrics_interval, (int, float))
+            or isinstance(self.metrics_interval, bool)
+            or self.metrics_interval < 0
+        ):
+            raise InvalidParameterError("metrics_interval must be a number >= 0")
         if not self.publishers:
             raise InvalidParameterError("scenario needs at least one publisher")
         names = [p.name for p in self.publishers]
@@ -372,6 +382,7 @@ class LoadScenario:
             "gkm_bucket_size": self.gkm_bucket_size,
             "attribute_bits": self.attribute_bits,
             "capacity_slack": self.capacity_slack,
+            "metrics_interval": self.metrics_interval,
             "publishers": [
                 {
                     "name": p.name,
@@ -468,6 +479,7 @@ class LoadScenario:
                 gkm_bucket_size=payload.get("gkm_bucket_size", 0),
                 attribute_bits=payload.get("attribute_bits", 8),
                 capacity_slack=payload.get("capacity_slack", 0),
+                metrics_interval=payload.get("metrics_interval", 0.0),
             )
         except (KeyError, TypeError) as exc:
             raise InvalidParameterError(

@@ -56,6 +56,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import logging
+import os
 import signal
 import sys
 from collections import deque
@@ -68,6 +69,8 @@ from repro.net.protocol import (
     MAX_NAME_LEN,
     Ack,
     Hello,
+    MetricsReport,
+    MetricsRequest,
     NetBroadcast,
     NetDeliver,
     NetMessage,
@@ -87,6 +90,13 @@ from repro.net.protocol import (
     decode_net_payload,
 )
 from repro.net.stream import FrameStream
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_snapshots,
+    snapshot_from_json,
+    snapshot_to_json,
+)
+from repro.obs.trace import SpanWriter, tracing
 from repro.system.transport import BROADCAST, Delivery, InMemoryTransport
 from repro.wire.codec import DEFAULT_MAX_FRAME_PAYLOAD
 
@@ -125,12 +135,15 @@ class _RelayLink:
 
     __slots__ = (
         "relay_id", "stream", "outbound", "wake", "in_flight",
-        "sender_task", "entities", "closed",
+        "sender_task", "entities", "closed", "last_metrics",
     )
 
     def __init__(self, relay_id: str, stream: FrameStream):
         self.relay_id = relay_id
         self.stream = stream
+        #: The latest metrics snapshot this relay pushed up (its whole
+        #: subtree, pre-merged relay-side); None until the first push.
+        self.last_metrics: Optional[dict] = None
         #: (message, counted) pairs awaiting transmission.  ``counted``
         #: marks routed units that participate in quiescence accounting
         #: (NetDeliver/RelayBroadcast); control replies are uncounted.
@@ -166,6 +179,8 @@ class BrokerServer:
         max_log: int = 100_000,
         max_backlog: int = 10_000,
         max_relays: int = 256,
+        metrics_interval: float = 0.0,
+        obs_path: Optional[str] = None,
     ):
         self.host = host
         self.port = port  # updated to the bound port by start()
@@ -191,6 +206,16 @@ class BrokerServer:
         self.max_backlog = max_backlog
         #: Bound on simultaneously connected downstream relay links.
         self.max_relays = max_relays
+        #: Seconds between periodic metrics span records (0 = off).  The
+        #: broker is the federation root, so it has nowhere to push
+        #: reports *to*; its interval drives local ``obs.jsonl`` metrics
+        #: lines instead (relays additionally push up on theirs).
+        self.metrics_interval = metrics_interval
+        #: Per-instance registry: multiple brokers in one test process
+        #: must not share counters.
+        self.metrics = MetricsRegistry()
+        self._obs = SpanWriter(obs_path, "broker") if obs_path else None
+        self._metrics_task: Optional[asyncio.Task] = None
         #: Routing + accounting: the same router the in-process tests use.
         self.route = InMemoryTransport()
         self.delivered_total = 0
@@ -217,6 +242,10 @@ class BrokerServer:
             self._on_connect, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_interval > 0 and self._obs is not None:
+            self._metrics_task = asyncio.get_running_loop().create_task(
+                self._metrics_loop()
+            )
         logger.info("broker listening on %s:%d", self.host, self.port)
         return self.host, self.port
 
@@ -234,6 +263,12 @@ class BrokerServer:
     async def aclose(self) -> None:
         """Stop accepting, drop every connection, cancel pushers."""
         self._shutdown.set()
+        if self._metrics_task is not None:
+            self._metrics_task.cancel()
+            self._metrics_task = None
+        if self._obs is not None:
+            self._obs.metrics(self._metrics_snapshot())  # final flush
+            self._obs.close()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -329,6 +364,9 @@ class BrokerServer:
             raise
         conn.pusher = asyncio.get_running_loop().create_task(self._push_loop(conn))
         conn.mail.set()  # flush any backlog queued while offline
+        self.metrics.inc("broker.connect")
+        if self._obs is not None:
+            self._obs.span("connect", peer=entity)
         logger.info("entity %r connected from %s", entity, stream.peername())
         return conn
 
@@ -400,6 +438,9 @@ class BrokerServer:
         link.sender_task = asyncio.get_running_loop().create_task(
             self._link_send_loop(link)
         )
+        self.metrics.inc("broker.relay.connect")
+        if self._obs is not None:
+            self._obs.span("relay_connect", relay=relay_id)
         logger.info(
             "relay %r connected from %s", relay_id, stream.peername()
         )
@@ -412,6 +453,7 @@ class BrokerServer:
             conn.pusher.cancel()
         # in_flight pushes die with the connection (at-most-once); the
         # entity's unpushed inbox survives for a reconnect.
+        self.metrics.inc("broker.disconnect")
         logger.info("entity %r disconnected", conn.entity)
 
     async def _read_loop(self, conn: _Connection) -> None:
@@ -432,6 +474,15 @@ class BrokerServer:
                 conn.in_flight = max(0, conn.in_flight - message.count)
             elif isinstance(message, StatsRequest):
                 await _send(conn.stream, self._stats(message.include_log))
+            elif isinstance(message, MetricsRequest):
+                await _send(
+                    conn.stream,
+                    MetricsReport(
+                        source="broker",
+                        snapshot=snapshot_to_json(self._metrics_snapshot()),
+                        trace=message.trace,
+                    ),
+                )
             elif isinstance(message, Shutdown):
                 logger.info("shutdown requested by %r", conn.entity)
                 self.shutdown()
@@ -486,6 +537,12 @@ class BrokerServer:
                 link.in_flight = max(0, link.in_flight - message.count)
             elif isinstance(message, RelayStatsRequest):
                 self._route_stats(message)
+            elif isinstance(message, MetricsReport):
+                # Periodic push from the relay: its whole subtree, already
+                # merged relay-side.  Kept (not forwarded) for the root
+                # aggregate a MetricsRequest answers.
+                link.last_metrics = snapshot_from_json(message.snapshot)
+                self.metrics.inc("broker.relay.metrics_reports")
             elif isinstance(message, Shutdown):
                 logger.info("shutdown requested via relay %r", link.relay_id)
                 self.shutdown()
@@ -513,6 +570,7 @@ class BrokerServer:
         were recorded when the frame was first routed.
         """
         self.bounced_requeues += 1
+        self.metrics.inc("broker.bounce")
         if not self._admit_entity(message.receiver):
             return
         link = self._via_relay.get(message.receiver)
@@ -523,7 +581,8 @@ class BrokerServer:
             message.receiver,
             [Delivery(sender=message.sender, receiver=message.receiver,
                       kind=message.kind, payload=message.payload,
-                      note=message.note)],
+                      note=message.note,
+                      trace=message.trace if any(message.trace) else b"")],
         )
         self._trim_inbox(message.receiver)
         self._kick(message.receiver)
@@ -562,9 +621,12 @@ class BrokerServer:
                     kind=delivery.kind,
                     note=delivery.note,
                     payload=delivery.payload,
+                    trace=delivery.trace,
                 ),
                 counted=True,
             )
+        if self._obs is not None:
+            self._obs.span("attach", peer=entity, relay=link.relay_id)
         logger.info("entity %r attached via relay %r", entity, link.relay_id)
 
     def _detach(self, link: _RelayLink, entity: str) -> None:
@@ -620,6 +682,7 @@ class BrokerServer:
         if link.sender_task is not None:
             link.sender_task.cancel()
         asyncio.get_running_loop().create_task(link.stream.aclose())
+        self.metrics.inc("broker.relay.drop")
         logger.warning("dropping relay link %r: %s", link.relay_id, reason)
 
     async def _link_send_loop(self, link: _RelayLink) -> None:
@@ -658,15 +721,26 @@ class BrokerServer:
             )
         if not self._admit_entity(message.receiver):
             return  # over the name bound: accounted as dropped
+        self.metrics.inc("broker.deliver")
+        if self._obs is not None:
+            self._obs.span(
+                "deliver", trace=message.trace, sender=message.sender,
+                receiver=message.receiver, kind=message.kind,
+                size=len(message.payload),
+            )
         link = self._via_relay.get(message.receiver)
         if link is None:
-            self.route.deliver(
-                message.sender,
-                message.receiver,
-                message.kind,
-                message.payload,
-                note=message.note,
-            )
+            # tracing(): the router stamps the *ambient* trace onto the
+            # Delivery it queues, so the frame's id must be ambient here
+            # for the push loop to carry it onward.
+            with tracing(message.trace):
+                self.route.deliver(
+                    message.sender,
+                    message.receiver,
+                    message.kind,
+                    message.payload,
+                    note=message.note,
+                )
             self.delivered_total += 1
             self._trim_inbox(message.receiver)
             self._kick(message.receiver)
@@ -690,12 +764,19 @@ class BrokerServer:
         ``RelayBroadcast`` copy, keyed by a fresh sequence id so every
         hop can dedup.  The accounting stays exactly one ``"*"`` record.
         """
+        self.metrics.inc("broker.broadcast")
+        if self._obs is not None:
+            self._obs.span(
+                "broadcast", trace=message.trace, sender=message.sender,
+                kind=message.kind, size=len(message.payload),
+            )
         exclude = set(self._via_relay)
         before = self.route.pending()
-        self.route.broadcast(
-            message.sender, message.kind, message.payload,
-            note=message.note, exclude=exclude,
-        )
+        with tracing(message.trace):
+            self.route.broadcast(
+                message.sender, message.kind, message.payload,
+                note=message.note, exclude=exclude,
+            )
         self.delivered_total += self.route.pending() - before
         for entity in self.route.entities():
             if entity != message.sender and entity not in exclude:
@@ -709,6 +790,7 @@ class BrokerServer:
                 kind=message.kind,
                 note=message.note,
                 payload=message.payload,
+                trace=message.trace,
             )
             for link in list(self._relays.values()):
                 if self._queue_to_link(link, frame, counted=True):
@@ -810,6 +892,7 @@ class BrokerServer:
                                     kind=delivery.kind,
                                     note=delivery.note,
                                     payload=delivery.payload,
+                                    trace=delivery.trace,
                                 ),
                             )
                         except SerializationError:
@@ -840,6 +923,51 @@ class BrokerServer:
             # silently lost.
             self.route.requeue(conn.entity, pending[1:])
             raise
+
+    # -- metrics -------------------------------------------------------------
+
+    def _metrics_snapshot(self) -> dict:
+        """The root subtree aggregate: own registry + every relay's last
+        pushed report.
+
+        Routing state and lifetime totals already tracked as plain
+        attributes are folded in as gauges at snapshot time (one source
+        of truth; no double bookkeeping on the hot path).
+        """
+        self.metrics.set_gauge("broker.pending", self.route.pending())
+        self.metrics.set_gauge(
+            "broker.in_flight",
+            sum(c.in_flight for c in self._connections.values())
+            + sum(link.in_flight for link in self._relays.values()),
+        )
+        self.metrics.set_gauge("broker.leaf_connections", len(self._connections))
+        self.metrics.set_gauge("broker.relay_links", len(self._relays))
+        self.metrics.set_gauge("broker.relay_entities", len(self._via_relay))
+        self.metrics.set_gauge("broker.delivered_total", self.delivered_total)
+        self.metrics.set_gauge("broker.dropped_total", self.dropped_total)
+        self.metrics.set_gauge(
+            "broker.slow_consumer_disconnects", self.slow_consumer_disconnects
+        )
+        self.metrics.set_gauge("broker.bounced_requeues", self.bounced_requeues)
+        self.metrics.set_gauge(
+            "broker.relay_broadcasts_down", self.relay_broadcasts_down
+        )
+        own = self.metrics.snapshot()
+        reports = [
+            link.last_metrics
+            for link in self._relays.values()
+            if link.last_metrics is not None
+        ]
+        if reports:
+            return merge_snapshots([own] + reports)
+        return own
+
+    async def _metrics_loop(self) -> None:
+        """Periodic ``obs.jsonl`` metrics lines (the root has no upstream
+        to push reports to)."""
+        while True:
+            await asyncio.sleep(self.metrics_interval)
+            self._obs.metrics(self._metrics_snapshot())
 
     # -- stats ---------------------------------------------------------------
 
@@ -890,11 +1018,15 @@ class BrokerServer:
 
 
 async def _amain(args: argparse.Namespace) -> int:
+    obs_path = None
+    if args.obs_dir:
+        obs_path = os.path.join(args.obs_dir, "obs.jsonl")
     broker = BrokerServer(
         args.host, args.port, max_frame=args.max_frame,
         max_inbox=args.max_inbox, max_entities=args.max_entities,
         handshake_timeout=args.handshake_timeout,
         max_backlog=args.max_backlog, max_relays=args.max_relays,
+        metrics_interval=args.metrics_interval, obs_path=obs_path,
     )
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -936,6 +1068,12 @@ def main(argv=None) -> int:
                              "(slow consumers are disconnected beyond it)")
     parser.add_argument("--max-relays", type=int, default=256,
                         help="bound on connected downstream relay links")
+    parser.add_argument("--metrics-interval", type=float, default=0.0,
+                        help="seconds between periodic metrics span records "
+                             "in obs.jsonl (0 = off; needs --obs-dir)")
+    parser.add_argument("--obs-dir", default=None,
+                        help="directory for the obs.jsonl span log "
+                             "(off when unset)")
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
     logging.basicConfig(

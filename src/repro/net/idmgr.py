@@ -14,6 +14,8 @@ from repro.net._cli import add_common_arguments, install_stop_signals, parse_end
 from repro.net.bootstrap import build_identity_stack, load_scenario, write_bundle
 from repro.net.runtime import pump_forever
 from repro.net.transport import TcpTransport
+from repro.obs.metrics import get_registry
+from repro.obs.trace import writer_for
 from repro.store import IdMgrPersistence
 from repro.system.service import IdentityManagerEndpoint
 
@@ -44,12 +46,14 @@ def main(argv=None) -> int:
 
     stop = install_stop_signals()
     host, port = parse_endpoint(args.broker)
+    obs = writer_for(args.data_dir, scenario["idmgr"])
     try:
         with TcpTransport(host, port) as transport:
             endpoint = IdentityManagerEndpoint(
                 idmgr, transport, name=scenario["idmgr"],
                 persistence=persistence,
             )
+            endpoint.span_writer = obs
             print("idmgr serving as %r on %s" % (endpoint.name, args.broker),
                   flush=True)
             errors = []
@@ -60,6 +64,9 @@ def main(argv=None) -> int:
                 print("rejected %d token requests" % len(endpoint.rejections),
                       flush=True)
     finally:
+        if obs is not None:
+            obs.metrics(get_registry().snapshot())
+            obs.close()
         if persistence is not None:
             persistence.close()
     return 0

@@ -33,6 +33,21 @@ detection: a client acknowledges deliveries only after its endpoint has
 *handled* them, so ``pending == 0 and in_flight == 0`` at the broker
 means the whole system is idle (no frames queued, in transit, or being
 processed) -- the networked analogue of ``run_until_idle`` returning.
+
+Every message optionally carries a 16-byte **trace id** as a trailing
+payload field (:func:`pack_trace` / :func:`read_trace`): the all-zeros
+"no trace" value is encoded by *omission*, so untraced traffic is
+byte-identical to the pre-trace protocol, a pre-trace decoder never
+sees the field, and a pre-trace frame decodes here with
+``trace == ZERO_TRACE``.  Any other trailing length is refused as
+malformed.  Trace ids are opaque routing metadata (never payload
+bytes); :mod:`repro.obs` owns their semantics.
+
+:class:`MetricsRequest` / :class:`MetricsReport` carry point-in-time
+:mod:`repro.obs.metrics` snapshots (canonical JSON, size-capped):
+brokers answer requests with their subtree aggregate, relays push
+reports upstream on ``--metrics-interval`` and answer requests on
+their monitor port.
 """
 
 from __future__ import annotations
@@ -41,6 +56,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Tuple, Type
 
 from repro.errors import SerializationError
+from repro.obs.trace import TRACE_LEN, ZERO_TRACE
 from repro.wire.codec import (
     Cursor,
     decode_frame,
@@ -54,8 +70,13 @@ from repro.wire.codec import (
 __all__ = [
     "BROADCAST",
     "ENVELOPE_OVERHEAD",
+    "MAX_METRICS_SNAPSHOT",
     "MAX_NAME_LEN",
     "MAX_RELAY_PATH",
+    "TRACE_LEN",
+    "ZERO_TRACE",
+    "pack_trace",
+    "read_trace",
     "NetMessage",
     "Hello",
     "Welcome",
@@ -74,6 +95,8 @@ __all__ = [
     "RelayBroadcast",
     "RelayStatsRequest",
     "RelayStatsReply",
+    "MetricsRequest",
+    "MetricsReport",
     "NET_MESSAGE_TYPES",
     "decode_net_message",
     "decode_net_payload",
@@ -87,7 +110,7 @@ __all__ = [
 #: ENVELOPE_OVERHEAD`` so any application frame legal under ``max_frame``
 #: survives wrapping; the routed payload itself is checked against
 #: ``max_frame`` explicitly on both sides.
-ENVELOPE_OVERHEAD = 4 * (2 + 65535) + 4
+ENVELOPE_OVERHEAD = 4 * (2 + 65535) + 4 + TRACE_LEN
 
 #: The reserved multicast receiver name, mirrored from
 #: :data:`repro.system.transport.BROADCAST`.  Redeclared here (rather
@@ -106,6 +129,45 @@ MAX_NAME_LEN = 128
 #: decode-side allocation and caps how deep a federation tree can grow;
 #: a path longer than this is refused as malformed.
 MAX_RELAY_PATH = 64
+
+#: Largest serialized metrics snapshot a :class:`MetricsReport` may
+#: carry (mirrors ``repro.obs.metrics.MAX_SNAPSHOT_BYTES``): telemetry
+#: is aggregate numbers, so anything bigger is hostile or broken.
+MAX_METRICS_SNAPSHOT = 1 << 20
+
+
+def pack_trace(trace: bytes) -> bytes:
+    """Encode a trace id as the optional trailing payload field.
+
+    The no-trace value (empty or all zeros) encodes as *nothing*, so
+    untraced frames stay byte-identical to the pre-trace protocol.
+    """
+    if not trace or not any(trace):
+        return b""
+    if len(trace) != TRACE_LEN:
+        raise SerializationError(
+            "trace id must be %d bytes, got %d" % (TRACE_LEN, len(trace))
+        )
+    return bytes(trace)
+
+
+def read_trace(cursor: Cursor) -> bytes:
+    """Read the optional trailing trace id; call after every other field.
+
+    Nothing left means "no trace" (also how every pre-trace frame
+    decodes); exactly :data:`TRACE_LEN` bytes is a trace id; any other
+    trailing length is malformed -- an oversized or truncated trace id
+    is refused rather than truncated or padded.
+    """
+    remaining = cursor.remaining()
+    if remaining == 0:
+        return ZERO_TRACE
+    if remaining != TRACE_LEN:
+        raise SerializationError(
+            "%d trailing bytes are neither empty nor a %d-byte trace id"
+            % (remaining, TRACE_LEN)
+        )
+    return cursor.take(TRACE_LEN)
 
 
 class NetMessage:
@@ -129,18 +191,20 @@ class Hello(NetMessage):
     """Client -> broker: bind this connection to an entity name."""
 
     entity: str
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 64
 
     def payload_bytes(self) -> bytes:
-        return pack_str(self.entity)
+        return pack_str(self.entity) + pack_trace(self.trace)
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "Hello":
         cursor = Cursor(payload)
-        message = cls(entity=cursor.read_str())
+        entity = cursor.read_str()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return message
+        return cls(entity=entity, trace=trace)
 
 
 @dataclass(frozen=True)
@@ -150,22 +214,27 @@ class Welcome(NetMessage):
     ok: bool
     entity: str
     reason: str = ""
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 65
 
     def payload_bytes(self) -> bytes:
-        return pack_bool(self.ok) + pack_str(self.entity) + pack_str(self.reason)
+        return (
+            pack_bool(self.ok)
+            + pack_str(self.entity)
+            + pack_str(self.reason)
+            + pack_trace(self.trace)
+        )
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "Welcome":
         cursor = Cursor(payload)
-        message = cls(
-            ok=cursor.read_bool(),
-            entity=cursor.read_str(),
-            reason=cursor.read_str(),
-        )
+        ok = cursor.read_bool()
+        entity = cursor.read_str()
+        reason = cursor.read_str()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return message
+        return cls(ok=ok, entity=entity, reason=reason, trace=trace)
 
 
 @dataclass(frozen=True)
@@ -182,6 +251,7 @@ class NetDeliver(NetMessage):
     kind: str
     note: str
     payload: bytes
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 66
 
@@ -192,20 +262,27 @@ class NetDeliver(NetMessage):
             + pack_str(self.kind)
             + pack_str(self.note)
             + pack_bytes(self.payload)
+            + pack_trace(self.trace)
         )
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "NetDeliver":
         cursor = Cursor(payload)
-        message = cls(
-            sender=cursor.read_str(),
-            receiver=cursor.read_str(),
-            kind=cursor.read_str(),
-            note=cursor.read_str(),
-            payload=cursor.read_bytes(),
-        )
+        sender = cursor.read_str()
+        receiver = cursor.read_str()
+        kind = cursor.read_str()
+        note = cursor.read_str()
+        body = cursor.read_bytes()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return message
+        return cls(
+            sender=sender,
+            receiver=receiver,
+            kind=kind,
+            note=note,
+            payload=body,
+            trace=trace,
+        )
 
 
 @dataclass(frozen=True)
@@ -216,6 +293,7 @@ class NetBroadcast(NetMessage):
     kind: str
     note: str
     payload: bytes
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 67
 
@@ -225,19 +303,21 @@ class NetBroadcast(NetMessage):
             + pack_str(self.kind)
             + pack_str(self.note)
             + pack_bytes(self.payload)
+            + pack_trace(self.trace)
         )
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "NetBroadcast":
         cursor = Cursor(payload)
-        message = cls(
-            sender=cursor.read_str(),
-            kind=cursor.read_str(),
-            note=cursor.read_str(),
-            payload=cursor.read_bytes(),
-        )
+        sender = cursor.read_str()
+        kind = cursor.read_str()
+        note = cursor.read_str()
+        body = cursor.read_bytes()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return message
+        return cls(
+            sender=sender, kind=kind, note=note, payload=body, trace=trace
+        )
 
 
 @dataclass(frozen=True)
@@ -245,18 +325,20 @@ class Ack(NetMessage):
     """Client -> broker: ``count`` pushed deliveries have been processed."""
 
     count: int
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 68
 
     def payload_bytes(self) -> bytes:
-        return pack_u32(self.count)
+        return pack_u32(self.count) + pack_trace(self.trace)
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "Ack":
         cursor = Cursor(payload)
-        message = cls(count=cursor.read_u32())
+        count = cursor.read_u32()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return message
+        return cls(count=count, trace=trace)
 
 
 @dataclass(frozen=True)
@@ -264,18 +346,20 @@ class StatsRequest(NetMessage):
     """Client -> broker: report routing/accounting state."""
 
     include_log: bool = False
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 69
 
     def payload_bytes(self) -> bytes:
-        return pack_bool(self.include_log)
+        return pack_bool(self.include_log) + pack_trace(self.trace)
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "StatsRequest":
         cursor = Cursor(payload)
-        message = cls(include_log=cursor.read_bool())
+        include_log = cursor.read_bool()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return message
+        return cls(include_log=include_log, trace=trace)
 
 
 @dataclass(frozen=True)
@@ -332,6 +416,7 @@ class StatsReply(NetMessage):
     log_complete: bool = True
     log: Tuple[TrafficRecord, ...] = field(default_factory=tuple)
     counters: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 70
 
@@ -356,7 +441,7 @@ class StatsReply(NetMessage):
         out += b"".join(
             pack_str(name) + pack_u32(value) for name, value in self.counters
         )
-        return out
+        return out + pack_trace(self.trace)
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "StatsReply":
@@ -372,6 +457,7 @@ class StatsReply(NetMessage):
         counters = tuple(
             (cursor.read_str(), cursor.read_u32()) for _ in range(counter_count)
         )
+        trace = read_trace(cursor)
         cursor.expect_end()
         return cls(
             pending=pending,
@@ -381,6 +467,7 @@ class StatsReply(NetMessage):
             log_complete=log_complete,
             log=log,
             counters=counters,
+            trace=trace,
         )
 
 
@@ -393,15 +480,19 @@ class Shutdown(NetMessage):
     authentication, which the demo runtime does not have.
     """
 
+    trace: bytes = ZERO_TRACE
+
     TYPE_ID = 71
 
     def payload_bytes(self) -> bytes:
-        return b""
+        return pack_trace(self.trace)
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "Shutdown":
-        Cursor(payload).expect_end()
-        return cls()
+        cursor = Cursor(payload)
+        trace = read_trace(cursor)
+        cursor.expect_end()
+        return cls(trace=trace)
 
 
 @dataclass(frozen=True)
@@ -415,18 +506,20 @@ class RelayHello(NetMessage):
     """
 
     relay_id: str
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 72
 
     def payload_bytes(self) -> bytes:
-        return pack_str(self.relay_id)
+        return pack_str(self.relay_id) + pack_trace(self.trace)
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "RelayHello":
         cursor = Cursor(payload)
-        message = cls(relay_id=cursor.read_str())
+        relay_id = cursor.read_str()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return message
+        return cls(relay_id=relay_id, trace=trace)
 
 
 @dataclass(frozen=True)
@@ -444,6 +537,7 @@ class RelayWelcome(NetMessage):
     relay_id: str
     path: Tuple[str, ...] = ()
     reason: str = ""
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 73
 
@@ -454,7 +548,7 @@ class RelayWelcome(NetMessage):
             + pack_u32(len(self.path))
         )
         out += b"".join(pack_str(hop) for hop in self.path)
-        return out + pack_str(self.reason)
+        return out + pack_str(self.reason) + pack_trace(self.trace)
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "RelayWelcome":
@@ -469,8 +563,11 @@ class RelayWelcome(NetMessage):
             )
         path = tuple(cursor.read_str() for _ in range(count))
         reason = cursor.read_str()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return cls(ok=ok, relay_id=relay_id, path=path, reason=reason)
+        return cls(
+            ok=ok, relay_id=relay_id, path=path, reason=reason, trace=trace
+        )
 
 
 @dataclass(frozen=True)
@@ -484,18 +581,20 @@ class RelayAttach(NetMessage):
     """
 
     entity: str
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 74
 
     def payload_bytes(self) -> bytes:
-        return pack_str(self.entity)
+        return pack_str(self.entity) + pack_trace(self.trace)
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "RelayAttach":
         cursor = Cursor(payload)
-        message = cls(entity=cursor.read_str())
+        entity = cursor.read_str()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return message
+        return cls(entity=entity, trace=trace)
 
 
 @dataclass(frozen=True)
@@ -505,22 +604,27 @@ class RelayAttachReply(NetMessage):
     ok: bool
     entity: str
     reason: str = ""
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 75
 
     def payload_bytes(self) -> bytes:
-        return pack_bool(self.ok) + pack_str(self.entity) + pack_str(self.reason)
+        return (
+            pack_bool(self.ok)
+            + pack_str(self.entity)
+            + pack_str(self.reason)
+            + pack_trace(self.trace)
+        )
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "RelayAttachReply":
         cursor = Cursor(payload)
-        message = cls(
-            ok=cursor.read_bool(),
-            entity=cursor.read_str(),
-            reason=cursor.read_str(),
-        )
+        ok = cursor.read_bool()
+        entity = cursor.read_str()
+        reason = cursor.read_str()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return message
+        return cls(ok=ok, entity=entity, reason=reason, trace=trace)
 
 
 @dataclass(frozen=True)
@@ -532,18 +636,20 @@ class RelayDetach(NetMessage):
     """
 
     entity: str
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 76
 
     def payload_bytes(self) -> bytes:
-        return pack_str(self.entity)
+        return pack_str(self.entity) + pack_trace(self.trace)
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "RelayDetach":
         cursor = Cursor(payload)
-        message = cls(entity=cursor.read_str())
+        entity = cursor.read_str()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return message
+        return cls(entity=entity, trace=trace)
 
 
 @dataclass(frozen=True)
@@ -564,6 +670,7 @@ class RelayBroadcast(NetMessage):
     kind: str
     note: str
     payload: bytes
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 77
 
@@ -574,20 +681,27 @@ class RelayBroadcast(NetMessage):
             + pack_str(self.kind)
             + pack_str(self.note)
             + pack_bytes(self.payload)
+            + pack_trace(self.trace)
         )
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "RelayBroadcast":
         cursor = Cursor(payload)
-        message = cls(
-            seq=cursor.read_u32(),
-            sender=cursor.read_str(),
-            kind=cursor.read_str(),
-            note=cursor.read_str(),
-            payload=cursor.read_bytes(),
-        )
+        seq = cursor.read_u32()
+        sender = cursor.read_str()
+        kind = cursor.read_str()
+        note = cursor.read_str()
+        body = cursor.read_bytes()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return message
+        return cls(
+            seq=seq,
+            sender=sender,
+            kind=kind,
+            note=note,
+            payload=body,
+            trace=trace,
+        )
 
 
 @dataclass(frozen=True)
@@ -600,18 +714,25 @@ class RelayStatsRequest(NetMessage):
 
     entity: str
     include_log: bool = False
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 78
 
     def payload_bytes(self) -> bytes:
-        return pack_str(self.entity) + pack_bool(self.include_log)
+        return (
+            pack_str(self.entity)
+            + pack_bool(self.include_log)
+            + pack_trace(self.trace)
+        )
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "RelayStatsRequest":
         cursor = Cursor(payload)
-        message = cls(entity=cursor.read_str(), include_log=cursor.read_bool())
+        entity = cursor.read_str()
+        include_log = cursor.read_bool()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return message
+        return cls(entity=entity, include_log=include_log, trace=trace)
 
 
 @dataclass(frozen=True)
@@ -626,18 +747,97 @@ class RelayStatsReply(NetMessage):
 
     entity: str
     reply: bytes
+    trace: bytes = ZERO_TRACE
 
     TYPE_ID = 79
 
     def payload_bytes(self) -> bytes:
-        return pack_str(self.entity) + pack_bytes(self.reply)
+        return (
+            pack_str(self.entity)
+            + pack_bytes(self.reply)
+            + pack_trace(self.trace)
+        )
 
     @classmethod
     def from_payload(cls, payload: bytes) -> "RelayStatsReply":
         cursor = Cursor(payload)
-        message = cls(entity=cursor.read_str(), reply=cursor.read_bytes())
+        entity = cursor.read_str()
+        reply = cursor.read_bytes()
+        trace = read_trace(cursor)
         cursor.expect_end()
-        return message
+        return cls(entity=entity, reply=reply, trace=trace)
+
+
+@dataclass(frozen=True)
+class MetricsRequest(NetMessage):
+    """Client -> server: report a point-in-time metrics snapshot.
+
+    A broker answers with its root-aggregated subtree; a relay (on its
+    monitor port, same first-frame convention as ``StatsRequest``)
+    answers with its own subtree aggregate.  Purely observational -- a
+    server with no metrics enabled still answers with an empty
+    snapshot, so probes never need to know the server's configuration.
+    """
+
+    trace: bytes = ZERO_TRACE
+
+    TYPE_ID = 80
+
+    def payload_bytes(self) -> bytes:
+        return pack_trace(self.trace)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "MetricsRequest":
+        cursor = Cursor(payload)
+        trace = read_trace(cursor)
+        cursor.expect_end()
+        return cls(trace=trace)
+
+
+@dataclass(frozen=True)
+class MetricsReport(NetMessage):
+    """A metrics snapshot on the move.
+
+    ``source`` names the producing node (entity name or relay id);
+    ``snapshot`` is canonical :func:`repro.obs.metrics.snapshot_to_json`
+    bytes, size-capped at decode and re-validated by
+    ``snapshot_from_json`` before it enters any aggregate.  Travels in
+    both directions: a relay *pushes* its subtree report upstream every
+    ``--metrics-interval`` seconds, and servers send it as the reply to
+    :class:`MetricsRequest`.  Telemetry only -- never payload bytes.
+    """
+
+    source: str
+    snapshot: bytes
+    trace: bytes = ZERO_TRACE
+
+    TYPE_ID = 81
+
+    def payload_bytes(self) -> bytes:
+        if len(self.snapshot) > MAX_METRICS_SNAPSHOT:
+            raise SerializationError(
+                "metrics snapshot of %d bytes exceeds the %d-byte cap"
+                % (len(self.snapshot), MAX_METRICS_SNAPSHOT)
+            )
+        return (
+            pack_str(self.source)
+            + pack_bytes(self.snapshot)
+            + pack_trace(self.trace)
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "MetricsReport":
+        cursor = Cursor(payload)
+        source = cursor.read_str()
+        snapshot = cursor.read_bytes()
+        if len(snapshot) > MAX_METRICS_SNAPSHOT:
+            raise SerializationError(
+                "metrics snapshot of %d bytes exceeds the %d-byte cap"
+                % (len(snapshot), MAX_METRICS_SNAPSHOT)
+            )
+        trace = read_trace(cursor)
+        cursor.expect_end()
+        return cls(source=source, snapshot=snapshot, trace=trace)
 
 
 NET_MESSAGE_TYPES: Dict[int, Type[NetMessage]] = {
@@ -659,6 +859,8 @@ NET_MESSAGE_TYPES: Dict[int, Type[NetMessage]] = {
         RelayBroadcast,
         RelayStatsRequest,
         RelayStatsReply,
+        MetricsRequest,
+        MetricsReport,
     )
 }
 

@@ -43,6 +43,8 @@ from repro.net.runtime import (
     wait_until_quiet,
 )
 from repro.net.transport import TcpTransport
+from repro.obs.metrics import get_registry
+from repro.obs.trace import writer_for
 from repro.store import PublisherPersistence
 from repro.system.service import DisseminationService
 
@@ -172,11 +174,13 @@ def main(argv=None) -> int:
 
     stop = install_stop_signals()
     host, port = parse_endpoint(args.broker)
+    obs = writer_for(args.data_dir, publisher.name)
     try:
         with TcpTransport(host, port) as transport:
             service = DisseminationService(
                 publisher, transport, persistence=persistence
             )
+            service.span_writer = obs
             print("publisher serving as %r on %s" % (publisher.name, args.broker),
                   flush=True)
             if args.serve:
@@ -202,6 +206,9 @@ def main(argv=None) -> int:
                 write_json(args.report, report)
             print(json.dumps(report, indent=2, sort_keys=True), flush=True)
     finally:
+        if obs is not None:
+            obs.metrics(get_registry().snapshot())
+            obs.close()
         if persistence is not None:
             persistence.close()
     return 0

@@ -67,6 +67,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import logging
+import os
 import signal
 import socket
 import sys
@@ -81,6 +82,8 @@ from repro.net.protocol import (
     MAX_RELAY_PATH,
     Ack,
     Hello,
+    MetricsReport,
+    MetricsRequest,
     NetBroadcast,
     NetDeliver,
     NetMessage,
@@ -99,9 +102,19 @@ from repro.net.protocol import (
     decode_net_payload,
 )
 from repro.net.stream import FrameDecoder, FrameStream, open_frame_stream
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_snapshots,
+    snapshot_from_json,
+    snapshot_to_json,
+)
+from repro.obs.trace import SpanWriter
 from repro.wire.codec import DEFAULT_MAX_FRAME_PAYLOAD
 
-__all__ = ["RelayServer", "request_local_stats", "main", "SEEN_CAP"]
+__all__ = [
+    "RelayServer", "request_local_stats", "request_local_metrics",
+    "main", "SEEN_CAP",
+]
 
 logger = logging.getLogger("repro.net.relay")
 
@@ -132,13 +145,16 @@ class _Down:
 
     __slots__ = (
         "kind", "name", "stream", "outbound", "wake", "tokens",
-        "entities", "sender_task", "closed",
+        "entities", "sender_task", "closed", "last_metrics",
     )
 
     def __init__(self, kind: str, name: str, stream: FrameStream):
         self.kind = kind  # "entity" | "relay"
         self.name = name
         self.stream = stream
+        #: For relay links: the latest metrics snapshot the downstream
+        #: relay pushed up (its whole subtree); None until the first push.
+        self.last_metrics: Optional[dict] = None
         #: (message, counted) awaiting transmission, FIFO.
         self.outbound: Deque[Tuple[NetMessage, bool]] = deque()
         self.wake = asyncio.Event()
@@ -171,6 +187,8 @@ class RelayServer:
         max_backlog: int = 10_000,
         handshake_timeout: float = 10.0,
         seen_cap: int = SEEN_CAP,
+        metrics_interval: float = 0.0,
+        obs_path: Optional[str] = None,
     ):
         self.relay_id = relay_id
         self.upstream_host = upstream_host
@@ -181,6 +199,17 @@ class RelayServer:
         self.max_backlog = max_backlog
         self.handshake_timeout = handshake_timeout
         self.seen_cap = seen_cap
+        #: Seconds between upstream MetricsReport pushes (0 = off).  Each
+        #: push carries this node's whole subtree, pre-merged, so the
+        #: root only ever aggregates its direct links.
+        self.metrics_interval = metrics_interval
+        #: Per-instance registry: multiple relays in one test process
+        #: must not share counters.
+        self.metrics = MetricsRegistry()
+        self._obs = (
+            SpanWriter(obs_path, "relay:%s" % relay_id) if obs_path else None
+        )
+        self._metrics_task: Optional[asyncio.Task] = None
         #: Relay-id chain from the root down to (and including) this
         #: node; set by the upstream handshake and handed to downstream
         #: relays for loop refusal.
@@ -270,6 +299,10 @@ class RelayServer:
         self._up_task = asyncio.get_running_loop().create_task(
             self._upstream_loop()
         )
+        if self.metrics_interval > 0:
+            self._metrics_task = asyncio.get_running_loop().create_task(
+                self._metrics_loop()
+            )
         logger.info(
             "relay %r listening on %s:%d (path %s)",
             self.relay_id, self.host, self.port, "/".join(self.path),
@@ -290,6 +323,12 @@ class RelayServer:
     async def aclose(self) -> None:
         """Close the listener, the upstream link and every downstream."""
         self._shutdown.set()
+        if self._metrics_task is not None:
+            self._metrics_task.cancel()
+            self._metrics_task = None
+        if self._obs is not None:
+            self._obs.metrics(self._metrics_snapshot())  # final flush
+            self._obs.close()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -367,6 +406,12 @@ class RelayServer:
             await self._ack_up(1)
             return
         self.unicast_down += 1
+        if self._obs is not None:
+            self._obs.span(
+                "deliver", trace=message.trace, sender=message.sender,
+                receiver=message.receiver, kind=message.kind,
+                size=len(message.payload),
+            )
         unit = _Unit()
         await self._push(down, message, unit)
         if unit.outstanding == 0:
@@ -385,6 +430,12 @@ class RelayServer:
         while len(self._seen_order) > self.seen_cap:
             self._seen.discard(self._seen_order.popleft())
         self.broadcasts_down += 1
+        if self._obs is not None:
+            self._obs.span(
+                "broadcast", trace=message.trace, sender=message.sender,
+                kind=message.kind, seq=message.seq,
+                size=len(message.payload),
+            )
         unit = _Unit()
         for down in list(self._downs):
             if down.kind == "entity":
@@ -396,6 +447,7 @@ class RelayServer:
                     kind=message.kind,
                     note=message.note,
                     payload=message.payload,
+                    trace=message.trace,
                 )
                 if await self._push(down, copy, unit):
                     self.broadcast_deliveries += 1
@@ -488,10 +540,15 @@ class RelayServer:
                 # without touching the name table or quiescence state.
                 await _send(stream, self.local_stats())
                 await self._monitor_loop(stream)
+            elif isinstance(message, MetricsRequest):
+                # Metrics monitor: same no-name-table path, answering
+                # with this hop's subtree aggregate.
+                await _send(stream, self._metrics_report(message.trace))
+                await self._monitor_loop(stream)
             else:
                 raise SerializationError(
-                    "first frame must be Hello, RelayHello or StatsRequest,"
-                    " got %s" % type(message).__name__
+                    "first frame must be Hello, RelayHello, StatsRequest"
+                    " or MetricsRequest, got %s" % type(message).__name__
                 )
         except asyncio.TimeoutError:
             logger.warning(
@@ -630,6 +687,18 @@ class RelayServer:
                         entity=entity, include_log=message.include_log
                     )
                 )
+            elif isinstance(message, MetricsRequest):
+                # Answered locally: an entity attached here observes this
+                # hop's subtree aggregate (the root's view for entities
+                # attached at the root).
+                await self._push(
+                    down,
+                    MetricsReport(
+                        source=self.relay_id,
+                        snapshot=snapshot_to_json(self._metrics_snapshot()),
+                        trace=message.trace,
+                    ),
+                )
             elif isinstance(message, Shutdown):
                 # The root decides; its shutdown cascades back down as
                 # upstream EOF on every relay.
@@ -676,6 +745,11 @@ class RelayServer:
                 await self._pop_tokens(link, message.count)
             elif isinstance(message, RelayStatsRequest):
                 await self._send_up(message)
+            elif isinstance(message, MetricsReport):
+                # Periodic push from the downstream relay: kept (not
+                # forwarded as-is) -- our own push upstream merges it in,
+                # so reports aggregate hop by hop toward the root.
+                link.last_metrics = snapshot_from_json(message.snapshot)
             elif isinstance(message, RelayBroadcast):
                 # Multicast only ever travels downstream; from below it
                 # is a forged injection (or a loop the handshake should
@@ -697,11 +771,15 @@ class RelayServer:
             if frame is None:
                 return
             message = decode_net_payload(*frame)
-            if not isinstance(message, StatsRequest):
+            if isinstance(message, StatsRequest):
+                await _send(stream, self.local_stats())
+            elif isinstance(message, MetricsRequest):
+                await _send(stream, self._metrics_report(message.trace))
+            else:
                 raise SerializationError(
-                    "monitor connection may only send StatsRequest"
+                    "monitor connection may only send StatsRequest "
+                    "or MetricsRequest"
                 )
-            await _send(stream, self.local_stats())
 
     def _require_payload(self, payload: bytes) -> None:
         if len(payload) > self.max_frame:
@@ -817,6 +895,78 @@ class RelayServer:
                     return  # the read loop observes the close and cleans up
                 down.outbound.popleft()
 
+    # -- metrics ---------------------------------------------------------------
+
+    def _metrics_snapshot(self) -> dict:
+        """This node's subtree aggregate: own registry + the last report
+        pushed by every downstream relay link.
+
+        The hop's counter attributes fold in as gauges at snapshot time
+        (one source of truth); gauges *sum* under the merge, so at the
+        root e.g. ``relay.forwarded_up`` reads as the whole tree's
+        forwarding work.
+        """
+        self.metrics.set_gauge("relay.nodes", 1)
+        self.metrics.set_gauge(
+            "relay.pending", sum(len(d.outbound) for d in self._downs)
+        )
+        self.metrics.set_gauge(
+            "relay.in_flight", sum(len(d.tokens) for d in self._downs)
+        )
+        self.metrics.set_gauge(
+            "relay.entities_attached",
+            sum(1 for d in self._downs if d.kind == "entity"),
+        )
+        self.metrics.set_gauge(
+            "relay.downstream_relays",
+            sum(1 for d in self._downs if d.kind == "relay"),
+        )
+        self.metrics.set_gauge("relay.bound_names", len(self._bind))
+        self.metrics.set_gauge("relay.broadcasts_down", self.broadcasts_down)
+        self.metrics.set_gauge(
+            "relay.broadcast_deliveries", self.broadcast_deliveries
+        )
+        self.metrics.set_gauge("relay.unicast_down", self.unicast_down)
+        self.metrics.set_gauge("relay.forwarded_up", self.forwarded_up)
+        self.metrics.set_gauge("relay.bounced_up", self.bounced_up)
+        self.metrics.set_gauge("relay.dupes_dropped", self.dupes_dropped)
+        self.metrics.set_gauge(
+            "relay.slow_consumer_disconnects", self.slow_consumer_disconnects
+        )
+        self.metrics.set_gauge("relay.dropped_total", self.dropped_total)
+        self.metrics.set_gauge("relay.delivered_total", self.delivered_total)
+        own = self.metrics.snapshot()
+        reports = [
+            d.last_metrics
+            for d in self._downs
+            if d.kind == "relay" and d.last_metrics is not None
+        ]
+        if reports:
+            return merge_snapshots([own] + reports)
+        return own
+
+    def _metrics_report(self, trace: bytes = b"") -> MetricsReport:
+        return MetricsReport(
+            source=self.relay_id,
+            snapshot=snapshot_to_json(self._metrics_snapshot()),
+            trace=trace,
+        )
+
+    async def _metrics_loop(self) -> None:
+        """Push the subtree aggregate upstream every ``metrics_interval``
+        seconds (and mirror it into the local span log, if any)."""
+        while True:
+            await asyncio.sleep(self.metrics_interval)
+            snapshot = self._metrics_snapshot()
+            if self._obs is not None:
+                self._obs.metrics(snapshot)
+            self.metrics.inc("relay.metrics_pushes")
+            await self._send_up(
+                MetricsReport(
+                    source=self.relay_id, snapshot=snapshot_to_json(snapshot)
+                )
+            )
+
     # -- local stats -----------------------------------------------------------
 
     def local_stats(self) -> StatsReply:
@@ -889,6 +1039,42 @@ def request_local_stats(
         )
 
 
+def request_local_metrics(
+    host: str, port: int, timeout: float = 10.0,
+    max_frame: int = DEFAULT_MAX_FRAME_PAYLOAD,
+) -> dict:
+    """Synchronously fetch one relay's metrics snapshot (monitor client).
+
+    The metrics twin of :func:`request_local_stats`: a throwaway
+    connection whose first frame is a ``MetricsRequest``, answered with
+    the hop's subtree aggregate.  Returns the decoded snapshot dict.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            sock.sendall(MetricsRequest().encode())
+            decoder = FrameDecoder(max_frame + ENVELOPE_OVERHEAD)
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    raise NetworkError(
+                        "relay %s:%d closed before replying" % (host, port)
+                    )
+                frames = decoder.feed(chunk)
+                if frames:
+                    message = decode_net_payload(*frames[0])
+                    if not isinstance(message, MetricsReport):
+                        raise NetworkError(
+                            "relay metrics monitor answered with %s"
+                            % type(message).__name__
+                        )
+                    return snapshot_from_json(message.snapshot)
+    except (ConnectionError, OSError, socket.timeout) as exc:
+        raise NetworkError(
+            "relay metrics probe to %s:%d failed: %s" % (host, port, exc)
+        )
+
+
 # -- CLI ---------------------------------------------------------------------
 
 
@@ -896,11 +1082,15 @@ async def _amain(args: argparse.Namespace) -> int:
     from repro.net._cli import parse_endpoint, write_port_file
 
     upstream_host, upstream_port = parse_endpoint(args.upstream)
+    obs_path = None
+    if args.obs_dir:
+        obs_path = os.path.join(args.obs_dir, "obs.jsonl")
     relay = RelayServer(
         args.relay_id, upstream_host, upstream_port,
         args.host, args.port,
         max_frame=args.max_frame, max_backlog=args.max_backlog,
         handshake_timeout=args.handshake_timeout, seen_cap=args.seen_cap,
+        metrics_interval=args.metrics_interval, obs_path=obs_path,
     )
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -951,6 +1141,12 @@ def main(argv=None) -> int:
                         help="seconds a connection gets to handshake")
     parser.add_argument("--seen-cap", type=int, default=SEEN_CAP,
                         help="broadcast-dedup seen-set bound")
+    parser.add_argument("--metrics-interval", type=float, default=0.0,
+                        help="seconds between upstream MetricsReport "
+                             "pushes (0 = off)")
+    parser.add_argument("--obs-dir", default=None,
+                        help="directory for the obs.jsonl span log "
+                             "(off when unset)")
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
     logging.basicConfig(

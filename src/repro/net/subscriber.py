@@ -31,6 +31,8 @@ from repro.net.bootstrap import (
 )
 from repro.net.runtime import StopRequested, pump_until, wait_for_file
 from repro.net.transport import TcpTransport
+from repro.obs.metrics import get_registry
+from repro.obs.trace import writer_for
 from repro.store import SubscriberPersistence
 from repro.system.service import SubscriberClient
 
@@ -73,6 +75,7 @@ def main(argv=None) -> int:
 
     stop = install_stop_signals()
     host, port = parse_endpoint(args.broker)
+    obs = writer_for(args.data_dir, subscriber.nym)
     try:
         with TcpTransport(host, port) as transport:
             client = SubscriberClient(
@@ -86,6 +89,7 @@ def main(argv=None) -> int:
                 # (or no data dir) must run every OCBE exchange.
                 reuse_css=persistence is not None and persistence.recovered,
             )
+            client.span_writer = obs
             print("subscriber %r connected as nym %r"
                   % (args.user, subscriber.nym), flush=True)
             return _run_lifecycle(
@@ -93,6 +97,9 @@ def main(argv=None) -> int:
                 attributes,
             )
     finally:
+        if obs is not None:
+            obs.metrics(get_registry().snapshot())
+            obs.close()
         if persistence is not None:
             persistence.close()
 

@@ -30,6 +30,7 @@ import concurrent.futures
 import queue
 import threading
 import time
+import warnings
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -38,6 +39,8 @@ from repro.net.protocol import (
     ENVELOPE_OVERHEAD,
     Ack,
     Hello,
+    MetricsReport,
+    MetricsRequest,
     NetBroadcast,
     NetDeliver,
     NetMessage,
@@ -48,6 +51,8 @@ from repro.net.protocol import (
     decode_net_payload,
 )
 from repro.net.stream import FrameStream, open_frame_stream
+from repro.obs.metrics import get_registry, snapshot_from_json
+from repro.obs.trace import current_trace
 from repro.system.transport import Delivery, InMemoryTransport
 from repro.wire.codec import DEFAULT_MAX_FRAME_PAYLOAD
 
@@ -58,7 +63,7 @@ class _EntityConn:
     """One entity's connection: stream, local inbox, ack bookkeeping."""
 
     __slots__ = ("entity", "stream", "inbox", "owed_acks", "ack_exempt",
-                 "reader", "stats_q", "alive", "error")
+                 "reader", "stats_q", "metrics_q", "alive", "error")
 
     def __init__(self, entity: str, stream: FrameStream):
         self.entity = entity
@@ -75,6 +80,7 @@ class _EntityConn:
         self.ack_exempt = 0
         self.reader: Optional[asyncio.Task] = None
         self.stats_q: "queue.Queue[StatsReply]" = queue.Queue()
+        self.metrics_q: "queue.Queue[MetricsReport]" = queue.Queue()
         self.alive = True
         self.error: Optional[str] = None
 
@@ -169,6 +175,7 @@ class TcpTransport:
             raise NetworkError("broker handshake failed: %s" % exc) from exc
         conn = _EntityConn(entity, stream)
         conn.reader = asyncio.get_running_loop().create_task(self._read_loop(conn))
+        get_registry().inc("net.transport.connect")
         return conn
 
     async def _read_loop(self, conn: _EntityConn) -> None:
@@ -187,10 +194,13 @@ class TcpTransport:
                             kind=message.kind,
                             payload=message.payload,
                             note=message.note,
+                            trace=message.trace if any(message.trace) else b"",
                         )
                     )
                 elif isinstance(message, StatsReply):
                     conn.stats_q.put(message)
+                elif isinstance(message, MetricsReport):
+                    conn.metrics_q.put(message)
                 else:
                     conn.error = "unexpected %s from broker" % type(message).__name__
                     return
@@ -295,7 +305,7 @@ class TcpTransport:
                 self._conn(sender),
                 NetDeliver(
                     sender=sender, receiver=receiver, kind=kind,
-                    note=note, payload=payload,
+                    note=note, payload=payload, trace=current_trace(),
                 ),
             )
         )
@@ -308,7 +318,8 @@ class TcpTransport:
         self._run(
             self._send(
                 self._conn(sender),
-                NetBroadcast(sender=sender, kind=kind, note=note, payload=payload),
+                NetBroadcast(sender=sender, kind=kind, note=note,
+                             payload=payload, trace=current_trace()),
             )
         )
 
@@ -328,6 +339,7 @@ class TcpTransport:
             self.register(entity)
         except NetworkError:
             return None  # broker still away; the backoff stands
+        get_registry().inc("net.transport.reconnect")
         with self._lock:
             self._reconnect_at.pop(entity, None)
             return self._conns.get(entity)
@@ -436,7 +448,12 @@ class TcpTransport:
         """Fetch the broker's routing/accounting state.
 
         ``via`` names the entity whose connection carries the request
-        (default: any registered entity).
+        (default: any registered entity).  A reply whose accounting log
+        was truncated to fit one frame (``log_complete=False``) is still
+        returned -- the counters are exact either way -- but the
+        truncation is surfaced as a :class:`UserWarning` and a
+        ``net.stats.truncated`` counter, so byte-level accounting built
+        on the log cannot silently pass over an incomplete record.
         """
         names = [via] if via is not None else self.entities()
         if not names:
@@ -446,9 +463,40 @@ class TcpTransport:
             conn.stats_q.get_nowait()
         self._run(self._send(conn, StatsRequest(include_log=include_log)))
         try:
-            return conn.stats_q.get(timeout=self.timeout)
+            reply = conn.stats_q.get(timeout=self.timeout)
         except queue.Empty as exc:
             raise NetworkError("broker stats request timed out") from exc
+        if not reply.log_complete:
+            get_registry().inc("net.stats.truncated")
+            warnings.warn(
+                "broker accounting log was truncated to fit one frame; "
+                "log-derived byte accounting is incomplete (counters are "
+                "still exact)",
+                UserWarning,
+                stacklevel=2,
+            )
+        return reply
+
+    def metrics(self, via: Optional[str] = None) -> dict:
+        """Fetch the broker's metrics snapshot (root subtree aggregate).
+
+        Mirrors :meth:`stats`: ``via`` names the entity whose connection
+        carries the ``MetricsRequest``; the broker answers with one
+        ``MetricsReport`` whose snapshot merges its own registry with
+        the latest report pushed by each attached relay subtree.
+        """
+        names = [via] if via is not None else self.entities()
+        if not names:
+            raise NetworkError("metrics needs at least one registered entity")
+        conn = self._conn(names[0])
+        while not conn.metrics_q.empty():  # drop stale replies
+            conn.metrics_q.get_nowait()
+        self._run(self._send(conn, MetricsRequest(trace=current_trace())))
+        try:
+            report = conn.metrics_q.get(timeout=self.timeout)
+        except queue.Empty as exc:
+            raise NetworkError("broker metrics request timed out") from exc
+        return snapshot_from_json(report.snapshot)
 
     def snapshot(self) -> InMemoryTransport:
         """The broker's accounting log, replayed into an in-memory router.

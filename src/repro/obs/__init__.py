@@ -1,0 +1,60 @@
+"""Observability: a dependency-free metrics + trace layer.
+
+``repro.obs`` is deliberately a *leaf* package: it imports nothing from
+the crypto/GKM/policy stack (the keyless-relay import boundary pinned by
+``tests/net/test_relay.py`` must hold with a relay process importing
+this package), and nothing outside the standard library plus
+:mod:`repro.errors`.  Everything above it -- store, gkm, system, net,
+load -- may import it; never the other way around.
+
+* :mod:`repro.obs.metrics` -- counters, gauges, bounded histograms with
+  fixed bucket edges, and the thread-safe per-process
+  :class:`~repro.obs.metrics.MetricsRegistry` whose snapshots are
+  deterministic and JSON-round-trippable (the unit every
+  ``MetricsReport`` frame and subtree aggregation works in).
+* :mod:`repro.obs.trace` -- compact 16-byte trace ids propagated on
+  wire frames, the per-thread/per-task trace context, and the
+  :class:`~repro.obs.trace.SpanWriter` appending per-hop span records
+  to an entity's ``obs.jsonl`` (routing-level facts only; the writer
+  refuses bytes-typed fields so payloads and key material cannot leak
+  into telemetry by construction).
+* :mod:`repro.obs.report` -- ``python -m repro.obs.report``: validate
+  (``--check``), summarize, and export ``BENCH_obs_*`` trend JSON from
+  collected ``obs.jsonl`` streams.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_EDGES,
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    snapshot_from_json,
+    snapshot_to_json,
+)
+from repro.obs.trace import (
+    TRACE_LEN,
+    ZERO_TRACE,
+    SpanWriter,
+    current_trace,
+    new_trace_id,
+    set_trace,
+    trace_hex,
+    tracing,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_EDGES",
+    "MetricsRegistry",
+    "SpanWriter",
+    "TRACE_LEN",
+    "ZERO_TRACE",
+    "current_trace",
+    "get_registry",
+    "merge_snapshots",
+    "new_trace_id",
+    "set_trace",
+    "snapshot_from_json",
+    "snapshot_to_json",
+    "trace_hex",
+    "tracing",
+]

@@ -1,0 +1,162 @@
+"""Compact trace ids, the per-task trace context, and span records.
+
+A trace id is 16 opaque random bytes minted at an operation's origin
+(a subscriber starting a registration, a publisher starting a rekey
+broadcast) and carried on every wire frame the operation produces, so
+one registration or rekey can be followed idmgr -> publisher -> broker
+-> relay -> subscriber across process boundaries.
+
+On the wire the id rides as an optional *trailing* field (see
+``repro.net.protocol.pack_trace``): an all-zeros trace is simply
+omitted, so untraced traffic stays byte-identical to the pre-trace
+protocol and old frames decode as "no trace".  In process, the current
+id lives in a :class:`contextvars.ContextVar`, which is inherited by
+asyncio tasks and independent per thread -- exactly the mix
+``TcpTransport`` runs.
+
+Span records are the per-hop evidence: one JSON line per event in an
+entity's ``obs.jsonl`` (under its ``--data-dir``/``--obs-dir``),
+carrying *routing-level facts only* -- timestamps, entity names, kind
+labels, byte sizes, hex trace ids.  :meth:`SpanWriter.span` refuses
+bytes-typed field values outright, so payload bytes and key material
+cannot end up in telemetry by construction.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+__all__ = [
+    "TRACE_LEN",
+    "ZERO_TRACE",
+    "SpanWriter",
+    "current_trace",
+    "new_trace_id",
+    "set_trace",
+    "trace_hex",
+    "tracing",
+]
+
+#: Trace ids are exactly this many bytes on the wire.
+TRACE_LEN = 16
+
+#: The "no trace" value; frames encode it by omission.
+ZERO_TRACE = b"\x00" * TRACE_LEN
+
+_current: contextvars.ContextVar[bytes] = contextvars.ContextVar(
+    "repro_obs_trace", default=b""
+)
+
+
+def new_trace_id() -> bytes:
+    """A fresh random 16-byte trace id (never all zeros)."""
+    while True:
+        trace = os.urandom(TRACE_LEN)
+        if any(trace):
+            return trace
+
+
+def current_trace() -> bytes:
+    """The active trace id, or ``b""`` when none is set."""
+    return _current.get()
+
+
+def set_trace(trace: bytes) -> "contextvars.Token":
+    """Install ``trace`` as the active id; returns the reset token.
+
+    Zero/empty traces normalize to "no trace" so a hop never propagates
+    a meaningless all-zeros id.
+    """
+    if not trace or not any(trace):
+        trace = b""
+    return _current.set(bytes(trace))
+
+
+def reset_trace(token: "contextvars.Token") -> None:
+    _current.reset(token)
+
+
+@contextmanager
+def tracing(trace: bytes):
+    """Scope ``trace`` as the active id for a block."""
+    token = set_trace(trace)
+    try:
+        yield
+    finally:
+        _current.reset(token)
+
+
+def trace_hex(trace: bytes) -> str:
+    """Hex form for span records; ``""`` for the no-trace value."""
+    if not trace or not any(trace):
+        return ""
+    return bytes(trace).hex()
+
+
+class SpanWriter:
+    """Append-only JSON-lines span log for one entity.
+
+    Thread-safe; the file opens lazily (so constructing a writer for a
+    directory that may never log costs nothing) and every record is one
+    ``json.dumps(sort_keys=True)`` line flushed immediately -- readable
+    mid-run by ``python -m repro.obs.report``.
+    """
+
+    def __init__(self, path: str, entity: str):
+        self.path = path
+        self.entity = entity
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def span(
+        self, event: str, trace: bytes = b"", **fields
+    ) -> None:
+        """Write one span record; bytes-typed fields are refused."""
+        record = {
+            "ts": time.time(),
+            "entity": self.entity,
+            "event": event,
+            "trace": trace_hex(trace),
+        }
+        for name, value in fields.items():
+            if isinstance(value, (bytes, bytearray, memoryview)):
+                raise TypeError(
+                    "span field %r carries bytes; telemetry must never "
+                    "contain payloads or key material" % name
+                )
+            if value is not None:
+                record[name] = value
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                directory = os.path.dirname(self.path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def metrics(self, snapshot: dict) -> None:
+        """Write a point-in-time metrics snapshot into the span stream."""
+        self.span("metrics", snapshot=snapshot)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def writer_for(
+    obs_dir: Optional[str], entity: str
+) -> Optional[SpanWriter]:
+    """A :class:`SpanWriter` at ``<obs_dir>/obs.jsonl``, or ``None``."""
+    if not obs_dir:
+        return None
+    return SpanWriter(os.path.join(obs_dir, "obs.jsonl"), entity)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.errors import LogCorruptionError, SnapshotMismatchError
+from repro.obs.metrics import get_registry
 from repro.store.snapshots import (
     CredentialRevokedRecord,
     CssExtractedRecord,
@@ -122,8 +123,11 @@ class _Persistence:
 
     def snapshot_now(self) -> None:
         """Fold the live entity state into a fresh snapshot + empty WAL."""
-        snapshot = self._build_snapshot()
-        self.store.save_snapshot(snapshot.TYPE_ID, snapshot.to_bytes())
+        registry = get_registry()
+        with registry.timer("store.compaction_seconds"):
+            snapshot = self._build_snapshot()
+            self.store.save_snapshot(snapshot.TYPE_ID, snapshot.to_bytes())
+        registry.inc("store.compactions")
 
     def close(self) -> None:
         if getattr(self.entity, "journal", None) is self:

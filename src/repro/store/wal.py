@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 from repro.errors import LogCorruptionError
+from repro.obs.metrics import get_registry
 from repro.wire.codec import (
     DEFAULT_MAX_FRAME_PAYLOAD,
     FRAME_HEADER_SIZE,
@@ -177,10 +178,14 @@ class WriteAheadLog:
         """Durably append one record."""
         if self._handle.closed:
             raise LogCorruptionError("append to a closed log %r" % self.path)
-        self._handle.write(encode_record(type_id, payload, self.max_payload))
-        self._handle.flush()
-        if self.sync:
-            os.fsync(self._handle.fileno())
+        registry = get_registry()
+        with registry.timer("wal.append_seconds"):
+            self._handle.write(encode_record(type_id, payload, self.max_payload))
+            self._handle.flush()
+            if self.sync:
+                with registry.timer("wal.fsync_seconds"):
+                    os.fsync(self._handle.fileno())
+        registry.inc("wal.appends")
         self.record_count += 1
 
     def close(self) -> None:

@@ -33,6 +33,8 @@ from repro.errors import (
     ReproError,
     SystemError_,
 )
+from repro.obs.metrics import get_registry
+from repro.obs.trace import current_trace, new_trace_id, tracing
 from repro.system.transport import Delivery, Transport
 from repro.wire.messages import (
     MESSAGE_TYPES,
@@ -93,10 +95,20 @@ class _Endpoint:
         self.name = name
         self.transport = transport
         self.persistence = persistence
+        #: Optional :class:`repro.obs.trace.SpanWriter`: when set, every
+        #: frame sent or handled becomes one span record, so a trace id
+        #: minted at an operation's origin is observable at this hop.
+        self.span_writer = None
         transport.register(name)
 
     def _send(self, receiver: str, frame: bytes, note: str = "") -> None:
-        self.transport.deliver(self.name, receiver, _frame_kind(frame), frame, note)
+        kind = _frame_kind(frame)
+        if self.span_writer is not None:
+            self.span_writer.span(
+                "send", trace=current_trace(), receiver=receiver,
+                kind=kind, size=len(frame),
+            )
+        self.transport.deliver(self.name, receiver, kind, frame, note)
 
     def pump(self, limit: Optional[int] = None) -> int:
         """Process pending deliveries; returns how many were handled.
@@ -105,11 +117,22 @@ class _Endpoint:
         processed remainder of the batch is pushed back into the inbox
         before the error propagates -- one hostile frame must not destroy
         well-formed traffic queued behind it.
+
+        Each delivery is handled with its trace id installed as the
+        ambient trace, so reply frames the handler sends carry the same
+        id onward -- that is the cross-process propagation step.
         """
         deliveries = self.transport.poll(self.name, limit)
         for index, delivery in enumerate(deliveries):
             try:
-                self._handle_delivery(delivery)
+                with tracing(delivery.trace):
+                    if self.span_writer is not None:
+                        self.span_writer.span(
+                            "handle", trace=delivery.trace,
+                            sender=delivery.sender, kind=delivery.kind,
+                            size=len(delivery.payload),
+                        )
+                    self._handle_delivery(delivery)
             except Exception:
                 self.transport.requeue(self.name, deliveries[index + 1 :])
                 raise
@@ -143,12 +166,25 @@ class DisseminationService(_Endpoint):
 
         Re-publishing after a table change *is* the rekey; like the paper's
         multicast it is accounted once regardless of audience size.
+
+        Each publish is a traced operation: a fresh trace id is minted
+        (unless one is already ambient) and rides the broadcast to every
+        hop, so one rekey is followable end to end.
         """
-        package = self.publisher.publish(document, rng=rng, capacity=capacity)
-        frame = BroadcastMessage(package=package).encode()
-        self.transport.broadcast(
-            self.name, BroadcastMessage.KIND, frame, note=document.name
-        )
+        with tracing(current_trace() or new_trace_id()):
+            with get_registry().timer("publisher.publish_seconds"):
+                package = self.publisher.publish(
+                    document, rng=rng, capacity=capacity
+                )
+            frame = BroadcastMessage(package=package).encode()
+            if self.span_writer is not None:
+                self.span_writer.span(
+                    "publish", trace=current_trace(), kind=BroadcastMessage.KIND,
+                    document=document.name, size=len(frame),
+                )
+            self.transport.broadcast(
+                self.name, BroadcastMessage.KIND, frame, note=document.name
+            )
         return package
 
 
@@ -231,16 +267,22 @@ class SubscriberClient(_Endpoint):
     # -- outgoing actions ---------------------------------------------------
 
     def request_token(self, attribute: str, assertion=None, decoy: bool = False) -> None:
-        """Ask the IdMgr for a token (certified assertion, or a decoy)."""
-        self._send(
-            self.idmgr_name,
-            TokenRequest(
-                nym=self.subscriber.nym,
-                attribute=attribute,
-                assertion=assertion,
-                decoy=decoy,
-            ).encode(),
-        )
+        """Ask the IdMgr for a token (certified assertion, or a decoy).
+
+        The start of a registration's trace: a fresh id is minted here
+        (unless one is already ambient) and follows the grant and every
+        downstream registration frame.
+        """
+        with tracing(current_trace() or new_trace_id()):
+            self._send(
+                self.idmgr_name,
+                TokenRequest(
+                    nym=self.subscriber.nym,
+                    attribute=attribute,
+                    assertion=assertion,
+                    decoy=decoy,
+                ).encode(),
+            )
 
     def _publishers(self, publisher: Optional[str]) -> tuple:
         if publisher is None:
@@ -255,10 +297,15 @@ class SubscriberClient(_Endpoint):
     def request_conditions(
         self, attribute: str, publisher: Optional[str] = None
     ) -> None:
-        """Ask the publisher(s) which conditions mention ``attribute``."""
-        frame = ConditionQuery(attribute=attribute).encode()
-        for name in self._publishers(publisher):
-            self._send(name, frame)
+        """Ask the publisher(s) which conditions mention ``attribute``.
+
+        Traced like :meth:`request_token`: the query, the condition
+        list, and the whole OCBE exchange it triggers share one id.
+        """
+        with tracing(current_trace() or new_trace_id()):
+            frame = ConditionQuery(attribute=attribute).encode()
+            for name in self._publishers(publisher):
+                self._send(name, frame)
 
     def register_attribute(
         self, attribute: str, publisher: Optional[str] = None
@@ -374,13 +421,29 @@ class SubscriberClient(_Endpoint):
     def _on_broadcast(self, message: BroadcastMessage) -> None:
         package = message.package
         self.packages.append(package)
+        registry = get_registry()
         try:
-            self.documents[package.document] = self.subscriber.receive(package)
+            with registry.timer("subscriber.decrypt_seconds"):
+                self.documents[package.document] = self.subscriber.receive(package)
         except ReproError as exc:
             # A parseable-but-inconsistent package (e.g. a malformed ACV
             # header) must fail this broadcast, never the pump loop.
             self.documents[package.document] = {}
             self.failures["broadcast:%s" % package.document] = str(exc)
+            registry.inc("subscriber.decrypt.error")
+        else:
+            # Outcome counters: a decrypt that yields no plaintext is not
+            # an error -- the subscriber simply holds no matching key.
+            if self.documents[package.document]:
+                registry.inc("subscriber.decrypt.ok")
+            else:
+                registry.inc("subscriber.decrypt.miss")
+        if self.span_writer is not None:
+            self.span_writer.span(
+                "broadcast_received", trace=current_trace(),
+                document=package.document,
+                plaintexts=len(self.documents[package.document]),
+            )
         self.broadcasts.append(self.documents[package.document])
         self._evict_history()
 

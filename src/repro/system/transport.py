@@ -34,6 +34,7 @@ from typing import (
 )
 
 from repro.errors import SystemError_
+from repro.obs.trace import current_trace
 
 __all__ = ["Message", "Delivery", "Transport", "InMemoryTransport", "BROADCAST"]
 
@@ -54,13 +55,19 @@ class Message:
 
 @dataclass(frozen=True)
 class Delivery:
-    """One queued payload awaiting pickup (the routing view)."""
+    """One queued payload awaiting pickup (the routing view).
+
+    ``trace`` is the observability trace id that rode the wire frame
+    (see :mod:`repro.obs.trace`); ``b""`` when the transmission was
+    untraced, so pre-trace comparisons stay field-for-field identical.
+    """
 
     sender: str
     receiver: str
     kind: str
     payload: bytes
     note: str = ""
+    trace: bytes = b""
 
 
 @runtime_checkable
@@ -149,7 +156,7 @@ class InMemoryTransport:
         self.send(sender, receiver, kind, len(payload), note=note)
         self._inboxes[receiver].append(
             Delivery(sender=sender, receiver=receiver, kind=kind, payload=payload,
-                     note=note)
+                     note=note, trace=current_trace())
         )
 
     def broadcast(
@@ -167,11 +174,12 @@ class InMemoryTransport:
         self.register(sender)
         self.send(sender, BROADCAST, kind, len(payload), note=note)
         skip = exclude if exclude is not None else frozenset()
+        trace = current_trace()
         for receiver, inbox in self._inboxes.items():
             if receiver != sender and receiver not in skip:
                 inbox.append(
                     Delivery(sender=sender, receiver=receiver, kind=kind,
-                             payload=payload, note=note)
+                             payload=payload, note=note, trace=trace)
                 )
 
     def poll(self, entity: str, limit: Optional[int] = None) -> List[Delivery]:

@@ -36,6 +36,7 @@ from repro.errors import (
     SerializationError,
     SignatureError,
 )
+from repro.obs.metrics import get_registry
 from repro.ocbe.base import receiver_for
 from repro.policy.condition import AttributeCondition
 from repro.wire.messages import (
@@ -263,9 +264,11 @@ class PublisherRegistrationSession:
                 reason="no registration in progress for this condition",
             ).encode()
         try:
-            envelope = offer.sender.compose(
-                offer.token.commitment, message.aux, offer.css
-            )
+            with get_registry().timer("ocbe.envelope_build_seconds"):
+                envelope = offer.sender.compose(
+                    offer.token.commitment, message.aux, offer.css
+                )
+            get_registry().inc("ocbe.envelopes")
         except (OCBEError, SerializationError, AttributeError, TypeError) as exc:
             # AttributeError/TypeError cover a well-formed frame carrying the
             # wrong OCBE variant for this condition (e.g. a bare None aux for

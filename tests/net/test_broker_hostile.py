@@ -275,12 +275,14 @@ class TestBoundedState:
                 transport.register("b")
                 for i in range(64):  # ~64 records of ~20B >> 512B budget
                     transport.deliver("a", "b", "kind-%02d" % i, b"p")
-                stats = transport.stats(include_log=True)
+                with pytest.warns(UserWarning, match="truncated"):
+                    stats = transport.stats(include_log=True)
                 assert not stats.log_complete
                 assert stats.log  # the newest suffix is still included
                 assert stats.log[-1].kind == "kind-63"
-                with pytest.raises(NetworkError, match="accounting log"):
-                    transport.snapshot()
+                with pytest.warns(UserWarning, match="truncated"):
+                    with pytest.raises(NetworkError, match="accounting log"):
+                        transport.snapshot()
 
     def test_abrupt_disconnect_during_registration_session(self, broker):
         """A Sub that vanishes mid-registration must not crash the service

@@ -1,0 +1,254 @@
+"""The metrics core: determinism, thread safety, hostile snapshots."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_EDGES,
+    MAX_SNAPSHOT_BYTES,
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    snapshot_from_json,
+    snapshot_to_json,
+)
+
+
+# -- instruments -------------------------------------------------------------
+
+
+def test_counter_gauge_histogram_basics():
+    registry = MetricsRegistry()
+    registry.inc("frames")
+    registry.inc("frames", 4)
+    registry.set_gauge("depth", 7)
+    registry.observe("lat", 0.002)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"frames": 5}
+    assert snapshot["gauges"] == {"depth": 7.0}
+    assert snapshot["histograms"]["lat"]["count"] == 1
+    assert snapshot["histograms"]["lat"]["sum"] == pytest.approx(0.002)
+
+
+def test_histogram_bucket_determinism():
+    """Fixed edges, exact boundary rule (<= edge): two registries that
+    observe the same values produce byte-identical snapshot JSON."""
+    values = [0.00009, 0.0001, 0.00011, 0.005, 9.0, 11.0, 1000.0]
+    snapshots = []
+    for _ in range(2):
+        registry = MetricsRegistry()
+        for value in values:
+            registry.observe("lat", value)
+        snapshots.append(snapshot_to_json(registry.snapshot()))
+    assert snapshots[0] == snapshots[1]
+
+    hist = json.loads(snapshots[0])["histograms"]["lat"]
+    assert hist["edges"] == list(DEFAULT_LATENCY_EDGES)
+    assert len(hist["counts"]) == len(DEFAULT_LATENCY_EDGES) + 1
+    # 0.00009 and the exact edge 0.0001 land in bucket 0; 0.00011 in 1.
+    assert hist["counts"][0] == 2
+    assert hist["counts"][1] == 1
+    # 11.0 and 1000.0 overflow past the last edge (10 s).
+    assert hist["counts"][-1] == 2
+    assert hist["min"] == pytest.approx(0.00009)
+    assert hist["max"] == pytest.approx(1000.0)
+
+
+def test_histogram_rejects_bad_edges():
+    registry = MetricsRegistry()
+    with pytest.raises(SerializationError):
+        registry.histogram("h", edges=())
+    with pytest.raises(SerializationError):
+        registry.histogram("h", edges=(1.0, 1.0))
+    with pytest.raises(SerializationError):
+        registry.histogram("h", edges=(2.0, 1.0))
+
+
+def test_timer_observes_elapsed():
+    registry = MetricsRegistry()
+    with registry.timer("op"):
+        pass
+    hist = registry.snapshot()["histograms"]["op"]
+    assert hist["count"] == 1
+    assert hist["sum"] >= 0.0
+
+
+def test_disabled_registry_is_silent():
+    registry = MetricsRegistry(enabled=False)
+    registry.inc("c")
+    registry.set_gauge("g", 1)
+    registry.observe("h", 0.5)
+    with registry.timer("t"):
+        pass
+    assert registry.snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {},
+    }
+    registry.enable()
+    registry.inc("c")
+    assert registry.snapshot()["counters"] == {"c": 1}
+
+
+def test_reset_drops_instruments():
+    registry = MetricsRegistry()
+    registry.inc("c")
+    registry.reset()
+    assert registry.snapshot()["counters"] == {}
+
+
+def test_global_registry_is_one_per_process():
+    assert get_registry() is get_registry()
+
+
+# -- thread safety -----------------------------------------------------------
+
+
+def test_registry_thread_safety():
+    """The exact scenario TcpTransport creates: an asyncio thread and
+    arbitrary caller threads mutating the same registry concurrently.
+    Every increment and observation must land; none may be lost to a
+    read-modify-write race."""
+    registry = MetricsRegistry()
+    threads = 8
+    per_thread = 2000
+    barrier = threading.Barrier(threads)
+
+    def worker(index):
+        barrier.wait()
+        for i in range(per_thread):
+            registry.inc("shared")
+            registry.inc("mine.%d" % index)
+            registry.observe("lat", 0.001 * (i % 7))
+            registry.set_gauge("gauge.%d" % index, i)
+            if i % 100 == 0:
+                registry.snapshot()  # snapshots interleave safely
+
+    pool = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["shared"] == threads * per_thread
+    for index in range(threads):
+        assert snapshot["counters"]["mine.%d" % index] == per_thread
+        assert snapshot["gauges"]["gauge.%d" % index] == per_thread - 1
+    hist = snapshot["histograms"]["lat"]
+    assert hist["count"] == threads * per_thread
+    assert sum(hist["counts"]) == hist["count"]
+
+
+# -- JSON round trip + hostile inputs ---------------------------------------
+
+
+def _populated():
+    registry = MetricsRegistry()
+    registry.inc("a", 3)
+    registry.set_gauge("b", 1.5)
+    registry.observe("c", 0.01)
+    registry.observe("c", 5.0)
+    return registry.snapshot()
+
+
+def test_snapshot_json_round_trip_exact():
+    snapshot = _populated()
+    assert snapshot_from_json(snapshot_to_json(snapshot)) == snapshot
+
+
+def test_snapshot_json_is_canonical():
+    snapshot = _populated()
+    assert snapshot_to_json(snapshot) == snapshot_to_json(
+        snapshot_from_json(snapshot_to_json(snapshot))
+    )
+
+
+@pytest.mark.parametrize("raw", [
+    b"",                                   # not JSON
+    b"\xff\xfe",                           # not UTF-8
+    b"[]",                                 # not an object
+    b'{"counters": []}',                   # section not an object
+    b'{"counters": {"": 1}}',              # empty metric name
+    b'{"counters": {"a": true}}',          # bool masquerading as number
+    b'{"counters": {"a": "x"}}',           # string value
+    b'{"histograms": {"h": 3}}',           # histogram not an object
+    b'{"histograms": {"h": {"edges": [1.0], "counts": [1]}}}',  # counts len
+    b'{"histograms": {"h": {"edges": [], "counts": [1]}}}',     # no edges
+], ids=[
+    "not-json", "not-utf8", "not-object", "section-type", "empty-name",
+    "bool-value", "string-value", "hist-type", "counts-len", "no-edges",
+])
+def test_hostile_snapshots_refused(raw):
+    with pytest.raises(SerializationError):
+        snapshot_from_json(raw)
+
+
+def test_oversized_snapshot_refused():
+    raw = snapshot_to_json(_populated())
+    with pytest.raises(SerializationError, match="cap"):
+        snapshot_from_json(raw, max_bytes=len(raw) - 1)
+    huge = b'{"counters": {' + b'"a": 1' + b" " * MAX_SNAPSHOT_BYTES + b"}}"
+    with pytest.raises(SerializationError):
+        snapshot_from_json(huge)
+
+
+def test_too_long_metric_name_refused():
+    raw = snapshot_to_json({"counters": {"x" * 121: 1}})
+    with pytest.raises(SerializationError, match="name"):
+        snapshot_from_json(raw)
+
+
+def test_too_many_metrics_refused():
+    table = {"c%04d" % i: 1 for i in range(1025)}
+    with pytest.raises(SerializationError):
+        snapshot_from_json(snapshot_to_json({"counters": table}))
+
+
+# -- merging -----------------------------------------------------------------
+
+
+def test_merge_sums_counters_and_gauges():
+    a = {"counters": {"x": 1}, "gauges": {"g": 2.0}, "histograms": {}}
+    b = {"counters": {"x": 4, "y": 1}, "gauges": {"g": 3.0}, "histograms": {}}
+    merged = merge_snapshots([a, None, b])
+    assert merged["counters"] == {"x": 5, "y": 1}
+    # Gauges sum deliberately: subtree totals (entities attached, inbox
+    # depth, relay.nodes as a relay count) aggregate additively.
+    assert merged["gauges"] == {"g": 5.0}
+
+
+def test_merge_histograms_same_edges():
+    r1, r2 = MetricsRegistry(), MetricsRegistry()
+    r1.observe("h", 0.001)
+    r2.observe("h", 4.0)
+    r2.observe("h", 0.0002)
+    merged = merge_snapshots([r1.snapshot(), r2.snapshot()])
+    hist = merged["histograms"]["h"]
+    assert hist["count"] == 3
+    assert hist["sum"] == pytest.approx(4.0012)
+    assert hist["min"] == pytest.approx(0.0002)
+    assert hist["max"] == pytest.approx(4.0)
+    assert sum(hist["counts"]) == 3
+
+
+def test_merge_histograms_mismatched_edges_keeps_totals():
+    r1, r2 = MetricsRegistry(), MetricsRegistry()
+    r1.histogram("h", edges=(1.0, 2.0)).observe(0.5)
+    r2.histogram("h", edges=(10.0,)).observe(5.0)
+    merged = merge_snapshots([r1.snapshot(), r2.snapshot()])
+    hist = merged["histograms"]["h"]
+    # First edges win; the version-skewed child folds into count/sum only.
+    assert hist["edges"] == [1.0, 2.0]
+    assert hist["count"] == 2
+    assert hist["sum"] == pytest.approx(5.5)
+    assert sum(hist["counts"]) == 1
+
+
+def test_merge_round_trips_through_wire_form():
+    merged = merge_snapshots([_populated(), _populated()])
+    assert snapshot_from_json(snapshot_to_json(merged)) == merged

@@ -1,0 +1,160 @@
+"""Trace ids, the context var, and the span writer's privacy posture."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_LEN,
+    ZERO_TRACE,
+    SpanWriter,
+    current_trace,
+    new_trace_id,
+    set_trace,
+    trace_hex,
+    tracing,
+    writer_for,
+)
+
+
+def test_new_trace_id_shape():
+    seen = {new_trace_id() for _ in range(32)}
+    assert all(len(trace) == TRACE_LEN and any(trace) for trace in seen)
+    assert len(seen) == 32  # 128 random bits do not collide in 32 draws
+
+
+def test_current_trace_defaults_empty():
+    assert current_trace() == b""
+
+
+def test_tracing_scopes_and_nests():
+    outer, inner = new_trace_id(), new_trace_id()
+    with tracing(outer):
+        assert current_trace() == outer
+        with tracing(inner):
+            assert current_trace() == inner
+        assert current_trace() == outer
+    assert current_trace() == b""
+
+
+def test_set_trace_normalizes_zeros():
+    token = set_trace(ZERO_TRACE)
+    try:
+        assert current_trace() == b""
+    finally:
+        from repro.obs.trace import reset_trace
+
+        reset_trace(token)
+
+
+def test_trace_context_is_per_thread():
+    trace = new_trace_id()
+    other_thread_trace = []
+
+    def probe():
+        other_thread_trace.append(current_trace())
+
+    with tracing(trace):
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+    assert other_thread_trace == [b""]
+
+
+def test_trace_hex():
+    assert trace_hex(b"") == ""
+    assert trace_hex(ZERO_TRACE) == ""
+    trace = bytes(range(16))
+    assert trace_hex(trace) == trace.hex()
+
+
+# -- SpanWriter --------------------------------------------------------------
+
+
+def test_span_writer_appends_valid_jsonl(tmp_path):
+    path = str(tmp_path / "obs.jsonl")
+    writer = SpanWriter(path, "broker")
+    trace = new_trace_id()
+    writer.span("connect", peer="pn-0001")
+    writer.span("deliver", trace=trace, sender="a", receiver="b", size=42)
+    writer.close()
+
+    lines = [
+        json.loads(line)
+        for line in open(path, encoding="utf-8").read().splitlines()
+    ]
+    assert [line["event"] for line in lines] == ["connect", "deliver"]
+    assert lines[0]["entity"] == "broker"
+    assert lines[0]["trace"] == ""
+    assert lines[1]["trace"] == trace.hex()
+    assert lines[1]["size"] == 42
+    assert all(isinstance(line["ts"], float) for line in lines)
+
+
+@pytest.mark.parametrize("value", [b"payload", bytearray(b"x"), memoryview(b"k")])
+def test_span_writer_refuses_bytes_fields(tmp_path, value):
+    """Privacy by construction: payload bytes and key material cannot
+    enter telemetry because the writer refuses the type outright."""
+    writer = SpanWriter(str(tmp_path / "obs.jsonl"), "e")
+    with pytest.raises(TypeError, match="telemetry"):
+        writer.span("leak", data=value)
+    assert not (tmp_path / "obs.jsonl").exists()  # refused before opening
+
+
+def test_span_writer_drops_none_fields(tmp_path):
+    writer = SpanWriter(str(tmp_path / "obs.jsonl"), "e")
+    writer.span("x", present=1, absent=None)
+    writer.close()
+    record = json.loads((tmp_path / "obs.jsonl").read_text())
+    assert "absent" not in record
+    assert record["present"] == 1
+
+
+def test_span_writer_metrics_record(tmp_path):
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.inc("frames", 2)
+    writer = SpanWriter(str(tmp_path / "obs.jsonl"), "relay:r1")
+    writer.metrics(registry.snapshot())
+    writer.close()
+    record = json.loads((tmp_path / "obs.jsonl").read_text())
+    assert record["event"] == "metrics"
+    assert record["snapshot"]["counters"] == {"frames": 2}
+
+
+def test_span_writer_thread_safe(tmp_path):
+    path = str(tmp_path / "obs.jsonl")
+    writer = SpanWriter(path, "e")
+    threads = 8
+    per_thread = 200
+
+    def worker(index):
+        for i in range(per_thread):
+            writer.span("tick", thread=index, i=i)
+
+    pool = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    writer.close()
+
+    lines = open(path, encoding="utf-8").read().splitlines()
+    assert len(lines) == threads * per_thread
+    for line in lines:
+        json.loads(line)  # no interleaved/torn writes
+
+
+def test_writer_for(tmp_path):
+    assert writer_for(None, "e") is None
+    assert writer_for("", "e") is None
+    writer = writer_for(str(tmp_path / "sub"), "e")
+    assert writer.path == str(tmp_path / "sub" / "obs.jsonl")
+    writer.span("x")  # creates the directory lazily
+    writer.close()
+    assert (tmp_path / "sub" / "obs.jsonl").exists()
