@@ -1,9 +1,10 @@
 """The observability overhead gate (nightly slow tier).
 
 Runs the builtin smoke scenario over real TCP sockets twice -- once with
-the process-global metrics registry enabled (every WAL fsync timed,
-every decrypt counted, every phase sampled) and once with it disabled --
-and gates the difference:
+the full observability stack enabled (every WAL fsync timed, every
+decrypt counted, every phase sampled, *and* causal span parenting
+writing duration records to an ``obs_dir``) and once with all of it
+disabled -- and gates the difference:
 
 * wall overhead of instrumentation must stay within 5% (plus a small
   absolute epsilon so a sub-second scenario cannot fail on scheduler
@@ -11,12 +12,16 @@ and gates the difference:
 * the byte-accounting stream must be *identical* frame for frame: with
   no ``--metrics-interval`` push configured, metrics collection rides
   only the engine's phase-boundary probe frames, which the broker
-  answers directly and never accounts.  Observability must not change
-  what the bandwidth experiments measure.
+  answers directly and never accounts, and span ids never travel on
+  the wire at all (the analyzer infers cross-process edges from hop
+  timestamps).  Observability must not change what the bandwidth
+  experiments measure.
 
 Emits ``BENCH_obs_overhead.json`` so the on/off ratio is a trend CI can
 watch across PRs.
 """
+
+import tempfile
 
 from repro.bench.runner import Measurement, emit_bench_json, format_table
 from repro.load import run_scenario, smoke_scenario
@@ -35,6 +40,15 @@ def _run_once(enabled: bool):
     registry.reset()
     registry.enabled = enabled
     try:
+        if enabled:
+            # The enabled leg carries the whole stack: metrics registry
+            # plus the span-parented obs.jsonl stream the attribution
+            # analyzer stitches.
+            with tempfile.TemporaryDirectory() as obs_dir:
+                return run_scenario(
+                    smoke_scenario(), driver="tcp", broker="thread",
+                    obs_dir=obs_dir,
+                )
         return run_scenario(smoke_scenario(), driver="tcp", broker="thread")
     finally:
         registry.enabled = True

@@ -41,6 +41,7 @@ from repro.errors import InvalidParameterError, SerializationError
 from repro.gkm.acv import AcvBgkm, AcvHeader
 from repro.gkm.buckets import BucketedHeader, auto_bucket_size
 from repro.obs.metrics import get_registry
+from repro.obs.trace import stage
 
 __all__ = [
     "GKM_STRATEGIES",
@@ -186,8 +187,9 @@ class _CachedAcvBuilder:
             x = list(y)
             x[0] = (x[0] + key) % p
             return key, AcvHeader(q=p, x=tuple(x), zs=zs)
-        with get_registry().timer("gkm.acv_solve_seconds"):
-            fresh_key, header = self.core.generate(rows, n_max=n_max, rng=rng)
+        with stage("acv.solve", rows=len(rows)):
+            with get_registry().timer("gkm.acv_solve_seconds"):
+                fresh_key, header = self.core.generate(rows, n_max=n_max, rng=rng)
         if self.cache is not None:
             y = list(header.x)
             y[0] = (y[0] - fresh_key) % p

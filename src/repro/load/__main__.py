@@ -68,6 +68,11 @@ def main(argv=None) -> int:
                         help="override the scenario's metrics push/snapshot "
                              "interval in seconds (0 disables the periodic "
                              "push; phase-boundary sampling always happens)")
+    parser.add_argument("--profile-dir", default=None,
+                        help="record cProfile aggregates around the join "
+                             "and rekey hot paths into profile_*.json files "
+                             "under this directory (readable by python -m "
+                             "repro.obs.profile)")
     args = parser.parse_args(argv)
 
     if args.builtin:
@@ -87,6 +92,7 @@ def main(argv=None) -> int:
             data_root=args.data_root,
             timeout=args.timeout,
             obs_dir=args.obs_dir,
+            profile_dir=args.profile_dir,
         )
     except ReproError as exc:
         print("FAILED: %s: %s" % (type(exc).__name__, exc), file=sys.stderr)
@@ -96,6 +102,9 @@ def main(argv=None) -> int:
     obs_table = report.format_obs()
     if obs_table:
         print(obs_table)
+    attribution_table = report.format_attribution()
+    if attribution_table:
+        print(attribution_table)
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             json.dump(report.to_payload(), handle, indent=2, sort_keys=True)

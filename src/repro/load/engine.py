@@ -45,6 +45,8 @@ from repro.errors import LoadScenarioError
 from repro.load import invariants
 from repro.load.metrics import LoadReport, MetricsCollector
 from repro.load.spec import GKM_FIELDS, LoadScenario, PhaseSpec, PublisherSpec
+from repro.obs.profile import profile_window, recorder_for, set_profiler
+from repro.obs.trace import set_span_writer, writer_for
 from repro.store import SubscriberPersistence
 from repro.system.idmgr import IdentityManager
 from repro.system.idp import IdentityProvider
@@ -104,6 +106,7 @@ class LoadEngine:
         data_root: Optional[str] = None,
         timeout: float = 120.0,
         obs_dir: Optional[str] = None,
+        profile_dir: Optional[str] = None,
     ):
         scenario.validate()
         if driver not in DRIVERS:
@@ -123,6 +126,23 @@ class LoadEngine:
         #: Root of the per-entity ``obs.jsonl`` span logs (broker and
         #: relays get subdirectories); ``None`` = no span telemetry.
         self.obs_dir = obs_dir
+        #: Directory for opt-in cProfile aggregates around the join and
+        #: rekey hot paths; ``None`` = never construct a profiler.
+        self.profile_dir = profile_dir
+        #: The engine process's own span writer (local endpoints -- the
+        #: services, the idmgr endpoint, every member client -- share
+        #: it; the ``ep`` span field disambiguates).  Installed as the
+        #: process-global stage writer too, so the store/gkm/wire hot
+        #: paths emit duration spans without plumbing.
+        self._obs_writer = None
+        self._prev_span_writer = None
+        self._installed_obs = False
+        self._profiler = None
+        self._prev_profiler = None
+        self._installed_profiler = False
+        #: The post-run :class:`repro.obs.analyze.Analysis`, for callers
+        #: (benchmarks) that want the stitched traces themselves.
+        self.last_analysis = None
         self.members: Dict[str, Member] = {}
         self.services: Dict[str, DisseminationService] = {}
         self.metrics = MetricsCollector()
@@ -203,6 +223,19 @@ class LoadEngine:
         self.idmgr_ep = IdentityManagerEndpoint(
             self.idmgr, self.transport, name="idmgr"
         )
+        if self.obs_dir:
+            self._obs_writer = writer_for(
+                os.path.join(self.obs_dir, "engine"), "engine"
+            )
+            self._prev_span_writer = set_span_writer(self._obs_writer)
+            self._installed_obs = True
+            self.idmgr_ep.span_writer = self._obs_writer
+            for service in self.services.values():
+                service.span_writer = self._obs_writer
+        if self.profile_dir:
+            self._profiler = recorder_for(self.profile_dir, "engine")
+            self._prev_profiler = set_profiler(self._profiler)
+            self._installed_profiler = True
         self.params = self.services[scenario.publishers[0].name].publisher.params
         self._started = True
         return self
@@ -345,6 +378,24 @@ class LoadEngine:
         if self._closed:
             return
         self._closed = True
+        # Restore whatever global writer/profiler the host process had:
+        # tests run several engines per process, and an engine must not
+        # leave its (closed) writer installed for the next one.
+        if self._installed_obs:
+            set_span_writer(self._prev_span_writer)
+            self._installed_obs = False
+        if self._installed_profiler:
+            set_profiler(self._prev_profiler)
+            self._installed_profiler = False
+        if self._profiler is not None:
+            self._profiler.write()
+            self._profiler = None
+        if self._obs_writer is not None:
+            from repro.obs.metrics import get_registry
+
+            self._obs_writer.metrics(get_registry().snapshot())
+            self._obs_writer.close()
+            self._obs_writer = None
         for member in self.members.values():
             if member.persistence is not None:
                 member.persistence.close()
@@ -475,6 +526,7 @@ class LoadEngine:
             idmgr_name="idmgr",
             persistence=member.persistence,
         )
+        member.client.span_writer = self._obs_writer
         member.alive = True
         self.members[user] = member
         for name in sorted(attributes):
@@ -495,23 +547,26 @@ class LoadEngine:
 
     def _join(self, phase: PhaseSpec) -> None:
         names = self.publisher_names()
-        fresh: List[Member] = []
-        for _ in range(phase.count):
-            if phase.publisher is not None:
-                target = phase.publisher
-            else:
-                target = names[self._join_counter % len(names)]
-            self._join_counter += 1
-            fresh.append(self._spawn_member(target))
-        self._settle(
-            lambda: all(
-                set(m.subscriber.attribute_tags()) == set(m.attributes)
-                for m in fresh
+        with profile_window("join"):
+            fresh: List[Member] = []
+            for _ in range(phase.count):
+                if phase.publisher is not None:
+                    target = phase.publisher
+                else:
+                    target = names[self._join_counter % len(names)]
+                self._join_counter += 1
+                fresh.append(self._spawn_member(target))
+            self._settle(
+                lambda: all(
+                    set(m.subscriber.attribute_tags()) == set(m.attributes)
+                    for m in fresh
+                )
             )
-        )
-        for member in fresh:
-            member.client.register_all_attributes()
-        self._settle(lambda: all(self._registration_done(m) for m in fresh))
+            for member in fresh:
+                member.client.register_all_attributes()
+            self._settle(
+                lambda: all(self._registration_done(m) for m in fresh)
+            )
 
     def _pick(self, phase: PhaseSpec, verb: str) -> List[Member]:
         candidates = [
@@ -590,6 +645,7 @@ class LoadEngine:
             # not re-run one OCBE exchange.
             reuse_css=True,
         )
+        member.client.span_writer = self._obs_writer
         member.alive = True
 
     def _condition_keys_for(self, member: Member) -> set:
@@ -663,6 +719,10 @@ class LoadEngine:
     # -- the rekey that ends every phase -----------------------------------------
 
     def _rekey(self, quiet: bool = True, repeat: int = 1) -> None:
+        with profile_window("rekey"):
+            self._rekey_inner(quiet=quiet, repeat=repeat)
+
+    def _rekey_inner(self, quiet: bool = True, repeat: int = 1) -> None:
         mark = self._accounting_mark()
         # Per-hop counters are only meaningful over a *quiet* window (a
         # non-quiet one may still have multicasts in flight toward a
@@ -712,6 +772,7 @@ class LoadEngine:
             service.publisher.epoch for service in self.services.values()
         )
         mark = self._accounting_mark()
+        window_started = time.time()
         started = time.perf_counter()
         if phase.kind == "join":
             self._join(phase)
@@ -751,6 +812,7 @@ class LoadEngine:
             members_revoked=self.revoked_count(),
             rekey_publish_s=self.last_rekey_publish_s,
             obs=self._sample_obs(),
+            window=(window_started, time.time()),
         )
 
     def run(self) -> LoadReport:
@@ -776,6 +838,53 @@ class LoadEngine:
                 "relays": len(self.scenario.topology),
             },
         )
+        if self.obs_dir:
+            report = self._attach_attribution(report)
+        return report
+
+    def _attach_attribution(self, report: LoadReport) -> LoadReport:
+        """Stitch the run's span logs and fold per-phase attribution
+        tables into the report (and gate on the scenario's coverage
+        floor, when one is set).
+
+        Runs post-hoc, against files already on disk: every span writer
+        flushes per line, so the spawned broker/relay processes' logs
+        are readable while those processes are still alive.
+        """
+        import dataclasses
+
+        from repro.obs.analyze import analyze_paths, attribution_table
+
+        engine_path = os.path.join(self.obs_dir, "engine", "obs.jsonl")
+        analysis = analyze_paths(
+            [self.obs_dir],
+            reference=engine_path if os.path.exists(engine_path) else None,
+        )
+        self.last_analysis = analysis
+        phases = []
+        for metrics in report.phases:
+            if metrics.window is None:
+                phases.append(metrics)
+                continue
+            low, high = metrics.window
+            bucket = [
+                t for t in analysis.traces if low <= t.start <= high
+            ]
+            phases.append(dataclasses.replace(
+                metrics, attribution=attribution_table(bucket),
+            ))
+        report.phases = phases
+        floor = self.scenario.min_attribution_coverage
+        if floor > 0.0:
+            table = analysis.publish_attribution()
+            if table["coverage"] < floor:
+                raise LoadScenarioError(
+                    "attribution coverage %.1f%% of publish wall is below "
+                    "the scenario's %.1f%% floor (stages: %s)" % (
+                        table["coverage"] * 100.0, floor * 100.0,
+                        sorted(table["stages"]),
+                    )
+                )
         return report
 
 
@@ -786,10 +895,11 @@ def run_scenario(
     data_root: Optional[str] = None,
     timeout: float = 120.0,
     obs_dir: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> LoadReport:
     """Run ``scenario`` in a fresh engine and tear the world down after."""
     with LoadEngine(
         scenario, driver=driver, broker=broker, data_root=data_root,
-        timeout=timeout, obs_dir=obs_dir,
+        timeout=timeout, obs_dir=obs_dir, profile_dir=profile_dir,
     ) as engine:
         return engine.run()

@@ -11,9 +11,10 @@ same ``BENCH_<name>.json`` trajectory CI's bench-gate compares.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.runner import Measurement, emit_bench_json, format_table
+from repro.obs.metrics import estimate_quantiles
 from repro.system.transport import BROADCAST, Message
 
 __all__ = ["LoadReport", "MetricsCollector", "PhaseMetrics"]
@@ -45,6 +46,15 @@ class PhaseMetrics:
     #: engine ran without obs sampling -- the JSON round trip simply
     #: omits the key then.
     obs: Optional[Dict[str, dict]] = None
+    #: ``(wall-clock start, end)`` of the phase in the engine's clock
+    #: frame -- the bucket the post-run trace attribution assigns traces
+    #: into.  ``None`` when the engine did not record one.
+    window: Optional[Tuple[float, float]] = None
+    #: Per-stage latency attribution for the traces whose corrected
+    #: start fell inside this phase's window (the
+    #: :func:`repro.obs.analyze.attribution_table` payload); ``None``
+    #: when the run had no ``obs_dir``.
+    attribution: Optional[dict] = None
 
     def to_payload(self) -> dict:
         payload = {
@@ -63,6 +73,10 @@ class PhaseMetrics:
         }
         if self.obs is not None:
             payload["obs"] = self.obs
+        if self.window is not None:
+            payload["window"] = list(self.window)
+        if self.attribution is not None:
+            payload["attribution"] = self.attribution
         return payload
 
 
@@ -84,6 +98,7 @@ class MetricsCollector:
         members_revoked: int,
         rekey_publish_s: float = 0.0,
         obs: Optional[Dict[str, dict]] = None,
+        window: Optional[Tuple[float, float]] = None,
     ) -> PhaseMetrics:
         """Fold one phase's accounting window into a :class:`PhaseMetrics`."""
         bytes_by_kind: Dict[str, int] = {}
@@ -112,6 +127,7 @@ class MetricsCollector:
             members_revoked=members_revoked,
             rekey_publish_s=rekey_publish_s,
             obs=obs,
+            window=window,
         )
         self.phases.append(metrics)
         return metrics
@@ -170,9 +186,12 @@ class LoadReport:
         """The per-phase :mod:`repro.obs` metrics table, or ``""``.
 
         One row per (phase, vantage point, metric): counters and gauges
-        verbatim, histograms as ``count/mean ms``.  Values are cumulative
-        per vantage (each phase samples the same live registries), so
-        reading down a column shows the series growing phase over phase.
+        verbatim, histograms as mean + interpolated p50/p95/p99
+        latencies (:func:`repro.obs.metrics.estimate_quantiles` over the
+        fixed bucket edges -- latencies, not raw bucket counts).  Values
+        are cumulative per vantage (each phase samples the same live
+        registries), so reading down a column shows the series growing
+        phase over phase.
         """
         rows = []
         for phase in self.phases:
@@ -184,15 +203,49 @@ class LoadReport:
                 for name, hist in snapshot.get("histograms", {}).items():
                     count = hist.get("count", 0)
                     mean_ms = (hist.get("sum", 0.0) / count * 1e3) if count else 0.0
+                    quantiles = estimate_quantiles(hist)
                     rows.append([
                         phase.label, vantage, name,
-                        "%d obs, %.3f ms mean" % (count, mean_ms),
+                        "%d obs, mean %.3f, p50 %.3f, p95 %.3f, "
+                        "p99 %.3f ms" % (
+                            count, mean_ms, quantiles[0.5] * 1e3,
+                            quantiles[0.95] * 1e3, quantiles[0.99] * 1e3,
+                        ),
                     ])
         if not rows:
             return ""
         return format_table(
             "obs metrics per phase (cumulative per vantage)",
             ["phase", "vantage", "metric", "value"],
+            rows,
+        )
+
+    def format_attribution(self) -> str:
+        """The per-phase latency attribution tables, or ``""`` when the
+        run carried no ``obs_dir`` (no spans means nothing to stitch)."""
+        rows = []
+        for phase in self.phases:
+            table = phase.attribution
+            if not table or not table.get("stages"):
+                continue
+            stages = sorted(
+                table["stages"].items(),
+                key=lambda item: -item[1]["total_s"],
+            )
+            for name, cut in stages:
+                rows.append([
+                    phase.label, name, cut["count"],
+                    cut["total_s"] * 1e3,
+                    "%5.1f%%" % (cut["share"] * 100.0),
+                    cut["p50_s"] * 1e3, cut["p95_s"] * 1e3,
+                    cut["p99_s"] * 1e3,
+                ])
+        if not rows:
+            return ""
+        return format_table(
+            "latency attribution per phase (share of union trace wall)",
+            ["phase", "stage", "n", "total ms", "share", "p50 ms",
+             "p95 ms", "p99 ms"],
             rows,
         )
 

@@ -290,6 +290,10 @@ class LoadScenario:
     #: (:mod:`repro.obs`); 0 disables the periodic push entirely (the
     #: engine still samples on demand at phase boundaries).
     metrics_interval: float = 0.0
+    #: Minimum fraction of publish-trace wall that must be attributed to
+    #: named stages + transit by :mod:`repro.obs.analyze` for the run to
+    #: pass (engine runs with an ``obs_dir`` only); 0 disables the gate.
+    min_attribution_coverage: float = 0.0
 
     # -- validation --------------------------------------------------------
 
@@ -315,6 +319,14 @@ class LoadScenario:
             or self.metrics_interval < 0
         ):
             raise InvalidParameterError("metrics_interval must be a number >= 0")
+        if (
+            not isinstance(self.min_attribution_coverage, (int, float))
+            or isinstance(self.min_attribution_coverage, bool)
+            or not 0.0 <= self.min_attribution_coverage <= 1.0
+        ):
+            raise InvalidParameterError(
+                "min_attribution_coverage must be a number in [0, 1]"
+            )
         if not self.publishers:
             raise InvalidParameterError("scenario needs at least one publisher")
         names = [p.name for p in self.publishers]
@@ -383,6 +395,7 @@ class LoadScenario:
             "attribute_bits": self.attribute_bits,
             "capacity_slack": self.capacity_slack,
             "metrics_interval": self.metrics_interval,
+            "min_attribution_coverage": self.min_attribution_coverage,
             "publishers": [
                 {
                     "name": p.name,
@@ -480,6 +493,9 @@ class LoadScenario:
                 attribute_bits=payload.get("attribute_bits", 8),
                 capacity_slack=payload.get("capacity_slack", 0),
                 metrics_interval=payload.get("metrics_interval", 0.0),
+                min_attribution_coverage=payload.get(
+                    "min_attribution_coverage", 0.0
+                ),
             )
         except (KeyError, TypeError) as exc:
             raise InvalidParameterError(

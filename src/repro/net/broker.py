@@ -765,10 +765,14 @@ class BrokerServer:
         hop can dedup.  The accounting stays exactly one ``"*"`` record.
         """
         self.metrics.inc("broker.broadcast")
+        seq = None
+        if self._relays:
+            self._broadcast_seq += 1
+            seq = self._broadcast_seq
         if self._obs is not None:
             self._obs.span(
                 "broadcast", trace=message.trace, sender=message.sender,
-                kind=message.kind, size=len(message.payload),
+                kind=message.kind, size=len(message.payload), seq=seq,
             )
         exclude = set(self._via_relay)
         before = self.route.pending()
@@ -783,9 +787,8 @@ class BrokerServer:
                 self._trim_inbox(entity)
                 self._kick(entity)
         if self._relays:
-            self._broadcast_seq += 1
             frame = RelayBroadcast(
-                seq=self._broadcast_seq,
+                seq=seq,
                 sender=message.sender,
                 kind=message.kind,
                 note=message.note,

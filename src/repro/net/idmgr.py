@@ -15,7 +15,8 @@ from repro.net.bootstrap import build_identity_stack, load_scenario, write_bundl
 from repro.net.runtime import pump_forever
 from repro.net.transport import TcpTransport
 from repro.obs.metrics import get_registry
-from repro.obs.trace import writer_for
+from repro.obs.profile import profile_window, recorder_for, set_profiler
+from repro.obs.trace import set_span_writer, writer_for
 from repro.store import IdMgrPersistence
 from repro.system.service import IdentityManagerEndpoint
 
@@ -28,6 +29,12 @@ def main(argv=None) -> int:
         description="Serve identity-token issuance over the broker.",
     )
     add_common_arguments(parser)
+    parser.add_argument("--profile-dir", default=None,
+                        help="record cProfile aggregates for the serving "
+                             "loop into profile_<name>.json under this "
+                             "directory (readable by python -m "
+                             "repro.obs.profile); function names only, "
+                             "never argument values")
     args = parser.parse_args(argv)
 
     scenario = load_scenario(args.scenario)
@@ -47,6 +54,11 @@ def main(argv=None) -> int:
     stop = install_stop_signals()
     host, port = parse_endpoint(args.broker)
     obs = writer_for(args.data_dir, scenario["idmgr"])
+    # Install the process-global stage writer/profiler (restored below)
+    # so wal.* spans and the serve profile window land in our files.
+    previous_writer = set_span_writer(obs)
+    profiler = recorder_for(args.profile_dir, scenario["idmgr"])
+    previous_profiler = set_profiler(profiler)
     try:
         with TcpTransport(host, port) as transport:
             endpoint = IdentityManagerEndpoint(
@@ -57,13 +69,18 @@ def main(argv=None) -> int:
             print("idmgr serving as %r on %s" % (endpoint.name, args.broker),
                   flush=True)
             errors = []
-            pump_forever([endpoint], stop, errors=errors)
+            with profile_window("serve"):
+                pump_forever([endpoint], stop, errors=errors)
             for error in errors:
                 print("absorbed: %s" % error, flush=True)
             if endpoint.rejections:
                 print("rejected %d token requests" % len(endpoint.rejections),
                       flush=True)
     finally:
+        set_span_writer(previous_writer)
+        set_profiler(previous_profiler)
+        if profiler is not None:
+            profiler.write()
         if obs is not None:
             obs.metrics(get_registry().snapshot())
             obs.close()

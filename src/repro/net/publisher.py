@@ -44,7 +44,8 @@ from repro.net.runtime import (
 )
 from repro.net.transport import TcpTransport
 from repro.obs.metrics import get_registry
-from repro.obs.trace import writer_for
+from repro.obs.profile import profile_window, recorder_for, set_profiler
+from repro.obs.trace import set_span_writer, writer_for
 from repro.store import PublisherPersistence
 from repro.system.service import DisseminationService
 
@@ -72,32 +73,36 @@ def _run_lifecycle(args, scenario, bundle, service, transport, stop,
               flush=True)
     else:
         print("waiting for %d registrations..." % expected, flush=True)
-        pump_until(
-            [service],
-            lambda: publisher.table.cell_count() >= expected,
-            timeout=args.timeout,
-            stop=stop,
-        )
-        # Table completeness is necessary, not sufficient: CSS cells are
-        # minted at request time, while the OCBE envelopes that let the Subs
-        # *extract* them may still be in flight.  Quiescence closes that gap.
-        wait_until_quiet(transport, [service], timeout=args.timeout)
+        with profile_window("registration"):
+            pump_until(
+                [service],
+                lambda: publisher.table.cell_count() >= expected,
+                timeout=args.timeout,
+                stop=stop,
+            )
+            # Table completeness is necessary, not sufficient: CSS cells
+            # are minted at request time, while the OCBE envelopes that
+            # let the Subs *extract* them may still be in flight.
+            # Quiescence closes that gap.
+            wait_until_quiet(transport, [service], timeout=args.timeout)
     cells_registered = publisher.table.cell_count()
     print("all registrations complete", flush=True)
 
     documents = list(_scenario_documents(scenario))
-    for document in documents:
-        service.publish(document)
-    wait_until_quiet(transport, [service], timeout=args.timeout)
+    with profile_window("publish"):
+        for document in documents:
+            service.publish(document)
+        wait_until_quiet(transport, [service], timeout=args.timeout)
     print("published %d documents" % len(documents), flush=True)
 
     inbound_before = transport.snapshot().bytes_received_by(publisher.name)
     for user in scenario["revoke"]:
         if not publisher.revoke_subscription(bundle.nyms[user]):
             raise SystemExit("revocation of %r found no subscription" % user)
-    for document in documents:  # re-publish: this is the rekey
-        service.publish(document)
-    wait_until_quiet(transport, [service], timeout=args.timeout)
+    with profile_window("rekey"):
+        for document in documents:  # re-publish: this is the rekey
+            service.publish(document)
+        wait_until_quiet(transport, [service], timeout=args.timeout)
     snapshot = transport.snapshot()
     inbound_after = snapshot.bytes_received_by(publisher.name)
     print("revoked %s and rekeyed via re-broadcast" % (scenario["revoke"],),
@@ -143,6 +148,13 @@ def main(argv=None) -> int:
                         help="which publisher spec to serve, for scenarios "
                              "with a 'publishers' list (default: the "
                              "first/only one)")
+    parser.add_argument("--profile-dir", default=None,
+                        help="record cProfile aggregates for the "
+                             "registration wait and the publish/rekey "
+                             "windows into profile_<name>.json under this "
+                             "directory (readable by python -m "
+                             "repro.obs.profile); function names only, "
+                             "never argument values")
     parser.add_argument("--gkm-buckets", type=int, default=None, metavar="SIZE",
                         help="use the bucketed ACV strategy with SIZE rows "
                              "per bucket (0 = the auto ceil(sqrt(m)) "
@@ -175,6 +187,12 @@ def main(argv=None) -> int:
     stop = install_stop_signals()
     host, port = parse_endpoint(args.broker)
     obs = writer_for(args.data_dir, publisher.name)
+    # The global installs make stage() spans (ocbe.build, acv.solve,
+    # wal.*) and profile_window() land in this process's files; both are
+    # restored on the way out so embedders stay unaffected.
+    previous_writer = set_span_writer(obs)
+    profiler = recorder_for(args.profile_dir, publisher.name)
+    previous_profiler = set_profiler(profiler)
     try:
         with TcpTransport(host, port) as transport:
             service = DisseminationService(
@@ -192,7 +210,8 @@ def main(argv=None) -> int:
                         service.publish(document)
                         print("rekey-on-recovery broadcast of %r" % document.name,
                               flush=True)
-                pump_forever([service], stop)
+                with profile_window("serve"):
+                    pump_forever([service], stop)
                 return 0
             try:
                 report = _run_lifecycle(
@@ -206,6 +225,10 @@ def main(argv=None) -> int:
                 write_json(args.report, report)
             print(json.dumps(report, indent=2, sort_keys=True), flush=True)
     finally:
+        set_span_writer(previous_writer)
+        set_profiler(previous_profiler)
+        if profiler is not None:
+            profiler.write()
         if obs is not None:
             obs.metrics(get_registry().snapshot())
             obs.close()

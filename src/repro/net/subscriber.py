@@ -32,7 +32,7 @@ from repro.net.bootstrap import (
 from repro.net.runtime import StopRequested, pump_until, wait_for_file
 from repro.net.transport import TcpTransport
 from repro.obs.metrics import get_registry
-from repro.obs.trace import writer_for
+from repro.obs.trace import set_span_writer, writer_for
 from repro.store import SubscriberPersistence
 from repro.system.service import SubscriberClient
 
@@ -76,6 +76,9 @@ def main(argv=None) -> int:
     stop = install_stop_signals()
     host, port = parse_endpoint(args.broker)
     obs = writer_for(args.data_dir, subscriber.nym)
+    # Global install (restored below) so the decrypt/wal stage spans of
+    # this process land in its obs.jsonl alongside the hop events.
+    previous_writer = set_span_writer(obs)
     try:
         with TcpTransport(host, port) as transport:
             client = SubscriberClient(
@@ -97,6 +100,7 @@ def main(argv=None) -> int:
                 attributes,
             )
     finally:
+        set_span_writer(previous_writer)
         if obs is not None:
             obs.metrics(get_registry().snapshot())
             obs.close()

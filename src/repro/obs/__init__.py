@@ -21,23 +21,38 @@ load -- may import it; never the other way around.
 * :mod:`repro.obs.report` -- ``python -m repro.obs.report``: validate
   (``--check``), summarize, and export ``BENCH_obs_*`` trend JSON from
   collected ``obs.jsonl`` streams.
+* :mod:`repro.obs.analyze` -- ``python -m repro.obs.analyze``: stitch
+  the per-process span logs into causal trace trees, correct clock
+  skew from hop timestamp pairs, and attribute end-to-end latency to
+  named stages (the critical-path table CI gates on).
+* :mod:`repro.obs.profile` -- opt-in :mod:`cProfile` windows keyed to
+  span stage names (function names only, never argument values) and
+  the ``python -m repro.obs.profile`` merger.
 """
 
 from repro.obs.metrics import (
     DEFAULT_LATENCY_EDGES,
     MetricsRegistry,
+    estimate_quantiles,
     get_registry,
     merge_snapshots,
     snapshot_from_json,
     snapshot_to_json,
 )
 from repro.obs.trace import (
+    SPAN_ID_LEN,
     TRACE_LEN,
     ZERO_TRACE,
     SpanWriter,
+    current_span,
     current_trace,
+    get_span_writer,
+    new_span_id,
     new_trace_id,
+    set_span_writer,
     set_trace,
+    spanning,
+    stage,
     trace_hex,
     tracing,
 )
@@ -45,16 +60,24 @@ from repro.obs.trace import (
 __all__ = [
     "DEFAULT_LATENCY_EDGES",
     "MetricsRegistry",
+    "SPAN_ID_LEN",
     "SpanWriter",
     "TRACE_LEN",
     "ZERO_TRACE",
+    "current_span",
     "current_trace",
+    "estimate_quantiles",
     "get_registry",
+    "get_span_writer",
     "merge_snapshots",
+    "new_span_id",
     "new_trace_id",
+    "set_span_writer",
     "set_trace",
     "snapshot_from_json",
     "snapshot_to_json",
+    "spanning",
+    "stage",
     "trace_hex",
     "tracing",
 ]

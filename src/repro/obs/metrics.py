@@ -42,6 +42,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "estimate_quantiles",
     "get_registry",
     "merge_snapshots",
     "snapshot_from_json",
@@ -340,6 +341,59 @@ def snapshot_from_json(raw: bytes, max_bytes: int = MAX_SNAPSHOT_BYTES) -> dict:
                 name: _require_number(value, name)
                 for name, value in table.items()
             }
+    return out
+
+
+#: The quantiles the latency tables render.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def estimate_quantiles(
+    histogram: dict, quantiles: Sequence[float] = DEFAULT_QUANTILES
+) -> Dict[float, float]:
+    """Interpolate quantiles from a fixed-edge histogram snapshot.
+
+    Works on the snapshot/merge dict form (``edges``/``counts``/
+    ``count``/``min``/``max``).  Within the bucket holding the target
+    rank the value is linearly interpolated between the bucket bounds
+    (the tracked ``min`` bounds the first bucket, the tracked ``max``
+    the overflow bucket), then clamped into ``[min, max]`` -- so a
+    single-observation histogram reports that observation exactly, and
+    no estimate can escape the observed range.  Returns ``{q: 0.0}``
+    for empty or malformed histograms rather than raising: callers are
+    rendering tables, and a skewed snapshot should produce a zero row,
+    not a crash.
+    """
+    try:
+        count = int(histogram.get("count", 0))
+        edges = [float(e) for e in histogram.get("edges", [])]
+        counts = [int(c) for c in histogram.get("counts", [])]
+        seen_min = float(histogram.get("min", 0.0))
+        seen_max = float(histogram.get("max", 0.0))
+    except (TypeError, ValueError, AttributeError):
+        return {q: 0.0 for q in quantiles}
+    if count <= 0 or not edges or len(counts) != len(edges) + 1:
+        return {q: 0.0 for q in quantiles}
+    if any(c < 0 for c in counts):
+        return {q: 0.0 for q in quantiles}
+    out: Dict[float, float] = {}
+    for q in quantiles:
+        q = min(max(float(q), 0.0), 1.0)
+        rank = q * count
+        cumulative = 0
+        value = seen_max
+        for index, bucket in enumerate(counts):
+            before = cumulative
+            cumulative += bucket
+            if bucket and cumulative >= rank:
+                lower = seen_min if index == 0 else edges[index - 1]
+                upper = edges[index] if index < len(edges) else seen_max
+                if upper < lower:
+                    upper = lower
+                fraction = (rank - before) / bucket
+                value = lower + (upper - lower) * fraction
+                break
+        out[q] = min(max(value, seen_min), seen_max)
     return out
 
 

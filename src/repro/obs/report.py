@@ -8,13 +8,18 @@ as observed by the participating hosts' clocks).
 
 Three modes compose:
 
-* default -- print the text summary (entity/event table + trace table);
+* default -- print the text summary (entity/event table + trace table,
+  plus interpolated p50/p95/p99 latencies for every histogram found in
+  embedded ``metrics`` snapshot records);
 * ``--check`` -- CI gate: exit non-zero when any line is malformed or
   no span was found at all (instrumentation that silently writes
   nothing must fail the gate, not pass it);
 * ``--bench NAME`` -- additionally emit ``BENCH_<NAME>.json`` via
   :func:`repro.bench.runner.emit_bench_json` so trace latency is a
-  trend CI can track across PRs like any other benchmark.
+  trend CI can track across PRs like any other benchmark;
+* ``--top N`` -- delegate to :mod:`repro.obs.analyze` and print the N
+  slowest fully-stitched traces with their per-hop breakdown, for
+  eyeballing outliers after a soak run.
 
 Validation is structural: every line must be a JSON object carrying a
 numeric ``ts``, string ``entity``/``event`` and a ``trace`` that is
@@ -170,6 +175,40 @@ def _print_summary(files: List[str], summary: dict) -> None:
         ))
 
 
+def _histogram_rows(spans: List[dict]) -> List[list]:
+    """p50/p95/p99 rows from the *last* ``metrics`` snapshot per entity.
+
+    Entities periodically embed registry snapshots into their span
+    stream; the last one per entity is cumulative, so its histograms
+    carry the whole run.  Estimation interpolates inside the fixed
+    bucket edges -- latencies, not raw bucket counts.
+    """
+    from repro.obs.metrics import estimate_quantiles
+
+    latest: Dict[str, dict] = {}
+    for span in spans:
+        if span.get("event") == "metrics" and isinstance(
+            span.get("snapshot"), dict
+        ):
+            latest[span["entity"]] = span["snapshot"]
+    rows: List[list] = []
+    for entity in sorted(latest):
+        histograms = latest[entity].get("histograms")
+        if not isinstance(histograms, dict):
+            continue
+        for name in sorted(histograms):
+            histogram = histograms[name]
+            if not isinstance(histogram, dict) or not histogram.get("count"):
+                continue
+            quantiles = estimate_quantiles(histogram)
+            rows.append([
+                entity, name, histogram.get("count", 0),
+                quantiles[0.5] * 1e3, quantiles[0.95] * 1e3,
+                quantiles[0.99] * 1e3,
+            ])
+    return rows
+
+
 def _emit_bench(name: str, files: List[str], summary: dict) -> str:
     from repro.bench.runner import Measurement, emit_bench_json
 
@@ -205,6 +244,9 @@ def main(argv=None) -> int:
                              "span was found (the CI gate)")
     parser.add_argument("--bench", metavar="NAME", default=None,
                         help="also emit BENCH_<NAME>.json trend data")
+    parser.add_argument("--top", type=int, default=0, metavar="N",
+                        help="print the N slowest fully-stitched traces "
+                             "with per-hop breakdowns")
     args = parser.parse_args(argv)
 
     files = discover(args.paths or ["."])
@@ -217,6 +259,19 @@ def main(argv=None) -> int:
 
     summary = summarize(spans)
     _print_summary(files, summary)
+    histogram_rows = _histogram_rows(spans)
+    if histogram_rows:
+        from repro.bench.runner import format_table
+
+        print(format_table(
+            "histogram latencies (interpolated from bucket edges)",
+            ["entity", "histogram", "obs", "p50 ms", "p95 ms", "p99 ms"],
+            histogram_rows,
+        ))
+    if args.top:
+        from repro.obs.analyze import analyze_paths, format_top
+
+        print(format_top(analyze_paths(args.paths or ["."]), args.top))
     for problem in bad:
         print("MALFORMED %s" % problem)
     if args.bench:

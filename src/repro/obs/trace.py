@@ -20,6 +20,23 @@ carrying *routing-level facts only* -- timestamps, entity names, kind
 labels, byte sizes, hex trace ids.  :meth:`SpanWriter.span` refuses
 bytes-typed field values outright, so payload bytes and key material
 cannot end up in telemetry by construction.
+
+On top of the flat point events sits the *causal* layer: every span
+record may carry a ``span`` id (8 random bytes, hex) and a ``parent``
+id, and :func:`stage` emits **duration-carrying** records (``event``
+``"span"`` with ``start``/``dur``) around named stages of the hot
+paths (``ocbe.build``, ``acv.solve``, ``wal.fsync``, ``publish``,
+``decrypt``).  The current span id lives in its own context variable
+next to the trace id; :meth:`_Endpoint.pump` re-parents at every hop
+by minting a ``handle`` span and scoping it around the handler, so
+one publish produces a tree spanning publisher -> broker -> relays ->
+subscribers that ``repro.obs.analyze`` stitches back together.  Stage
+records go to the *process-global* writer (:func:`set_span_writer`)
+so the store/gkm/wire layers need no plumbing -- and cost one global
+read when none is installed.  Span ids never touch the wire: frames
+carry only the 16-byte trace id, and cross-process parent/child edges
+are inferred by the analyzer, which is what keeps traced traffic
+byte-identical to PR 7's.
 """
 
 from __future__ import annotations
@@ -33,12 +50,19 @@ from contextlib import contextmanager
 from typing import Optional
 
 __all__ = [
+    "SPAN_ID_LEN",
     "TRACE_LEN",
     "ZERO_TRACE",
     "SpanWriter",
+    "current_span",
     "current_trace",
+    "get_span_writer",
+    "new_span_id",
     "new_trace_id",
+    "set_span_writer",
     "set_trace",
+    "spanning",
+    "stage",
     "trace_hex",
     "tracing",
 ]
@@ -46,11 +70,18 @@ __all__ = [
 #: Trace ids are exactly this many bytes on the wire.
 TRACE_LEN = 16
 
+#: Span ids are this many random bytes, logged as hex (never on the wire).
+SPAN_ID_LEN = 8
+
 #: The "no trace" value; frames encode it by omission.
 ZERO_TRACE = b"\x00" * TRACE_LEN
 
 _current: contextvars.ContextVar[bytes] = contextvars.ContextVar(
     "repro_obs_trace", default=b""
+)
+
+_current_span: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_obs_span", default=""
 )
 
 
@@ -160,3 +191,89 @@ def writer_for(
     if not obs_dir:
         return None
     return SpanWriter(os.path.join(obs_dir, "obs.jsonl"), entity)
+
+
+# -- causal spans -----------------------------------------------------------
+
+
+def new_span_id() -> str:
+    """A fresh random span id (hex, :data:`SPAN_ID_LEN` bytes of entropy)."""
+    return os.urandom(SPAN_ID_LEN).hex()
+
+
+def current_span() -> str:
+    """The active span id, or ``""`` when none is open."""
+    return _current_span.get()
+
+
+@contextmanager
+def spanning(span_id: str):
+    """Scope ``span_id`` as the active parent for a block.
+
+    This is the hop re-parenting primitive: an endpoint's pump loop
+    mints a ``handle`` span per delivery and scopes it around the
+    handler, so every stage the handler runs (a decrypt, a WAL append,
+    an OCBE build) parents under the hop that caused it.
+    """
+    token = _current_span.set(span_id)
+    try:
+        yield
+    finally:
+        _current_span.reset(token)
+
+
+#: The process-global writer :func:`stage` records go to.  ``None``
+#: (the default) turns every stage into a single global read -- the
+#: hot paths stay uninstrumented unless an engine or entity CLI opts
+#: the process in.
+_span_writer: Optional[SpanWriter] = None
+
+
+def set_span_writer(writer: Optional[SpanWriter]) -> Optional[SpanWriter]:
+    """Install the process-global stage writer; returns the previous one
+    (so an embedded engine can restore whatever the host had)."""
+    global _span_writer
+    previous = _span_writer
+    _span_writer = writer
+    return previous
+
+
+def get_span_writer() -> Optional[SpanWriter]:
+    """The process-global stage writer, or ``None``."""
+    return _span_writer
+
+
+@contextmanager
+def stage(name: str, **fields):
+    """Time a named stage as one duration-carrying span record.
+
+    Emits a single ``event == "span"`` line at exit -- ``span`` id,
+    ``parent`` (the enclosing stage or hop span, omitted at a root),
+    ``stage`` name, wall-clock ``start`` and monotonic ``dur`` seconds
+    -- to the process-global writer, under the ambient trace id.
+    Nested stages parent naturally through the span context variable.
+    No-op (one global read) when no writer is installed.
+    """
+    writer = _span_writer
+    if writer is None:
+        yield
+        return
+    span_id = new_span_id()
+    parent = current_span()
+    token = _current_span.set(span_id)
+    start = time.time()
+    begun = time.perf_counter()
+    try:
+        yield
+    finally:
+        _current_span.reset(token)
+        writer.span(
+            "span",
+            trace=current_trace(),
+            span=span_id,
+            parent=parent or None,
+            stage=name,
+            start=start,
+            dur=time.perf_counter() - begun,
+            **fields,
+        )

@@ -33,6 +33,7 @@ from typing import Iterator, List, Tuple
 
 from repro.errors import LogCorruptionError
 from repro.obs.metrics import get_registry
+from repro.obs.trace import stage
 from repro.wire.codec import (
     DEFAULT_MAX_FRAME_PAYLOAD,
     FRAME_HEADER_SIZE,
@@ -179,12 +180,16 @@ class WriteAheadLog:
         if self._handle.closed:
             raise LogCorruptionError("append to a closed log %r" % self.path)
         registry = get_registry()
-        with registry.timer("wal.append_seconds"):
-            self._handle.write(encode_record(type_id, payload, self.max_payload))
-            self._handle.flush()
-            if self.sync:
-                with registry.timer("wal.fsync_seconds"):
-                    os.fsync(self._handle.fileno())
+        with stage("wal.append", size=len(payload)):
+            with registry.timer("wal.append_seconds"):
+                self._handle.write(
+                    encode_record(type_id, payload, self.max_payload)
+                )
+                self._handle.flush()
+                if self.sync:
+                    with stage("wal.fsync"):
+                        with registry.timer("wal.fsync_seconds"):
+                            os.fsync(self._handle.fileno())
         registry.inc("wal.appends")
         self.record_count += 1
 

@@ -34,7 +34,15 @@ from repro.errors import (
     SystemError_,
 )
 from repro.obs.metrics import get_registry
-from repro.obs.trace import current_trace, new_trace_id, tracing
+from repro.obs.trace import (
+    current_span,
+    current_trace,
+    new_span_id,
+    new_trace_id,
+    spanning,
+    stage,
+    tracing,
+)
 from repro.system.transport import Delivery, Transport
 from repro.wire.messages import (
     MESSAGE_TYPES,
@@ -105,8 +113,8 @@ class _Endpoint:
         kind = _frame_kind(frame)
         if self.span_writer is not None:
             self.span_writer.span(
-                "send", trace=current_trace(), receiver=receiver,
-                kind=kind, size=len(frame),
+                "send", trace=current_trace(), span=current_span() or None,
+                ep=self.name, receiver=receiver, kind=kind, size=len(frame),
             )
         self.transport.deliver(self.name, receiver, kind, frame, note)
 
@@ -120,19 +128,30 @@ class _Endpoint:
 
         Each delivery is handled with its trace id installed as the
         ambient trace, so reply frames the handler sends carry the same
-        id onward -- that is the cross-process propagation step.
+        id onward -- that is the cross-process propagation step.  The
+        ``handle`` span gets a fresh span id scoped around the handler
+        (the hop *re-parenting* step): every stage the handler runs and
+        every frame it sends parents under this hop.  The handler body
+        itself runs inside a ``hop.handle`` duration stage, so frame
+        decode + dispatch cost is attributable (its self time excludes
+        the nested decrypt/OCBE/WAL stages).
         """
         deliveries = self.transport.poll(self.name, limit)
         for index, delivery in enumerate(deliveries):
             try:
                 with tracing(delivery.trace):
                     if self.span_writer is not None:
+                        hop = new_span_id()
                         self.span_writer.span(
-                            "handle", trace=delivery.trace,
-                            sender=delivery.sender, kind=delivery.kind,
-                            size=len(delivery.payload),
+                            "handle", trace=delivery.trace, span=hop,
+                            ep=self.name, sender=delivery.sender,
+                            kind=delivery.kind, size=len(delivery.payload),
                         )
-                    self._handle_delivery(delivery)
+                        with spanning(hop):
+                            with stage("hop.handle", kind=delivery.kind):
+                                self._handle_delivery(delivery)
+                    else:
+                        self._handle_delivery(delivery)
             except Exception:
                 self.transport.requeue(self.name, deliveries[index + 1 :])
                 raise
@@ -172,14 +191,21 @@ class DisseminationService(_Endpoint):
         hop, so one rekey is followable end to end.
         """
         with tracing(current_trace() or new_trace_id()):
-            with get_registry().timer("publisher.publish_seconds"):
-                package = self.publisher.publish(
-                    document, rng=rng, capacity=capacity
-                )
-            frame = BroadcastMessage(package=package).encode()
+            with stage("publish", document=document.name):
+                with get_registry().timer("publisher.publish_seconds"):
+                    package = self.publisher.publish(
+                        document, rng=rng, capacity=capacity
+                    )
+                frame = BroadcastMessage(package=package).encode()
+            # The point event is written *after* the stage closes and
+            # right before the frame leaves: its ts is the hop-send
+            # timestamp the analyzer pairs with the broker's
+            # ``broadcast`` record for transit and clock-skew math.
             if self.span_writer is not None:
                 self.span_writer.span(
-                    "publish", trace=current_trace(), kind=BroadcastMessage.KIND,
+                    "publish", trace=current_trace(),
+                    span=current_span() or None, ep=self.name,
+                    kind=BroadcastMessage.KIND,
                     document=document.name, size=len(frame),
                 )
             self.transport.broadcast(
@@ -423,8 +449,11 @@ class SubscriberClient(_Endpoint):
         self.packages.append(package)
         registry = get_registry()
         try:
-            with registry.timer("subscriber.decrypt_seconds"):
-                self.documents[package.document] = self.subscriber.receive(package)
+            with stage("decrypt", document=package.document):
+                with registry.timer("subscriber.decrypt_seconds"):
+                    self.documents[package.document] = self.subscriber.receive(
+                        package
+                    )
         except ReproError as exc:
             # A parseable-but-inconsistent package (e.g. a malformed ACV
             # header) must fail this broadcast, never the pump loop.
@@ -441,6 +470,7 @@ class SubscriberClient(_Endpoint):
         if self.span_writer is not None:
             self.span_writer.span(
                 "broadcast_received", trace=current_trace(),
+                span=current_span() or None, ep=self.name,
                 document=package.document,
                 plaintexts=len(self.documents[package.document]),
             )

@@ -37,6 +37,7 @@ from repro.errors import (
     SignatureError,
 )
 from repro.obs.metrics import get_registry
+from repro.obs.trace import stage
 from repro.ocbe.base import receiver_for
 from repro.policy.condition import AttributeCondition
 from repro.wire.messages import (
@@ -264,10 +265,11 @@ class PublisherRegistrationSession:
                 reason="no registration in progress for this condition",
             ).encode()
         try:
-            with get_registry().timer("ocbe.envelope_build_seconds"):
-                envelope = offer.sender.compose(
-                    offer.token.commitment, message.aux, offer.css
-                )
+            with stage("ocbe.build", condition=message.condition_key):
+                with get_registry().timer("ocbe.envelope_build_seconds"):
+                    envelope = offer.sender.compose(
+                        offer.token.commitment, message.aux, offer.css
+                    )
             get_registry().inc("ocbe.envelopes")
         except (OCBEError, SerializationError, AttributeError, TypeError) as exc:
             # AttributeError/TypeError cover a well-formed frame carrying the

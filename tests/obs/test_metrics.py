@@ -252,3 +252,67 @@ def test_merge_histograms_mismatched_edges_keeps_totals():
 def test_merge_round_trips_through_wire_form():
     merged = merge_snapshots([_populated(), _populated()])
     assert snapshot_from_json(snapshot_to_json(merged)) == merged
+
+
+# -- quantile estimation -----------------------------------------------------
+
+
+def test_estimate_quantiles_empty_and_malformed():
+    from repro.obs.metrics import estimate_quantiles
+
+    assert estimate_quantiles({}) == {0.5: 0.0, 0.95: 0.0, 0.99: 0.0}
+    assert estimate_quantiles({"count": 3})[0.5] == 0.0
+    # Counts/edges length mismatch, negative counts, junk types: zero
+    # rows, never a raise -- callers are rendering tables.
+    assert estimate_quantiles(
+        {"count": 1, "edges": [1.0], "counts": [1]}
+    )[0.5] == 0.0
+    assert estimate_quantiles(
+        {"count": 1, "edges": [1.0], "counts": [-1, 2]}
+    )[0.5] == 0.0
+    assert estimate_quantiles(
+        {"count": "x", "edges": None, "counts": object()}
+    )[0.99] == 0.0
+
+
+def test_estimate_quantiles_single_observation_exact():
+    from repro.obs.metrics import estimate_quantiles
+
+    registry = MetricsRegistry()
+    registry.observe("lat", 0.0042)
+    hist = registry.snapshot()["histograms"]["lat"]
+    quantiles = estimate_quantiles(hist)
+    for q in (0.5, 0.95, 0.99):
+        assert abs(quantiles[q] - 0.0042) < 1e-12
+
+
+def test_estimate_quantiles_interpolates_and_clamps():
+    from repro.obs.metrics import estimate_quantiles
+
+    registry = MetricsRegistry()
+    for value in (0.001, 0.002, 0.003, 0.004, 0.009, 0.080):
+        registry.observe("lat", value)
+    hist = registry.snapshot()["histograms"]["lat"]
+    quantiles = estimate_quantiles(hist, quantiles=(0.0, 0.5, 1.0))
+    # Monotone in q and bounded by the observed extremes.
+    assert quantiles[0.0] <= quantiles[0.5] <= quantiles[1.0]
+    assert quantiles[0.0] >= 0.001 - 1e-12
+    assert quantiles[1.0] <= 0.080 + 1e-12
+
+
+def test_estimate_quantiles_after_version_skew_merge():
+    """A merge that folded a mismatched-edge child still yields a sane
+    (clamped, non-crashing) estimate: the fold keeps the first edge set
+    and only count/sum/min/max from the skewed child."""
+    from repro.obs.metrics import estimate_quantiles
+
+    r1 = MetricsRegistry()
+    r1.observe("lat", 0.002, edges=(0.001, 0.01))
+    r2 = MetricsRegistry()
+    r2.observe("lat", 5.0, edges=(1.0, 2.0))
+    merged = merge_snapshots([r1.snapshot(), r2.snapshot()])
+    hist = merged["histograms"]["lat"]
+    assert hist["count"] == 2
+    quantiles = estimate_quantiles(hist)
+    for q in (0.5, 0.95, 0.99):
+        assert 0.002 - 1e-12 <= quantiles[q] <= 5.0 + 1e-12

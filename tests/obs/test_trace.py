@@ -158,3 +158,90 @@ def test_writer_for(tmp_path):
     writer.span("x")  # creates the directory lazily
     writer.close()
     assert (tmp_path / "sub" / "obs.jsonl").exists()
+
+
+# -- causal spans ------------------------------------------------------------
+
+
+def test_stage_emits_duration_record_with_parenting(tmp_path):
+    from repro.obs.trace import (
+        SPAN_ID_LEN,
+        new_trace_id,
+        set_span_writer,
+        spanning,
+        stage,
+    )
+
+    writer = SpanWriter(str(tmp_path / "obs.jsonl"), "engine")
+    previous = set_span_writer(writer)
+    try:
+        with tracing(new_trace_id()):
+            with stage("publish", document="doc"):
+                with stage("acv.solve", rows=4):
+                    pass
+    finally:
+        set_span_writer(previous)
+        writer.close()
+    inner, outer = [
+        json.loads(line)
+        for line in open(tmp_path / "obs.jsonl", encoding="utf-8")
+    ]
+    # One record per stage, written at exit (inner closes first).
+    assert inner["stage"] == "acv.solve" and outer["stage"] == "publish"
+    assert len(outer["span"]) == SPAN_ID_LEN * 2
+    assert "parent" not in outer  # root of the tree
+    assert inner["parent"] == outer["span"]
+    assert inner["trace"] == outer["trace"] != ""
+    assert inner["rows"] == 4 and outer["document"] == "doc"
+    for record in (inner, outer):
+        assert record["dur"] >= 0.0
+        assert isinstance(record["start"], float)
+
+
+def test_spanning_reparents_onto_hop(tmp_path):
+    from repro.obs.trace import new_span_id, set_span_writer, spanning, stage
+
+    writer = SpanWriter(str(tmp_path / "obs.jsonl"), "engine")
+    previous = set_span_writer(writer)
+    hop = new_span_id()
+    try:
+        with spanning(hop):
+            with stage("decrypt"):
+                pass
+    finally:
+        set_span_writer(previous)
+        writer.close()
+    record = json.loads((tmp_path / "obs.jsonl").read_text())
+    assert record["parent"] == hop
+
+
+def test_stage_without_writer_is_inert():
+    from repro.obs.trace import current_span, get_span_writer, stage
+
+    assert get_span_writer() is None
+    with stage("publish"):
+        # A full no-op -- not even the contextvar moves, so untraced
+        # runs pay one global read and nothing else.
+        assert current_span() == ""
+    assert current_span() == ""
+
+
+def test_set_span_writer_returns_previous(tmp_path):
+    from repro.obs.trace import get_span_writer, set_span_writer
+
+    first = SpanWriter(str(tmp_path / "a.jsonl"), "a")
+    second = SpanWriter(str(tmp_path / "b.jsonl"), "b")
+    assert set_span_writer(first) is None
+    assert set_span_writer(second) is first
+    assert get_span_writer() is second
+    assert set_span_writer(None) is second
+    assert get_span_writer() is None
+
+
+def test_span_ids_are_process_local_only(tmp_path):
+    """Span ids never travel on the wire: the writer is the only place
+    they appear, and they are fresh random bytes per stage entry."""
+    from repro.obs.trace import new_span_id
+
+    seen = {new_span_id() for _ in range(64)}
+    assert len(seen) == 64
