@@ -30,6 +30,7 @@ __all__ = [
     "PureSha1",
     "PureSha256",
     "default_hash",
+    "get_hash",
     "sha1",
     "sha256",
     "hash_to_int",
@@ -66,6 +67,16 @@ class HashFunction:
 
     def __repr__(self) -> str:
         return "HashFunction(%s, %d bytes)" % (self.name, self.digest_size)
+
+    def __reduce__(self):
+        # Digest callables may be lambdas; named instances pickle by name
+        # so OCBE setups can cross a spawn boundary to worker processes.
+        if _REGISTRY.get(self.name) is not self:
+            raise TypeError(
+                "only registered named HashFunction instances are picklable; "
+                "%r is not in the registry" % self.name
+            )
+        return (get_hash, (self.name,))
 
 
 # ---------------------------------------------------------------------------
@@ -205,6 +216,16 @@ sha1 = HashFunction("sha1", 20, lambda d: hashlib.sha1(d).digest())
 #: Interoperable from-scratch implementations.
 pure_sha256 = HashFunction("pure-sha256", 32, PureSha256.hash)
 pure_sha1 = HashFunction("pure-sha1", 20, PureSha1.hash)
+
+_REGISTRY = {h.name: h for h in (sha256, sha1, pure_sha256, pure_sha1)}
+
+
+def get_hash(name: str) -> HashFunction:
+    """Look up a named hash instance (also the unpickle constructor)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError("unknown hash function %r" % name) from None
 
 
 def default_hash() -> HashFunction:

@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 
 from repro.errors import CommitmentError, InvalidParameterError
 from repro.groups.base import CyclicGroup, GroupElement
+from repro.groups.precompute import shared_table
 
 __all__ = ["PedersenParams", "PedersenCommitment"]
 
@@ -38,10 +39,23 @@ class PedersenCommitment:
         return PedersenCommitment(self.value * other.value)
 
 
-class PedersenParams:
-    """System parameters ``(G, g, h)`` for Pedersen commitments."""
+# Naive exponentiations of a base before its fixed-base table is built:
+# one-shot uses (tiny unit tests, ad-hoc verification) never pay the
+# build, while any registration-shaped workload crosses the threshold
+# within its first commitment batch.
+_TABLE_THRESHOLD = 4
 
-    __slots__ = ("group", "g", "h")
+
+class PedersenParams:
+    """System parameters ``(G, g, h)`` for Pedersen commitments.
+
+    Exponentiations of the two (public) bases go through lazily built
+    fixed-base tables (:mod:`repro.groups.precompute`), shared process-
+    wide per base.  Tables are deterministic and never serialized:
+    pickling drops them and a recovered instance rebuilds on use.
+    """
+
+    __slots__ = ("group", "g", "h", "_tables", "_uses")
 
     def __init__(
         self,
@@ -56,11 +70,45 @@ class PedersenParams:
             raise InvalidParameterError("generators must be non-identity")
         if self.g == self.h:
             raise InvalidParameterError("g and h must be distinct")
+        self._tables = [None, None]
+        self._uses = [0, 0]
 
     @property
     def order(self) -> int:
         """The exponent-space modulus p (the group order)."""
         return self.group.order
+
+    def _pow(self, idx: int, base: GroupElement, exponent: int) -> GroupElement:
+        table = self._tables[idx]
+        if table is None:
+            self._uses[idx] += 1
+            if self._uses[idx] < _TABLE_THRESHOLD:
+                return base**exponent
+            table = self._tables[idx] = shared_table(base)
+        return table.pow(exponent)
+
+    def pow_g(self, exponent: int) -> GroupElement:
+        """``g ** exponent`` through the fixed-base fast path."""
+        return self._pow(0, self.g, exponent)
+
+    def pow_h(self, exponent: int) -> GroupElement:
+        """``h ** exponent`` through the fixed-base fast path."""
+        return self._pow(1, self.h, exponent)
+
+    def precompute_now(self) -> None:
+        """Force-build both tables (e.g. in a worker-pool initializer)."""
+        self._tables[0] = shared_table(self.g)
+        self._tables[1] = shared_table(self.h)
+
+    def __getstate__(self):
+        # Tables are never serialized -- they are pure functions of the
+        # public bases and are rebuilt (lazily) wherever this lands.
+        return (self.group, self.g, self.h)
+
+    def __setstate__(self, state):
+        self.group, self.g, self.h = state
+        self._tables = [None, None]
+        self._uses = [0, 0]
 
     def commit(
         self, x: int, r: Optional[int] = None, rng: Optional[random.Random] = None
@@ -80,12 +128,12 @@ class PedersenParams:
 
                 r = secrets.randbelow(p)
         r %= p
-        c = (self.g ** x) * (self.h ** r)
+        c = self.pow_g(x) * self.pow_h(r)
         return PedersenCommitment(c), r
 
     def verify_open(self, commitment: PedersenCommitment, x: int, r: int) -> bool:
         """Check that ``commitment`` opens to ``(x, r)``."""
-        expected = (self.g ** (x % self.order)) * (self.h ** (r % self.order))
+        expected = self.pow_g(x % self.order) * self.pow_h(r % self.order)
         return commitment.value == expected
 
     def require_open(self, commitment: PedersenCommitment, x: int, r: int) -> None:

@@ -16,6 +16,7 @@ from typing import Optional
 from repro.crypto.hashes import HashFunction, default_hash, hash_to_range
 from repro.errors import InvalidParameterError
 from repro.groups.base import CyclicGroup, GroupElement
+from repro.groups.precompute import generator_table
 
 __all__ = ["SchnorrSignature", "SchnorrKeyPair"]
 
@@ -64,7 +65,7 @@ class SchnorrKeyPair:
         self.sk = sk % group.order
         if self.sk == 0:
             raise InvalidParameterError("secret key must be nonzero")
-        self.pk = self.g ** self.sk
+        self.pk = self.g**self.sk
         self.h = h or default_hash()
 
     def _challenge(self, commitment: GroupElement, message: bytes) -> int:
@@ -85,7 +86,10 @@ class SchnorrKeyPair:
             k = rng.randrange(1, q)
         else:
             k = secrets.randbelow(q - 1) + 1
-        commitment = self.g ** k
+        # The nonce commitment is a fixed-base exponentiation of the
+        # canonical generator: go through the shared precomputed table
+        # (one table per group per process, also used by Pedersen's g).
+        commitment = generator_table(self.group).pow(k)
         e = self._challenge(commitment, message)
         s = (k - e * self.sk) % q
         return SchnorrSignature(e, s)
@@ -108,6 +112,6 @@ def verify(
     q = group.order
     if not (0 <= signature.e < q and 0 <= signature.s < q):
         return False
-    commitment = (group.generator() ** signature.s) * (pk ** signature.e)
+    commitment = generator_table(group).pow(signature.s) * (pk**signature.e)
     data = b"repro/schnorr-sig" + commitment.to_bytes() + pk.to_bytes() + message
     return hash_to_range(h, data, q) == signature.e

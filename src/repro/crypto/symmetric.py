@@ -36,10 +36,20 @@ __all__ = [
     "AesCtrHmacCipher",
     "HashStreamCipher",
     "default_cipher",
+    "NONCE_LEN",
 ]
 
-_NONCE_LEN = 16
+NONCE_LEN = 16
+_NONCE_LEN = NONCE_LEN
 _TAG_LEN = 16
+
+
+def _resolve_nonce(nonce: Optional[bytes]) -> bytes:
+    if nonce is None:
+        return secrets.token_bytes(_NONCE_LEN)
+    if len(nonce) != _NONCE_LEN:
+        raise InvalidParameterError("nonce must be %d bytes" % _NONCE_LEN)
+    return nonce
 
 
 class SymmetricCipher(abc.ABC):
@@ -48,8 +58,17 @@ class SymmetricCipher(abc.ABC):
     name: str = "abstract"
 
     @abc.abstractmethod
-    def encrypt(self, key: bytes, plaintext: bytes) -> bytes:
-        """Encrypt; output embeds nonce and authentication tag."""
+    def encrypt(
+        self, key: bytes, plaintext: bytes, nonce: Optional[bytes] = None
+    ) -> bytes:
+        """Encrypt; output embeds nonce and authentication tag.
+
+        ``nonce`` defaults to a fresh CSPRNG draw.  Callers that manage
+        their own randomness streams (the OCBE senders, which draw every
+        envelope's random choices up front so the arithmetic can run in
+        worker processes) pass an explicit ``NONCE_LEN``-byte value; it
+        must never repeat under the same key.
+        """
 
     @abc.abstractmethod
     def decrypt(self, key: bytes, ciphertext: bytes) -> bytes:
@@ -80,9 +99,11 @@ class AesCtrHmacCipher(SymmetricCipher):
         mac = derive_key(key, 32, info=b"repro/aes-ctr/mac", h=self.h)
         return enc, mac
 
-    def encrypt(self, key: bytes, plaintext: bytes) -> bytes:
+    def encrypt(
+        self, key: bytes, plaintext: bytes, nonce: Optional[bytes] = None
+    ) -> bytes:
         enc_key, mac_key = self._subkeys(key)
-        nonce = secrets.token_bytes(_NONCE_LEN)
+        nonce = _resolve_nonce(nonce)
         body = ctr_xor(AES(enc_key), nonce, plaintext)
         tag = hmac_digest(mac_key, nonce + body, self.h)[:_TAG_LEN]
         return nonce + body + tag
@@ -114,8 +135,10 @@ class HashStreamCipher(SymmetricCipher):
     def __init__(self, h: Optional[HashFunction] = None):
         self.h = h or default_hash()
 
-    def encrypt(self, key: bytes, plaintext: bytes) -> bytes:
-        nonce = secrets.token_bytes(_NONCE_LEN)
+    def encrypt(
+        self, key: bytes, plaintext: bytes, nonce: Optional[bytes] = None
+    ) -> bytes:
+        nonce = _resolve_nonce(nonce)
         stream = expand_message(self.h, key + nonce, len(plaintext))
         body = bytes(a ^ b for a, b in zip(plaintext, stream))
         mac_key = derive_key(key, 32, info=b"repro/hash-stream/mac", h=self.h)

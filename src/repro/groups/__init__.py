@@ -29,11 +29,21 @@ from repro.groups.params import (
     get_group,
     list_groups,
 )
+from repro.groups.precompute import (
+    FixedBaseTable,
+    fixed_base_table,
+    generator_table,
+    window_size,
+)
 from repro.groups.schnorr import SchnorrGroup
 
 __all__ = [
     "CyclicGroup",
     "GroupElement",
+    "FixedBaseTable",
+    "fixed_base_table",
+    "generator_table",
+    "window_size",
     "SchnorrGroup",
     "EllipticCurveGroup",
     "CurveParams",

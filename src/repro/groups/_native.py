@@ -1,0 +1,66 @@
+"""Optional native big-integer backend (gmpy2) for the group kernels.
+
+Pure Python remains the default and the correctness reference: every
+arithmetic path must produce byte-identical group elements with or
+without the native backend, because all operations here are *exact*
+integer arithmetic -- gmpy2 only changes the speed, never the value.
+
+Detection is automatic at import time.  Set ``REPRO_NATIVE_MATH=0`` in
+the environment (before the first ``repro.groups`` import) to force the
+pure-Python path even when gmpy2 is installed -- the escape hatch used
+by the differential test suite and by CI to pin the backend per matrix
+leg.
+
+The exported surface is deliberately tiny so callers never see gmpy2
+types in their public API:
+
+* ``mpz``     -- ``gmpy2.mpz`` or ``int``; wrap hot-loop operands once.
+* ``invert``  -- modular inverse on whatever type ``mpz`` produces.
+* ``HAVE_GMPY2`` / ``ACTIVE`` / ``BACKEND`` -- introspection for tests,
+  benchmarks and artifact labeling.
+
+Conversion discipline: wrap values entering a hot loop with ``mpz`` and
+convert back with ``int()`` at the function boundary, so serialized
+bytes and hashes only ever see Python ints.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.mathx.modular import modinv
+
+__all__ = ["HAVE_GMPY2", "ACTIVE", "BACKEND", "mpz", "invert", "native_disabled"]
+
+
+def native_disabled() -> bool:
+    """True when ``REPRO_NATIVE_MATH`` explicitly opts out of gmpy2."""
+    flag = os.environ.get("REPRO_NATIVE_MATH", "").strip()
+    return flag in {"0", "no", "off", "false"}
+
+
+try:  # pragma: no cover - exercised only where gmpy2 is installed
+    import gmpy2 as _gmpy2
+
+    HAVE_GMPY2 = True
+except ImportError:
+    _gmpy2 = None
+    HAVE_GMPY2 = False
+
+ACTIVE = HAVE_GMPY2 and not native_disabled()
+
+if ACTIVE:  # pragma: no cover - exercised only where gmpy2 is installed
+    BACKEND = "gmpy2"
+    mpz = _gmpy2.mpz
+
+    def invert(a, m):
+        """Modular inverse via gmpy2 (same contract as :func:`modinv`)."""
+        return _gmpy2.invert(a, m)
+
+else:
+    BACKEND = "python"
+    mpz = int
+
+    def invert(a, m):
+        """Modular inverse via the pure-Python extended Euclid."""
+        return modinv(a, m)

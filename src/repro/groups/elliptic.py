@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.errors import GroupError, InvalidParameterError, NotOnCurveError
+from repro.groups import _native
 from repro.groups.base import CyclicGroup, GroupElement
 from repro.mathx.modular import modinv, modsqrt
 from repro.errors import NoSquareRootError
@@ -51,13 +52,19 @@ class CurveParams:
 class EllipticCurveGroup(CyclicGroup):
     """The group of rational points of a prime-order curve."""
 
-    __slots__ = ("params", "_coord_len")
+    __slots__ = ("params", "_coord_len", "_pn", "_an")
 
     def __init__(self, params: CurveParams, check: bool = True):
         if check:
             params.validate()
         self.params = params
         self._coord_len = (params.p.bit_length() + 7) // 8
+        # Field constants pre-wrapped for the active big-integer backend
+        # (gmpy2 mpz when available, plain int otherwise): every modular
+        # reduction against them promotes the whole Jacobian kernel to
+        # native arithmetic without changing a single computed value.
+        self._pn = _native.mpz(params.p)
+        self._an = _native.mpz(params.a)
 
     # -- CyclicGroup interface ----------------------------------------------
 
@@ -137,13 +144,13 @@ class EllipticCurveGroup(CyclicGroup):
         self, pt: Tuple[int, int, int]
     ) -> Tuple[int, int, int]:
         x, y, z = pt
-        p = self.params.p
+        p = self._pn
         if z == 0 or y == 0:
             return (1, 1, 0)
         y2 = (y * y) % p
         s = (4 * x * y2) % p
         z2 = (z * z) % p
-        m = (3 * x * x + self.params.a * z2 * z2) % p
+        m = (3 * x * x + self._an * z2 * z2) % p
         x3 = (m * m - 2 * s) % p
         y3 = (m * (s - x3) - 8 * y2 * y2) % p
         z3 = (2 * y * z) % p
@@ -156,7 +163,7 @@ class EllipticCurveGroup(CyclicGroup):
             return p2
         if p2[2] == 0:
             return p1
-        p = self.params.p
+        p = self._pn
         x1, y1, z1 = p1
         x2, y2, z2 = p2
         z1z1 = (z1 * z1) % p
@@ -185,10 +192,13 @@ class EllipticCurveGroup(CyclicGroup):
         x, y, z = pt
         if z == 0:
             return None
-        p = self.params.p
-        zinv = modinv(z, p)
+        p = self._pn
+        zinv = _native.invert(z, p)
         zinv2 = (zinv * zinv) % p
-        return ((x * zinv2) % p, (y * zinv2 * zinv) % p)
+        # int() at the boundary: affine coordinates (and therefore every
+        # serialized byte and hash input) are always Python ints, keeping
+        # the two backends byte-identical by construction.
+        return (int(x * zinv2 % p), int(y * zinv2 * zinv % p))
 
 
 class ECPoint(GroupElement):
@@ -255,7 +265,11 @@ class ECPoint(GroupElement):
         if e == 0 or self.xy is None:
             return ECPoint(g, None)
         acc: Tuple[int, int, int] = (1, 1, 0)
-        base: Tuple[int, int, int] = (self.xy[0], self.xy[1], 1)
+        base: Tuple[int, int, int] = (
+            _native.mpz(self.xy[0]),
+            _native.mpz(self.xy[1]),
+            1,
+        )
         while e:
             if e & 1:
                 acc = g._jac_add(acc, base)

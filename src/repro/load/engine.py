@@ -218,10 +218,12 @@ class LoadEngine:
             for policy in spec.parsed_policies():
                 publisher.add_policy(policy)
             self.services[spec.name] = DisseminationService(
-                publisher, self.transport
+                publisher, self.transport,
+                ocbe_workers=scenario.ocbe_workers,
             )
         self.idmgr_ep = IdentityManagerEndpoint(
-            self.idmgr, self.transport, name="idmgr"
+            self.idmgr, self.transport, name="idmgr",
+            ocbe_workers=scenario.ocbe_workers,
         )
         if self.obs_dir:
             self._obs_writer = writer_for(
@@ -396,6 +398,11 @@ class LoadEngine:
             self._obs_writer.metrics(get_registry().snapshot())
             self._obs_writer.close()
             self._obs_writer = None
+        for service in getattr(self, "services", {}).values():
+            service.close()
+        idmgr_ep = getattr(self, "idmgr_ep", None)
+        if idmgr_ep is not None:
+            idmgr_ep.close()
         for member in self.members.values():
             if member.persistence is not None:
                 member.persistence.close()

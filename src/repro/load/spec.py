@@ -294,6 +294,10 @@ class LoadScenario:
     #: named stages + transit by :mod:`repro.obs.analyze` for the run to
     #: pass (engine runs with an ``obs_dir`` only); 0 disables the gate.
     min_attribution_coverage: float = 0.0
+    #: OCBE worker-pool size for the publisher/IdMgr registration path;
+    #: 0 = serial.  Replies are delivery-ordered either way, so this
+    #: changes wall-clock only, never the transcript.
+    ocbe_workers: int = 0
 
     # -- validation --------------------------------------------------------
 
@@ -327,6 +331,12 @@ class LoadScenario:
             raise InvalidParameterError(
                 "min_attribution_coverage must be a number in [0, 1]"
             )
+        if (
+            not isinstance(self.ocbe_workers, int)
+            or isinstance(self.ocbe_workers, bool)
+            or self.ocbe_workers < 0
+        ):
+            raise InvalidParameterError("ocbe_workers must be an int >= 0")
         if not self.publishers:
             raise InvalidParameterError("scenario needs at least one publisher")
         names = [p.name for p in self.publishers]
@@ -396,6 +406,7 @@ class LoadScenario:
             "capacity_slack": self.capacity_slack,
             "metrics_interval": self.metrics_interval,
             "min_attribution_coverage": self.min_attribution_coverage,
+            "ocbe_workers": self.ocbe_workers,
             "publishers": [
                 {
                     "name": p.name,
@@ -496,6 +507,7 @@ class LoadScenario:
                 min_attribution_coverage=payload.get(
                     "min_attribution_coverage", 0.0
                 ),
+                ocbe_workers=payload.get("ocbe_workers", 0),
             )
         except (KeyError, TypeError) as exc:
             raise InvalidParameterError(

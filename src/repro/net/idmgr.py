@@ -35,7 +35,15 @@ def main(argv=None) -> int:
                              "directory (readable by python -m "
                              "repro.obs.profile); function names only, "
                              "never argument values")
+    parser.add_argument("--ocbe-workers", type=int, default=None, metavar="N",
+                        help="run token commitments on a pool of N worker "
+                             "processes (issuance order is preserved; a "
+                             "crashed pool degrades to serial); omit to "
+                             "follow the scenario's 'ocbe_workers' field "
+                             "(default serial)")
     args = parser.parse_args(argv)
+    if args.ocbe_workers is not None and args.ocbe_workers < 0:
+        parser.error("--ocbe-workers must be >= 0")
 
     scenario = load_scenario(args.scenario)
     idp, idmgr, nyms, assertions = build_identity_stack(scenario)
@@ -59,13 +67,21 @@ def main(argv=None) -> int:
     previous_writer = set_span_writer(obs)
     profiler = recorder_for(args.profile_dir, scenario["idmgr"])
     previous_profiler = set_profiler(profiler)
+    endpoint = None
     try:
         with TcpTransport(host, port) as transport:
+            workers = args.ocbe_workers
+            if workers is None:
+                workers = int(scenario.get("ocbe_workers", 0))
             endpoint = IdentityManagerEndpoint(
                 idmgr, transport, name=scenario["idmgr"],
-                persistence=persistence,
+                persistence=persistence, ocbe_workers=workers,
             )
             endpoint.span_writer = obs
+            if profiler is not None:
+                from repro.groups._native import BACKEND
+
+                profiler.annotate(math_backend=BACKEND, ocbe_workers=workers)
             print("idmgr serving as %r on %s" % (endpoint.name, args.broker),
                   flush=True)
             errors = []
@@ -77,6 +93,8 @@ def main(argv=None) -> int:
                 print("rejected %d token requests" % len(endpoint.rejections),
                       flush=True)
     finally:
+        if endpoint is not None:
+            endpoint.close()
         set_span_writer(previous_writer)
         set_profiler(previous_profiler)
         if profiler is not None:

@@ -160,9 +160,17 @@ def main(argv=None) -> int:
                              "per bucket (0 = the auto ceil(sqrt(m)) "
                              "policy); omit to follow the scenario's 'gkm' "
                              "fields (default dense)")
+    parser.add_argument("--ocbe-workers", type=int, default=None, metavar="N",
+                        help="build OCBE registration envelopes on a pool "
+                             "of N worker processes (replies stay in "
+                             "delivery order; a crashed pool degrades to "
+                             "serial); omit to follow the scenario's "
+                             "'ocbe_workers' field (default serial)")
     args = parser.parse_args(argv)
     if args.gkm_buckets is not None and args.gkm_buckets < 0:
         parser.error("--gkm-buckets must be >= 0")
+    if args.ocbe_workers is not None and args.ocbe_workers < 0:
+        parser.error("--ocbe-workers must be >= 0")
 
     scenario = load_scenario(args.scenario)
     wait_for_file(args.bundle, timeout=args.timeout)
@@ -193,12 +201,21 @@ def main(argv=None) -> int:
     previous_writer = set_span_writer(obs)
     profiler = recorder_for(args.profile_dir, publisher.name)
     previous_profiler = set_profiler(profiler)
+    service = None
     try:
         with TcpTransport(host, port) as transport:
+            workers = args.ocbe_workers
+            if workers is None:
+                workers = int(scenario.get("ocbe_workers", 0))
             service = DisseminationService(
-                publisher, transport, persistence=persistence
+                publisher, transport, persistence=persistence,
+                ocbe_workers=workers,
             )
             service.span_writer = obs
+            if profiler is not None:
+                from repro.groups._native import BACKEND
+
+                profiler.annotate(math_backend=BACKEND, ocbe_workers=workers)
             print("publisher serving as %r on %s" % (publisher.name, args.broker),
                   flush=True)
             if args.serve:
@@ -225,6 +242,8 @@ def main(argv=None) -> int:
                 write_json(args.report, report)
             print(json.dumps(report, indent=2, sort_keys=True), flush=True)
     finally:
+        if service is not None:
+            service.close()
         set_span_writer(previous_writer)
         set_profiler(previous_profiler)
         if profiler is not None:

@@ -85,7 +85,18 @@ class ProfileRecorder:
         self._lock = threading.Lock()
         self._active = False
         self._stages: Dict[str, dict] = {}
+        self._meta: Dict[str, object] = {}
         self.skipped_windows = 0
+
+    def annotate(self, **fields) -> None:
+        """Attach run metadata (JSON scalars) to the artifact.
+
+        The caller passes plain strings/numbers -- e.g. the math backend
+        name or the worker-pool size -- so this module never has to
+        import the crypto stack to describe it.
+        """
+        with self._lock:
+            self._meta.update(fields)
 
     @contextmanager
     def window(self, stage: str):
@@ -140,6 +151,7 @@ class ProfileRecorder:
         with self._lock:
             return {
                 "entity": self.entity,
+                "meta": dict(self._meta),
                 "skipped_windows": self.skipped_windows,
                 "stages": {
                     stage: {
@@ -241,6 +253,7 @@ def merge_profiles(paths: Iterable[str]) -> dict:
     stages: Dict[str, dict] = {}
     entities: List[str] = []
     skipped: List[str] = []
+    meta: Dict[str, List[str]] = {}
     for path in paths:
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -252,6 +265,12 @@ def merge_profiles(paths: Iterable[str]) -> dict:
             skipped.append(path)
             continue
         entities.append(str(payload.get("entity", os.path.basename(path))))
+        file_meta = payload.get("meta", {})
+        if isinstance(file_meta, dict):
+            for key, value in file_meta.items():
+                values = meta.setdefault(str(key), [])
+                if str(value) not in values:
+                    values.append(str(value))
         for stage, cut in file_stages.items():
             try:
                 windows = int(cut["windows"])
@@ -273,7 +292,12 @@ def merge_profiles(paths: Iterable[str]) -> dict:
             for key, calls, tot, cum in items:
                 old = folded.get(key, (0, 0.0, 0.0))
                 folded[key] = (old[0] + calls, old[1] + tot, old[2] + cum)
-    return {"entities": sorted(entities), "stages": stages, "skipped": skipped}
+    return {
+        "entities": sorted(entities),
+        "stages": stages,
+        "skipped": skipped,
+        "meta": {key: sorted(values) for key, values in meta.items()},
+    }
 
 
 def top_functions(
@@ -310,10 +334,13 @@ def _emit_bench(name: str, merged: dict, top: int) -> str:
                 for key, calls, tot, cum in top_functions(merged, stage, top)
             ],
         }
+    params = {"entities": len(merged["entities"])}
+    for key, values in sorted(merged.get("meta", {}).items()):
+        params[key] = values[0] if len(values) == 1 else ",".join(values)
     return emit_bench_json(
         name,
         op="obs.profile",
-        params={"entities": len(merged["entities"])},
+        params=params,
         measurements=measurements,
         extra={"stages": extra_stages, "skipped": merged["skipped"]},
     )

@@ -76,6 +76,12 @@ class OCBESetup:
             return rng.randrange(p)
         return secrets.randbelow(p)
 
+    def random_bytes(self, n: int, rng: Optional[random.Random]) -> bytes:
+        """``n`` uniform bytes from ``rng`` or the system CSPRNG."""
+        if rng is not None:
+            return bytes(rng.randrange(256) for _ in range(n))
+        return secrets.token_bytes(n)
+
 
 class Envelope(abc.ABC):
     """A sender->receiver OCBE payload."""

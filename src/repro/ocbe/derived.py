@@ -212,6 +212,13 @@ class NeOCBESender:
             else None
         )
 
+    def draw_randomness(self):
+        """Draw both halves' randomness in the serial compose order."""
+        return (
+            self._gt.draw_randomness() if self._gt is not None else None,
+            self._lt.draw_randomness() if self._lt is not None else None,
+        )
+
     def compose(
         self,
         commitment: PedersenCommitment,
@@ -220,14 +227,25 @@ class NeOCBESender:
     ) -> NeEnvelope:
         """Build the envelopes for every live half (always all of them, to
         stay oblivious)."""
+        return self.compose_with(commitment, aux, message, self.draw_randomness())
+
+    def compose_with(
+        self,
+        commitment: PedersenCommitment,
+        aux: NeCommitMessage,
+        message: bytes,
+        drawn,
+    ) -> NeEnvelope:
+        """Deterministic disjunction build from pre-drawn randomness."""
+        gt_drawn, lt_drawn = drawn
         return NeEnvelope(
             gt_envelope=(
-                self._gt.compose(commitment, aux.gt_message, message)
+                self._gt.compose_with(commitment, aux.gt_message, message, gt_drawn)
                 if self._gt is not None
                 else None
             ),
             lt_envelope=(
-                self._lt.compose(commitment, aux.lt_message, message)
+                self._lt.compose_with(commitment, aux.lt_message, message, lt_drawn)
                 if self._lt is not None
                 else None
             ),

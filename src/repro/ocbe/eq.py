@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.crypto.pedersen import PedersenCommitment
+from repro.crypto.symmetric import NONCE_LEN
 from repro.errors import ProtocolStateError
 from repro.groups.base import CyclicGroup, GroupElement
 from repro.ocbe.base import Envelope, OCBESetup
@@ -71,6 +72,20 @@ class EqOCBESender:
         self.predicate = predicate
         self._rng = rng
 
+    def draw_randomness(self):
+        """Draw this envelope's random choices from the sender's RNG.
+
+        Splitting the draw from the (deterministic) arithmetic lets the
+        registration path consume the RNG in delivery order while the
+        arithmetic runs in a worker pool -- parallel builds then produce
+        frames byte-identical to the serial path.  The cipher nonce is
+        part of the draw for the same reason: ``compose_with`` must be a
+        pure function of ``drawn``.
+        """
+        y = self.setup.random_scalar(self._rng)
+        nonce = self.setup.random_bytes(NONCE_LEN, self._rng)
+        return (y, nonce)
+
     def compose(
         self,
         commitment: PedersenCommitment,
@@ -78,15 +93,27 @@ class EqOCBESender:
         message: bytes,
     ) -> EqEnvelope:
         """Build the envelope for ``commitment`` (``aux`` unused for EQ)."""
+        return self.compose_with(commitment, aux, message, self.draw_randomness())
+
+    def compose_with(
+        self,
+        commitment: PedersenCommitment,
+        aux: None,
+        message: bytes,
+        drawn,
+    ) -> EqEnvelope:
+        """Deterministic envelope build from pre-drawn randomness."""
         if aux is not None:
             raise ProtocolStateError("EQ-OCBE takes no auxiliary commitments")
         params = self.setup.pedersen
-        y = self.setup.random_scalar(self._rng)
-        base = commitment.value * (params.g ** (-self.predicate.x0 % params.order))
+        y, nonce = drawn
+        base = commitment.value * params.pow_g(-self.predicate.x0 % params.order)
         sigma = base ** y
-        eta = params.h ** y
+        eta = params.pow_h(y)
         key = self.setup.envelope_key(sigma.to_bytes())
-        return EqEnvelope(eta=eta, ciphertext=self.setup.cipher.encrypt(key, message))
+        return EqEnvelope(
+            eta=eta, ciphertext=self.setup.cipher.encrypt(key, message, nonce=nonce)
+        )
 
 
 class EqOCBEReceiver:

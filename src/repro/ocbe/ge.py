@@ -25,8 +25,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.crypto.pedersen import PedersenCommitment
+from repro.crypto.symmetric import NONCE_LEN
 from repro.errors import PredicateError, ProtocolStateError
 from repro.groups.base import CyclicGroup, GroupElement
+from repro.groups.precompute import FixedBaseTable
 from repro.ocbe.base import Envelope, OCBESetup
 from repro.ocbe.predicates import GePredicate
 from repro.wire.codec import (
@@ -140,6 +142,23 @@ class _BitwiseSenderBase:
             return bytes(self._rng.randrange(256) for _ in range(n))
         return secrets.token_bytes(n)
 
+    def draw_randomness(self):
+        """Draw ``y`` and the per-bit key shares from the sender's RNG.
+
+        Draw order is ``y``, then the shares, then the cipher nonce; the
+        nonce is drawn here rather than inside ``encrypt`` so that
+        ``compose_with`` is a pure function of ``drawn``.  The split lets
+        the registration path draw in delivery order and run the
+        arithmetic in a worker pool without changing a single frame.
+        """
+        y = self.setup.random_scalar(self._rng)
+        digest_size = self.setup.hash_fn.digest_size
+        key_shares = tuple(
+            self._random_bytes(digest_size) for _ in range(self.predicate.ell)
+        )
+        nonce = self._random_bytes(NONCE_LEN)
+        return (y, key_shares, nonce)
+
     def compose(
         self,
         commitment: PedersenCommitment,
@@ -147,6 +166,16 @@ class _BitwiseSenderBase:
         message: bytes,
     ) -> BitwiseEnvelope:
         """Verify the bit commitments and build the double-opening table."""
+        return self.compose_with(commitment, aux, message, self.draw_randomness())
+
+    def compose_with(
+        self,
+        commitment: PedersenCommitment,
+        aux: BitCommitMessage,
+        message: bytes,
+        drawn,
+    ) -> BitwiseEnvelope:
+        """Deterministic envelope build from pre-drawn randomness."""
         if aux is None or len(aux.commitments) != self.predicate.ell:
             raise ProtocolStateError(
                 "expected %d bit commitments" % self.predicate.ell
@@ -161,18 +190,18 @@ class _BitwiseSenderBase:
         if acc != self._check_target(commitment):
             raise ProtocolStateError("bit commitments do not recombine to c")
 
-        y = self.setup.random_scalar(self._rng)
-        eta = params.h ** y
-        g_inv = params.g.inverse()
+        y, key_shares, nonce = drawn
+        eta = params.pow_h(y)
+        # (c_i g^{-1})^y == c_i^y * (g^y)^{-1}: one fixed-base table pow
+        # plus one multiply replaces the second variable-base
+        # exponentiation per bit position, halving the dominant cost.
+        gy_inv = params.pow_g(y).inverse()
 
-        key_shares = [self._random_bytes(hash_fn.digest_size)
-                      for _ in range(self.predicate.ell)]
         bit_ciphers: List[Tuple[bytes, bytes]] = []
         for c_i, k_i in zip(aux.commitments, key_shares):
+            sigma0 = c_i.value ** y
             row = []
-            base = c_i.value
-            for j in (0, 1):
-                sigma = (base if j == 0 else base * g_inv) ** y
+            for sigma in (sigma0, sigma0 * gy_inv):
                 pad = hash_fn.digest(b"repro/ocbe/bit" + sigma.to_bytes())
                 row.append(bytes(a ^ b for a, b in zip(pad, k_i)))
             bit_ciphers.append((row[0], row[1]))
@@ -181,7 +210,7 @@ class _BitwiseSenderBase:
         return BitwiseEnvelope(
             eta=eta,
             bit_ciphers=tuple(bit_ciphers),
-            ciphertext=self.setup.cipher.encrypt(key, message),
+            ciphertext=self.setup.cipher.encrypt(key, message, nonce=nonce),
         )
 
 
@@ -263,9 +292,15 @@ class _BitwiseReceiverBase:
         if len(envelope.bit_ciphers) != self.predicate.ell:
             raise ProtocolStateError("envelope arity mismatch")
         hash_fn = self.setup.hash_fn
+        if self.predicate.ell >= 4:
+            # l same-base exponentiations of eta: an ephemeral narrow
+            # table amortizes within a single open() call.
+            eta_pow = FixedBaseTable(envelope.eta, window=3).pow
+        else:
+            eta_pow = envelope.eta.__pow__
         shares: List[bytes] = []
         for i in range(self.predicate.ell):
-            sigma = envelope.eta ** self._bit_blindings[i]
+            sigma = eta_pow(self._bit_blindings[i])
             pad = hash_fn.digest(b"repro/ocbe/bit" + sigma.to_bytes())
             d_i = self._bit_values[i]
             # A cheating-free receiver uses its bit; an unqualified one has a
@@ -291,7 +326,7 @@ class GeOCBESender(_BitwiseSenderBase):
 
     def _check_target(self, commitment: PedersenCommitment) -> GroupElement:
         params = self.setup.pedersen
-        return commitment.value * (params.g ** (-self.predicate.x0 % params.order))
+        return commitment.value * params.pow_g(-self.predicate.x0 % params.order)
 
 
 class GeOCBEReceiver(_BitwiseReceiverBase):

@@ -40,7 +40,7 @@ class LeOCBESender(_BitwiseSenderBase):
 
     def _check_target(self, commitment: PedersenCommitment) -> GroupElement:
         params = self.setup.pedersen
-        return (params.g ** self.predicate.x0) * commitment.value.inverse()
+        return params.pow_g(self.predicate.x0) * commitment.value.inverse()
 
 
 class LeOCBEReceiver(_BitwiseReceiverBase):

@@ -1,0 +1,170 @@
+"""Opt-in multiprocessing pool for the OCBE registration hot path.
+
+Per-subscriber envelope builds (and the IdMgr's token commitments) are
+independent, CPU-bound, and free of journal writes -- the classic shape
+for a worker pool.  The split that makes this safe is in the protocol
+layer: senders *draw* their randomness in the parent, in delivery
+order (:meth:`draw_randomness`), and ship only the deterministic
+arithmetic (:meth:`compose_with`) to a worker.  Replies are emitted in
+delivery order regardless of completion order, so ``--ocbe-workers N``
+is frame-identical to the serial path for every ``N``.
+
+Topology and lifecycle:
+
+* ``spawn`` start method -- the serving parent may hold live sockets
+  and threads, which ``fork`` would duplicate into the children.
+* Lazy start: the first submitted job pays the pool startup, processes
+  that never register never fork anything.
+* Each worker's initializer installs the (public) :class:`OCBESetup`
+  once and force-builds the fixed-base tables, so jobs carry only
+  per-request operands.
+* Any pool failure (a killed worker, a failed spawn) permanently
+  degrades this pool to serial with a single
+  :class:`OcbeWorkerPoolWarning`; the registration session then
+  recomputes the affected envelopes inline from the already-drawn
+  randomness.  A crashed pool can therefore never wedge a session or
+  change its output.
+
+Workers never see secrets beyond what the parent already sends on the
+wire (commitments, public predicates, the CSS payload being enveloped),
+and they never touch the journal: all durability writes stay in the
+parent, so a SIGKILL with a live pool leaves the store exactly as
+recoverable as the serial path would.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional
+
+__all__ = ["CommitPoolSetup", "OcbeWorkerPool", "OcbeWorkerPoolWarning"]
+
+
+class OcbeWorkerPoolWarning(UserWarning):
+    """The OCBE worker pool failed; registration degraded to serial."""
+
+
+# Installed once per worker process by the pool initializer.
+_WORKER_SETUP = None
+
+
+def _init_worker(setup) -> None:
+    global _WORKER_SETUP
+    _WORKER_SETUP = setup
+    # Pay the fixed-base table build once at startup, not on job one.
+    setup.pedersen.precompute_now()
+
+
+def _compose_job(predicate, commitment, aux, message, drawn):
+    from repro.ocbe.base import sender_for
+
+    sender = sender_for(_WORKER_SETUP, predicate, None)
+    return sender.compose_with(commitment, aux, message, drawn)
+
+
+def _commit_job(x, r):
+    return _WORKER_SETUP.pedersen.commit(x, r)[0]
+
+
+class CommitPoolSetup:
+    """Minimal picklable setup for pools that only run commit jobs.
+
+    The IdMgr's pool needs nothing beyond the public Pedersen parameters
+    -- shipping the whole IdentityManager (keys, trusted IdPs, journal)
+    to workers would be both wasteful and wrong.
+    """
+
+    __slots__ = ("pedersen",)
+
+    def __init__(self, pedersen):
+        self.pedersen = pedersen
+
+
+class OcbeWorkerPool:
+    """A lazily started, crash-degrading pool of OCBE workers.
+
+    ``setup`` is an :class:`~repro.ocbe.base.OCBESetup` (for envelope
+    pools) or a :class:`CommitPoolSetup` (for commitment-only pools);
+    either way it carries only public parameters.
+    """
+
+    def __init__(self, setup, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %d" % workers)
+        self._setup = setup
+        self.workers = workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self.broken = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure(self) -> Optional[ProcessPoolExecutor]:
+        if self.broken:
+            return None
+        if self._executor is None:
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                    initializer=_init_worker,
+                    initargs=(self._setup,),
+                )
+            except Exception as exc:
+                self._degrade("worker pool failed to start: %s" % exc)
+                return None
+        return self._executor
+
+    def _degrade(self, reason: str) -> None:
+        """Permanently fall back to serial (warn once, drop the pool)."""
+        if not self.broken:
+            self.broken = True
+            warnings.warn(OcbeWorkerPoolWarning(reason), stacklevel=3)
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Tear the pool down (idempotent; safe on never-started pools)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- job submission ------------------------------------------------------
+
+    def submit_compose(
+        self, predicate, commitment, aux, message: bytes, drawn
+    ) -> Optional[Future]:
+        """Queue one envelope build; ``None`` means build it serially."""
+        return self._submit(_compose_job, predicate, commitment, aux, message, drawn)
+
+    def submit_commit(self, x: int, r: int) -> Optional[Future]:
+        """Queue one Pedersen commitment ``g^x h^r``."""
+        return self._submit(_commit_job, x, r)
+
+    def _submit(self, fn, *operands) -> Optional[Future]:
+        executor = self._ensure()
+        if executor is None:
+            return None
+        try:
+            return executor.submit(fn, *operands)
+        except Exception as exc:  # RuntimeError after shutdown, broken pool
+            self._degrade("worker pool rejected a job: %s" % exc)
+            return None
+
+    def result(self, future: Optional[Future]):
+        """Resolve a future; ``None`` means recompute serially.
+
+        Protocol errors raised by the job (e.g. bad bit commitments) are
+        re-raised here exactly as the serial path would raise them; only
+        *pool* failures degrade.
+        """
+        if future is None:
+            return None
+        try:
+            return future.result()
+        except BrokenProcessPool as exc:
+            self._degrade("worker pool crashed mid-wave: %s" % exc)
+            return None

@@ -10,6 +10,8 @@ reveals nothing about the value (unconditionally hiding commitment).
 from __future__ import annotations
 
 import random
+import secrets
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.pedersen import PedersenParams
@@ -20,7 +22,30 @@ from repro.policy.encoding import encode_value
 from repro.system.identity import AttributeAssertion, IdentityToken, token_signing_bytes
 from repro.system.idp import IdentityProvider
 
-__all__ = ["IdentityManager"]
+__all__ = ["IdentityManager", "PendingIssue"]
+
+
+@dataclass
+class PendingIssue:
+    """A validated token issuance whose commitment may still be in flight.
+
+    Produced by :meth:`IdentityManager.begin_issue` /
+    :meth:`~IdentityManager.begin_decoy_issue`: the assertion is already
+    verified and every random draw (``x`` for decoys, the blinding ``r``,
+    the signing RNG stream) already taken, so the remaining work --
+    computing ``g^x h^r``, signing, journaling -- is deterministic and
+    the commitment can run on a worker pool.  ``finish_issue`` must be
+    called in delivery order: that is where the token is journaled.
+    """
+
+    nym: str
+    tag: str
+    x: int
+    r: int
+    decoy: bool
+    rng: Optional[random.Random]
+    future: object = None
+    pool: object = None
 
 
 class IdentityManager:
@@ -119,22 +144,7 @@ class IdentityManager:
         attributes are < 2**l <= 2**64, string encodings < 2**128), so no
         condition can accidentally be satisfied.
         """
-        use_rng = rng or self._rng
-        if use_rng is not None:
-            x = (1 << 200) + use_rng.getrandbits(50)
-        else:
-            import secrets
-
-            x = (1 << 200) + secrets.randbits(50)
-        commitment, r = self.pedersen.commit(x, rng=use_rng)
-        signature = self._keys.sign(
-            token_signing_bytes(nym, tag, commitment), rng=use_rng
-        )
-        token = IdentityToken(
-            nym=nym, tag=tag, commitment=commitment, signature=signature
-        )
-        self._record_issue(nym, tag, decoy=True)
-        return token, x, r
+        return self.finish_issue(self.begin_decoy_issue(nym, tag, rng=rng))
 
     def _record_issue(self, nym: str, tag: str, decoy: bool) -> None:
         self.issued.append((nym, tag, decoy))
@@ -152,22 +162,93 @@ class IdentityManager:
         Returns ``(token, x, r)`` where ``x`` is the encoded attribute
         value and ``r`` the blinding -- both go only to the Sub.
         """
+        return self.finish_issue(self.begin_issue(nym, assertion, rng=rng))
+
+    # -- two-phase issuance (the parallel endpoint path) ----------------------
+
+    def begin_issue(
+        self,
+        nym: str,
+        assertion: AttributeAssertion,
+        rng: Optional[random.Random] = None,
+        pool=None,
+    ) -> PendingIssue:
+        """Validate the assertion and draw all randomness (delivery order).
+
+        With ``pool`` the commitment ``g^x h^r`` starts on a worker
+        immediately; :meth:`finish_issue` waits for it (or rebuilds it
+        inline if the pool died), signs, and journals.
+        """
         idp = self._trusted_idps.get(assertion.issuer)
         if idp is None:
             raise SystemError_("untrusted IdP %r" % assertion.issuer)
         if not idp.verify(assertion):
             raise SignatureError("invalid IdP signature on assertion")
         x = encode_value(assertion.value)
-        commitment, r = self.pedersen.commit(x, rng=rng or self._rng)
+        return self._begin(nym, assertion.name, x, decoy=False, rng=rng, pool=pool)
+
+    def begin_decoy_issue(
+        self,
+        nym: str,
+        tag: str,
+        rng: Optional[random.Random] = None,
+        pool=None,
+    ) -> PendingIssue:
+        """Decoy-value counterpart of :meth:`begin_issue`."""
+        use_rng = rng or self._rng
+        if use_rng is not None:
+            x = (1 << 200) + use_rng.getrandbits(50)
+        else:
+            x = (1 << 200) + secrets.randbits(50)
+        return self._begin(nym, tag, x, decoy=True, rng=rng, pool=pool)
+
+    def _begin(
+        self,
+        nym: str,
+        tag: str,
+        x: int,
+        decoy: bool,
+        rng: Optional[random.Random],
+        pool,
+    ) -> PendingIssue:
+        # Like the publisher's registration offers, each token gets its
+        # own RNG stream seeded from the master here (in delivery order):
+        # the blinding and signing nonce are then independent of how many
+        # issuances are in flight, so pooled and serial runs issue
+        # byte-identical tokens.
+        use_rng = rng or self._rng
+        if use_rng is not None:
+            token_rng: Optional[random.Random] = random.Random(
+                use_rng.getrandbits(64)
+            )
+            r = token_rng.randrange(self.pedersen.order)
+        else:
+            token_rng = None
+            r = secrets.randbelow(self.pedersen.order)
+        future = None
+        if pool is not None and not pool.broken:
+            future = pool.submit_commit(x, r)
+        return PendingIssue(
+            nym=nym, tag=tag, x=x, r=r, decoy=decoy, rng=token_rng,
+            future=future, pool=pool,
+        )
+
+    def finish_issue(self, pending: PendingIssue) -> Tuple[IdentityToken, int, int]:
+        """Complete a :class:`PendingIssue`: commit, sign, record, journal."""
+        commitment = None
+        if pending.future is not None:
+            commitment = pending.pool.result(pending.future)
+        if commitment is None:
+            commitment = self.pedersen.commit(pending.x, pending.r)[0]
         signature = self._keys.sign(
-            token_signing_bytes(nym, assertion.name, commitment),
-            rng=rng or self._rng,
+            token_signing_bytes(pending.nym, pending.tag, commitment),
+            rng=pending.rng,
         )
         token = IdentityToken(
-            nym=nym,
-            tag=assertion.name,
+            nym=pending.nym,
+            tag=pending.tag,
             commitment=commitment,
             signature=signature,
         )
-        self._record_issue(nym, assertion.name, decoy=False)
-        return token, x, r
+        self._record_issue(pending.nym, pending.tag, decoy=pending.decoy)
+        return token, pending.x, pending.r

@@ -168,6 +168,11 @@ class Publisher:
         #: write-ahead.  ``None`` keeps the publisher purely in-memory.
         self.journal = None
 
+    @property
+    def ocbe_setup(self) -> OCBESetup:
+        """The OCBE setup shared by every registration (public params only)."""
+        return self._ocbe
+
     # -- GKM strategy ----------------------------------------------------------
 
     def set_gkm_strategy(
@@ -284,7 +289,17 @@ class Publisher:
         else:
             css = secrets.token_bytes(self.css_bytes)
         predicate = condition.predicate(self.params.attribute_bits)
-        sender = sender_for(self._ocbe, predicate, self._rng)
+        # Each offer's sender draws from its own RNG stream, seeded from
+        # the master RNG here -- at offer creation, in strict arrival
+        # order.  Envelope randomness then no longer depends on the order
+        # envelopes are *built* in, which is what makes the worker-pool
+        # prefetch frame-identical to the serial path for seeded runs.
+        sender_rng = (
+            random.Random(self._rng.getrandbits(64))
+            if self._rng is not None
+            else None
+        )
+        sender = sender_for(self._ocbe, predicate, sender_rng)
         self.table.set(token.nym, condition.key(), css)
         self._invalidate_acv_cache()
         if self.journal is not None:

@@ -66,6 +66,9 @@ def test_from_payload_rejects_malformed():
         lambda s: s.__class__(**{**_fields(s), "seed": "not-an-int"}),
         # unknown gkm field
         lambda s: s.__class__(**{**_fields(s), "gkm_field": "huge"}),
+        # negative / non-int worker counts
+        lambda s: s.__class__(**{**_fields(s), "ocbe_workers": -1}),
+        lambda s: s.__class__(**{**_fields(s), "ocbe_workers": True}),
     ],
 )
 def test_validation_rejects(mutate):

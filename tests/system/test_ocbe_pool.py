@@ -1,0 +1,203 @@
+"""Lifecycle tests for the OCBE worker pool (``--ocbe-workers``).
+
+Three promises, each load-bearing for the opt-in:
+
+* **Transcript identity** -- a pooled run is frame-identical to the
+  serial run for every worker count: randomness is drawn in the parent
+  in delivery order, workers only do deterministic arithmetic.
+* **Crash degradation** -- a dead pool (killed workers, failed spawn)
+  can slow a wave down but never wedge it or change its bytes: the
+  session recomputes inline from the already-drawn randomness and warns
+  once with :class:`OcbeWorkerPoolWarning`.
+* **Durability separation** -- workers never journal; everything
+  durable is written by the parent, so killing a pooled publisher is no
+  worse than killing a serial one (covered at the OS-process level in
+  ``tests/net/test_crash_recovery.py``).
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.gkm.acv import FAST_FIELD
+from repro.groups import get_group
+from repro.crypto.pedersen import PedersenParams
+from repro.ocbe.parallel import (
+    CommitPoolSetup,
+    OcbeWorkerPool,
+    OcbeWorkerPoolWarning,
+)
+from repro.policy.acp import parse_policy
+from repro.system.idmgr import IdentityManager
+from repro.system.idp import IdentityProvider
+from repro.system.publisher import Publisher
+from repro.system.service import (
+    DisseminationService,
+    IdentityManagerEndpoint,
+    SubscriberClient,
+    run_until_idle,
+)
+from repro.system.subscriber import Subscriber
+from repro.system.transport import InMemoryTransport
+
+USERS = {
+    "ursa": {"role": "nur", "level": 61},
+    "vic": {"role": "doc"},
+    "wen": {"level": 20},
+}
+
+
+class RecordingTransport(InMemoryTransport):
+    """InMemoryTransport that also captures routed frame bytes."""
+
+    def __init__(self):
+        super().__init__()
+        self.frames = []
+
+    def deliver(self, sender, receiver, kind, payload, note=""):
+        self.frames.append((sender, receiver, kind, bytes(payload)))
+        super().deliver(sender, receiver, kind, payload, note=note)
+
+
+def _run_wave(pub_workers, idmgr_workers, breaker=None):
+    """One end-to-end wave (tokens over the wire, then registration).
+
+    ``breaker`` runs after the endpoints exist, with the live pools --
+    the crash tests use it to kill workers before the wave is pumped.
+    Returns (frames, results-per-user, css-per-user).
+    """
+    rng = random.Random(0x900C)
+    group = get_group("nist-p192")
+    idp = IdentityProvider("hr", group, rng=rng)
+    idmgr = IdentityManager(group, rng=rng)
+    idmgr.trust_idp(idp)
+    pub = Publisher(
+        "pub", idmgr.params, idmgr.public_key, gkm_field=FAST_FIELD,
+        attribute_bits=16, rng=rng,
+    )
+    pub.add_policy(parse_policy("role = doc", ["s1"], "d"))
+    pub.add_policy(parse_policy("role = nur AND level >= 59", ["s2"], "d"))
+    pub.add_policy(parse_policy("level < 30", ["s3"], "d"))
+
+    transport = RecordingTransport()
+    service = DisseminationService(pub, transport, ocbe_workers=pub_workers)
+    idmgr_ep = IdentityManagerEndpoint(
+        idmgr, transport, ocbe_workers=idmgr_workers
+    )
+    try:
+        clients = []
+        for user in sorted(USERS):
+            for attr, value in USERS[user].items():
+                idp.enroll(user, attr, value)
+            sub = Subscriber(idmgr.assign_pseudonym(), pub.params, rng=rng)
+            client = SubscriberClient(sub, transport, "pub")
+            for attr in sorted(USERS[user]):
+                client.request_token(
+                    attr, assertion=idp.assert_attribute(user, attr)
+                )
+            clients.append(client)
+        if breaker is not None:
+            breaker(service, idmgr_ep)
+        run_until_idle([service, idmgr_ep, *clients])
+        for client in clients:
+            client.register_all_attributes()
+        run_until_idle([service, idmgr_ep, *clients])
+    finally:
+        service.close()
+        idmgr_ep.close()
+    results = [dict(c.results) for c in clients]
+    css = [sorted(c.subscriber.css_store) for c in clients]
+    assert any(any(r.values()) for user in results for r in user.values())
+    return transport.frames, results, css
+
+
+def _kill_workers(pool):
+    """Start the pool (if needed) and SIGKILL every worker process."""
+    executor = pool._ensure()
+    assert executor is not None
+    # Force the spawn to actually happen before the kill.
+    future = pool.submit_commit(1, 1)
+    assert pool.result(future) is not None
+    for process in list(executor._processes.values()):
+        process.kill()
+    for process in list(executor._processes.values()):
+        process.join()
+
+
+class TestPoolPrimitive:
+    def test_workers_must_be_positive(self):
+        setup = CommitPoolSetup(PedersenParams(get_group("nist-p192")))
+        with pytest.raises(ValueError):
+            OcbeWorkerPool(setup, 0)
+
+    def test_commit_job_matches_local(self):
+        params = PedersenParams(get_group("nist-p192"))
+        pool = OcbeWorkerPool(CommitPoolSetup(params), 1)
+        try:
+            x, r = 1234, 56789
+            future = pool.submit_commit(x, r)
+            assert pool.result(future) == params.commit(x, r)[0]
+            assert not pool.broken
+        finally:
+            pool.close()
+
+    def test_killed_workers_degrade_with_one_warning(self):
+        params = PedersenParams(get_group("nist-p192"))
+        pool = OcbeWorkerPool(CommitPoolSetup(params), 1)
+        try:
+            _kill_workers(pool)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                # Every job outcome after the crash is "recompute
+                # serially" (None), never an exception or a hang.
+                futures = [pool.submit_commit(i, i) for i in range(4)]
+                assert all(pool.result(f) is None for f in futures)
+                assert pool.broken
+                assert pool.submit_commit(9, 9) is None
+            pool_warnings = [
+                w for w in caught
+                if issubclass(w.category, OcbeWorkerPoolWarning)
+            ]
+            assert len(pool_warnings) == 1
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent_and_safe_unstarted(self):
+        params = PedersenParams(get_group("nist-p192"))
+        pool = OcbeWorkerPool(CommitPoolSetup(params), 2)
+        pool.close()
+        pool.close()
+
+
+class TestTranscriptIdentity:
+    def test_pooled_frames_identical_to_serial(self):
+        serial_frames, serial_results, serial_css = _run_wave(0, 0)
+        with warnings.catch_warnings():
+            # Identity must hold without the pool ever degrading.
+            warnings.simplefilter("error", OcbeWorkerPoolWarning)
+            pooled_frames, pooled_results, pooled_css = _run_wave(1, 1)
+            two_frames, two_results, two_css = _run_wave(2, 0)
+        assert pooled_frames == serial_frames
+        assert two_frames == serial_frames
+        assert pooled_results == serial_results == two_results
+        assert pooled_css == serial_css == two_css
+
+
+class TestCrashDegradation:
+    def test_crashed_pools_degrade_to_identical_frames(self):
+        serial_frames, serial_results, serial_css = _run_wave(0, 0)
+
+        def breaker(service, idmgr_ep):
+            _kill_workers(service.ocbe_pool)
+            _kill_workers(idmgr_ep.ocbe_pool)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            frames, results, css = _run_wave(1, 1, breaker=breaker)
+        assert frames == serial_frames
+        assert results == serial_results
+        assert css == serial_css
+        assert any(
+            issubclass(w.category, OcbeWorkerPoolWarning) for w in caught
+        )
