@@ -43,9 +43,16 @@ from repro.errors import (
 )
 from repro.gkm.base import BroadcastGkm, RekeyBroadcast
 from repro.mathx.field import PrimeField
-from repro.mathx.linalg import Matrix
+from repro.mathx.linalg import Matrix, RrefFactorization
 
-__all__ = ["AcvHeader", "AcvBgkm", "AcvBroadcastGkm", "PAPER_FIELD", "FAST_FIELD"]
+__all__ = [
+    "AcvHeader",
+    "AcvBgkm",
+    "AcvBroadcastGkm",
+    "AcvFactorization",
+    "PAPER_FIELD",
+    "FAST_FIELD",
+]
 
 #: The paper's experiments use an 80-bit prime field for F_q.
 PAPER_FIELD = PrimeField(604462909807314587353111, check_prime=False)
@@ -64,6 +71,28 @@ def _auto_z_bytes(n: int) -> int:
     distorting the size/derivation profile the benchmarks measure.
     """
     return max(4, -(-168 // (8 * max(n, 1))))
+
+
+def _draw_nonces(
+    count: int, width: int, rng: Optional[random.Random]
+) -> Tuple[bytes, ...]:
+    """``count`` nonces of ``width`` bytes, in the canonical draw order.
+
+    Shared by :meth:`AcvBgkm.generate` and the incremental extension path so
+    a seeded ``rng`` produces the same stream either way.
+    """
+    if rng is not None:
+        return tuple(
+            bytes(rng.randrange(256) for _ in range(width)) for _ in range(count)
+        )
+    return tuple(secrets.token_bytes(width) for _ in range(count))
+
+
+def _draw_field_key(p: int, rng: Optional[random.Random]) -> int:
+    """A uniform element of ``F_p^*`` from ``rng`` (or the system CSPRNG)."""
+    if rng is not None:
+        return rng.randrange(1, p)
+    return secrets.randbelow(p - 1) + 1
 
 
 @dataclass(frozen=True)
@@ -126,11 +155,22 @@ class AcvHeader:
             offset += 2
             q = int.from_bytes(data[offset : offset + q_len], "big")
             offset += q_len
+            # The modulus is attacker-controlled: q < 2 would make derive()
+            # divide by zero (or reduce everything to 0) instead of failing
+            # typed.  No valid field has such a modulus, so refuse at parse.
+            if q < 2:
+                raise SerializationError("modulus q=%d is not a valid field" % q)
             n_z, z_len = struct.unpack_from(">IH", data, offset)
             offset += 6
+            # Zero-width (or absent) nonces would collapse every matrix
+            # column into the same hash; the publisher never emits them
+            # (z_bytes >= 4, capacity >= 1), so they only appear in hostile
+            # headers.
+            if n_z == 0 or z_len == 0:
+                raise SerializationError("header must carry nonzero-width nonces")
             # Bounds sanity: counts are attacker-controlled; never allocate
             # more than the payload could possibly encode.
-            if n_z * max(z_len, 1) > len(data):
+            if n_z * z_len > len(data):
                 raise SerializationError("nonce count exceeds payload")
             zs = []
             for _ in range(n_z):
@@ -231,12 +271,8 @@ class AcvBgkm:
                 "capacity N=%d below the %d qualified rows (Eq. 1)" % (n, m)
             )
         zb = z_bytes if z_bytes is not None else _auto_z_bytes(n)
-        if rng is not None:
-            zs = tuple(bytes(rng.randrange(256) for _ in range(zb)) for _ in range(n))
-            key = rng.randrange(1, self.field.p)
-        else:
-            zs = tuple(secrets.token_bytes(zb) for _ in range(n))
-            key = secrets.randbelow(self.field.p - 1) + 1
+        zs = _draw_nonces(n, zb, rng)
+        key = _draw_field_key(self.field.p, rng)
 
         if rows:
             matrix = self.build_matrix(rows, zs)
@@ -252,6 +288,72 @@ class AcvBgkm:
         x = list(y)
         x[0] = (x[0] + key) % self.field.p
         return key, AcvHeader(q=self.field.p, x=tuple(x), zs=zs)
+
+    def factorize(
+        self, rows: Sequence[Sequence[bytes]], zs: Sequence[bytes]
+    ) -> "AcvFactorization":
+        """The carried elimination state for ``rows`` under nonces ``zs``."""
+        if len(rows) > len(zs):
+            raise CapacityError(
+                "capacity N=%d below the %d qualified rows (Eq. 1)"
+                % (len(zs), len(rows))
+            )
+        if rows:
+            rref = self.build_matrix(rows, zs).rref_factorization()
+        else:
+            rref = RrefFactorization(self.field, len(zs) + 1)
+        return AcvFactorization(self, rows, zs, rref)
+
+    def generate_with_factorization(
+        self,
+        rows: Sequence[Sequence[bytes]],
+        n_max: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+        z_bytes: Optional[int] = None,
+    ) -> Tuple[int, AcvHeader, "AcvFactorization"]:
+        """:meth:`generate`, additionally returning the elimination state.
+
+        Draw order (nonces, key, combination coefficients) and the
+        null-space basis (RREF is canonical) match :meth:`generate` exactly,
+        so for the same seeded ``rng`` the header is byte-identical -- the
+        factorization rides along for free, ready for later
+        :meth:`AcvFactorization.extend` calls.
+        """
+        m = len(rows)
+        n = n_max if n_max is not None else max(m, 1)
+        if n < m:
+            raise CapacityError(
+                "capacity N=%d below the %d qualified rows (Eq. 1)" % (n, m)
+            )
+        zb = z_bytes if z_bytes is not None else _auto_z_bytes(n)
+        zs = _draw_nonces(n, zb, rng)
+        key = _draw_field_key(self.field.p, rng)
+        fact = self.factorize(rows, zs)
+        y = self._random_combination(fact.null_basis(), n + 1, rng)
+        x = list(y)
+        x[0] = (x[0] + key) % self.field.p
+        return key, AcvHeader(q=self.field.p, x=tuple(x), zs=zs), fact
+
+    def rekey_from_factorization(
+        self,
+        fact: "AcvFactorization",
+        rng: Optional[random.Random] = None,
+        key: Optional[int] = None,
+    ) -> Tuple[int, AcvHeader]:
+        """Publish a fresh ``(K, header)`` from a maintained factorization.
+
+        The expensive part -- the null space of the access matrix -- is
+        already carried by ``fact``; this only draws a key (unless the
+        caller supplies one for a shared-key bucket group) and a fresh
+        random combination, mirroring the tail of :meth:`generate`.
+        """
+        p = self.field.p
+        if key is None:
+            key = _draw_field_key(p, rng)
+        y = self._random_combination(fact.null_basis(), fact.capacity + 1, rng)
+        x = list(y)
+        x[0] = (x[0] + key) % p
+        return key, AcvHeader(q=p, x=tuple(x), zs=fact.zs)
 
     def _random_combination(
         self,
@@ -290,7 +392,16 @@ class AcvBgkm:
 
         Entries multiplying a zero coordinate of ``X`` are skipped (left 0),
         which both mirrors the compressed broadcast and speeds derivation.
+
+        The arity/modulus checks live here (not only in :meth:`derive`)
+        because the bucketed candidate scan calls this directly with
+        attacker-influenced headers: a short ``X`` must fail typed, not
+        with a bare ``IndexError``.
         """
+        if len(header.x) != header.capacity + 1:
+            raise KeyDerivationError("header X has wrong arity")
+        if header.q < 2:
+            raise KeyDerivationError("header modulus is not a valid field")
         q = header.q
         h = self.hash_fn
         parts = [bytes(c) for c in css]
@@ -307,8 +418,6 @@ class AcvBgkm:
         qualified row; otherwise it is an unpredictable field element --
         callers detect failure through authenticated decryption.
         """
-        if len(header.x) != header.capacity + 1:
-            raise KeyDerivationError("header X has wrong arity")
         q = header.q
         kev = self.key_extraction_vector(header, css)
         return sum(a * b for a, b in zip(kev, header.x)) % q
@@ -317,6 +426,94 @@ class AcvBgkm:
         """Map the group key ``K in F_q`` to symmetric key bytes."""
         raw = key.to_bytes(self.field.byte_length, "big")
         return derive_key(raw, key_len, info=b"repro/acv-bgkm/doc-key")
+
+
+class AcvFactorization:
+    """Carried elimination state of one configuration (or one bucket).
+
+    Bundles the CSS rows (in matrix feed order), the nonce tuple, and a
+    tracked :class:`~repro.mathx.linalg.RrefFactorization` of the access
+    matrix ``A``, so a membership *join* -- a pure row/column extension --
+    costs ``O(m^2)`` instead of the ``O(m^3)`` from-scratch elimination.
+
+    Security envelope: reusing the nonces across an extension is safe
+    precisely because a join only ever *adds* rows -- every previously
+    qualified CSS tuple stays qualified, and no tuple loses entitlement.
+    A revoke or credential replacement removes/changes a row, which
+    demands fresh nonces and a full re-solve; callers enforce that by
+    dropping the factorization (see ``AcvBuildCache.invalidate``).
+    """
+
+    __slots__ = ("_core", "rows", "zs", "_rref", "_basis")
+
+    def __init__(
+        self,
+        core: AcvBgkm,
+        rows: Sequence[Sequence[bytes]],
+        zs: Sequence[bytes],
+        rref: RrefFactorization,
+    ):
+        self._core = core
+        self.rows: List[Tuple[bytes, ...]] = [tuple(r) for r in rows]
+        self.zs: Tuple[bytes, ...] = tuple(zs)
+        self._rref = rref
+        self._basis: Optional[List[Tuple[int, ...]]] = None
+
+    @property
+    def capacity(self) -> int:
+        """The maximum-user parameter N carried by this state."""
+        return len(self.zs)
+
+    def extend(
+        self,
+        new_rows: Sequence[Sequence[bytes]],
+        added_capacity: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """Fold a join in: grow capacity by ``added_capacity`` fresh nonces,
+        then reduce each new CSS row against the carried pivots.
+
+        Fresh nonces are drawn at the *existing* nonce width (the header
+        wire format requires uniform lengths), each contributing one new
+        matrix column mapped through the carried row transform; each new
+        row then costs one reduction pass.  Existing rows, nonces, and the
+        annihilation property for every old row are untouched.
+        """
+        if added_capacity < 0:
+            raise InvalidParameterError("negative capacity extension")
+        total = len(self.rows) + len(new_rows)
+        if total > self.capacity + added_capacity:
+            raise CapacityError(
+                "capacity N=%d below the %d qualified rows (Eq. 1)"
+                % (self.capacity + added_capacity, total)
+            )
+        q = self._core.field.p
+        h = self._core.hash_fn
+        width = len(self.zs[0]) if self.zs else _auto_z_bytes(
+            self.capacity + added_capacity
+        )
+        fresh = _draw_nonces(added_capacity, width, rng)
+        for z in fresh:
+            column = [
+                hash_concat(h, [bytes(c) for c in row] + [z], q) for row in self.rows
+            ]
+            self._rref.extend_column(column)
+        self.zs = self.zs + fresh
+        for row in new_rows:
+            parts = [bytes(c) for c in row]
+            matrix_row = [1] + [hash_concat(h, parts + [z], q) for z in self.zs]
+            self._rref.extend_row(matrix_row)
+            self.rows.append(tuple(row))
+        self._basis = None
+
+    def null_basis(self) -> List[Tuple[int, ...]]:
+        """The null-space basis of the carried matrix (cached per state)."""
+        if self._basis is None:
+            basis = self._rref.null_space()
+            if not basis:
+                raise GKMError("null space unexpectedly trivial")
+            self._basis = basis
+        return self._basis
 
 
 class AcvBroadcastGkm(BroadcastGkm):

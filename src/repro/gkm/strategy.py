@@ -19,9 +19,13 @@ Both strategies share an :class:`AcvBuildCache`: solving ``A Y = 0`` only
 depends on the member-row set and the nonces, so when consecutive
 publishes see the *same* rows (same configuration, no membership change)
 the cached ``(zs, Y)`` pair is recombined with a **fresh** key instead of
-re-running the elimination.  The cache is keyed on the exact row tuples
-and invalidated -- a new membership epoch -- by every join/revoke/update,
-so a stale vector can never outlive the membership it was solved for.
+re-running the elimination.  The cache is keyed on the exact row tuples.
+A *pure join* keeps entries (:meth:`AcvBuildCache.note_join`): untouched
+configurations exact-hit, and a grown configuration extends the stored
+:class:`~repro.gkm.acv.AcvFactorization` row by row -- O(m^2) per join
+instead of the O(m^3) re-solve.  Every revoke / credential replacement /
+policy change still invalidates outright, so a stale vector can never
+outlive a membership it over-approximates.
 
 Security envelope of the cache (documented in DESIGN.md): two headers
 built from one cache entry share ``(zs, Y)`` and differ only in
@@ -35,10 +39,11 @@ from __future__ import annotations
 
 import random
 import secrets
+from collections import Counter, OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import InvalidParameterError, SerializationError
-from repro.gkm.acv import AcvBgkm, AcvHeader
+from repro.gkm.acv import AcvBgkm, AcvFactorization, AcvHeader
 from repro.gkm.buckets import BucketedHeader, auto_bucket_size
 from repro.obs.metrics import get_registry
 from repro.obs.trace import stage
@@ -79,24 +84,45 @@ def decode_keying_header(data: bytes) -> KeyingHeader:
 
 
 class AcvBuildCache:
-    """Memoizes the expensive half of an ACV build: ``(zs, Y)``.
+    """Memoizes the expensive half of an ACV build: ``(zs, Y)`` + the
+    carried elimination state.
 
-    Entries are keyed on ``(member-row tuple, capacity)`` within the
-    current membership *epoch*; :meth:`invalidate` (called by the
-    publisher on every join/revoke/credential change) advances the epoch
-    and drops everything.  A hit re-randomizes only the key: the header
-    becomes ``X = Y + K e_0`` over the cached nonces -- no matrix, no
-    elimination.
+    Entries are keyed on ``(member-row tuple, capacity)``.  A hit
+    re-randomizes only the key: the header becomes ``X = Y + K e_0`` over
+    the cached nonces -- no matrix, no elimination.  Eviction is true LRU
+    over an :class:`~collections.OrderedDict`: a lookup hit refreshes
+    recency, so under more than ``max_entries`` recurring configurations
+    the *coldest* entry goes first.  (The cache used to evict in plain
+    insertion order, which is exactly backwards at publish cadence: the
+    hottest configuration was also the oldest insertion.)
+
+    Membership changes split two ways:
+
+    * :meth:`invalidate` -- revoke / credential replacement / policy or
+      strategy change: advances the epoch and drops everything, because a
+      removed or replaced row must never stay annihilated by a cached
+      vector (fresh nonces are mandatory).
+    * :meth:`note_join` -- a *pure join* (a brand-new CSS cell): advances
+      the epoch but keeps entries.  A configuration the join did not
+      touch recurs with the identical row tuple and may exact-hit -- its
+      membership is unchanged by construction.  A configuration the join
+      did touch now has a strict row superset, which
+      :meth:`take_extendable` serves as an O(m^2)-per-row incremental
+      extension of the stored factorization instead of a fresh
+      elimination (see :class:`~repro.gkm.acv.AcvFactorization` for the
+      security argument: extension only ever adds entitlements that the
+      join itself granted).
     """
 
     def __init__(self, max_entries: int = 256):
         if max_entries < 1:
             raise InvalidParameterError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._entries: Dict[tuple, Tuple[Tuple[bytes, ...], Tuple[int, ...]]] = {}
+        self._entries: "OrderedDict[tuple, Tuple[Tuple[bytes, ...], Tuple[int, ...], Optional[AcvFactorization]]]" = OrderedDict()
         self.epoch = 0
         self.hits = 0
         self.misses = 0
+        self.extends = 0
 
     def lookup(
         self, rows: tuple, n_max: int
@@ -106,9 +132,44 @@ class AcvBuildCache:
             self.misses += 1
             get_registry().inc("gkm.acv_cache.miss")
             return None
+        self._entries.move_to_end((rows, n_max))
         self.hits += 1
         get_registry().inc("gkm.acv_cache.hit")
-        return entry
+        return entry[0], entry[1]
+
+    def take_extendable(
+        self, rows: tuple, n_max: int
+    ) -> Optional[Tuple[AcvFactorization, List[Tuple[bytes, ...]]]]:
+        """Pop the best join-delta base for ``(rows, n_max)``.
+
+        Most-recently-used first, an entry qualifies when it carries a
+        factorization, holds a nonempty *strict sub-multiset* of ``rows``
+        and its capacity fits inside ``n_max`` (capacity only ever grows
+        -- shrinking would drop nonces that published headers already
+        used).  Returns ``(factorization, missing_rows)``; the entry is
+        removed because extension mutates it (the extended state is
+        re-stored under the new key by the builder).
+        """
+        if n_max < len(rows):
+            return None
+        needed = Counter(rows)
+        for key in reversed(self._entries):
+            old_rows, old_n = key
+            entry = self._entries[key]
+            if entry[2] is None or not old_rows:
+                continue
+            if len(old_rows) >= len(rows) or old_n > n_max:
+                continue
+            missing = needed.copy()
+            missing.subtract(old_rows)
+            if any(count < 0 for count in missing.values()):
+                continue
+            self._entries.pop(key)
+            self.extends += 1
+            get_registry().inc("gkm.acv_cache.extend")
+            extra = [row for row, count in missing.items() for _ in range(count)]
+            return entry[2], extra
+        return None
 
     def store(
         self,
@@ -116,15 +177,20 @@ class AcvBuildCache:
         n_max: int,
         zs: Tuple[bytes, ...],
         y: Tuple[int, ...],
+        factorization: Optional[AcvFactorization] = None,
     ) -> None:
-        if len(self._entries) >= self.max_entries:
-            # Oldest-first eviction: insertion order is access order at
-            # publish cadence (configurations recur in a stable cycle).
-            self._entries.pop(next(iter(self._entries)))
-        self._entries[(rows, n_max)] = (zs, y)
+        key = (rows, n_max)
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+        self._entries[key] = (zs, y, factorization)
+        self._entries.move_to_end(key)
+
+    def note_join(self) -> None:
+        """A pure join happened: new epoch, entries stay extendable."""
+        self.epoch += 1
 
     def invalidate(self) -> None:
-        """Membership changed: new epoch, no entry survives."""
+        """A row was removed or replaced: new epoch, no entry survives."""
         self.epoch += 1
         self._entries.clear()
 
@@ -133,6 +199,7 @@ class AcvBuildCache:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "extends": self.extends,
             "epoch": self.epoch,
             "entries": len(self._entries),
         }
@@ -175,25 +242,43 @@ class _CachedAcvBuilder:
         """
         p = self.core.field.p
         rows_key = tuple(rows)
-        cached = (
-            self.cache.lookup(rows_key, n_max)
-            if self.cache is not None and use_cache
-            else None
-        )
-        if cached is not None:
-            zs, y = cached
-            if key is None:
-                key = _draw_key(p, rng)
-            x = list(y)
-            x[0] = (x[0] + key) % p
-            return key, AcvHeader(q=p, x=tuple(x), zs=zs)
+        if self.cache is not None and use_cache:
+            cached = self.cache.lookup(rows_key, n_max)
+            if cached is not None:
+                zs, y = cached
+                if key is None:
+                    key = _draw_key(p, rng)
+                x = list(y)
+                x[0] = (x[0] + key) % p
+                return key, AcvHeader(q=p, x=tuple(x), zs=zs)
+            base = self.cache.take_extendable(rows_key, n_max)
+            if base is not None:
+                fact, extra = base
+                with stage("acv.update", rows=len(rows), added=len(extra)):
+                    with get_registry().timer("gkm.acv_update_seconds"):
+                        fact.extend(
+                            extra, added_capacity=n_max - fact.capacity, rng=rng
+                        )
+                        key, header = self.core.rekey_from_factorization(
+                            fact, rng=rng, key=key
+                        )
+                y = list(header.x)
+                y[0] = (y[0] - key) % p
+                self.cache.store(rows_key, n_max, header.zs, tuple(y), fact)
+                return key, header
         with stage("acv.solve", rows=len(rows)):
             with get_registry().timer("gkm.acv_solve_seconds"):
-                fresh_key, header = self.core.generate(rows, n_max=n_max, rng=rng)
+                if self.cache is not None:
+                    fresh_key, header, fact = self.core.generate_with_factorization(
+                        rows, n_max=n_max, rng=rng
+                    )
+                else:
+                    fresh_key, header = self.core.generate(rows, n_max=n_max, rng=rng)
+                    fact = None
         if self.cache is not None:
             y = list(header.x)
             y[0] = (y[0] - fresh_key) % p
-            self.cache.store(rows_key, n_max, header.zs, tuple(y))
+            self.cache.store(rows_key, n_max, header.zs, tuple(y), fact)
         if key is None or key == fresh_key:
             return fresh_key, header
         x = list(header.x)

@@ -214,6 +214,7 @@ class LoadEngine:
                 ),
                 gkm=scenario.gkm,
                 gkm_bucket_size=scenario.gkm_bucket_size or None,
+                acv_cache=scenario.acv_cache,
             )
             for policy in spec.parsed_policies():
                 publisher.add_policy(policy)

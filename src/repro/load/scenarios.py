@@ -29,6 +29,7 @@ __all__ = [
     "churn_scenario",
     "feed_publisher",
     "smoke_scenario",
+    "warm_churn_scenario",
     "with_relays",
 ]
 
@@ -112,6 +113,43 @@ def churn_scenario(
     ).validate()
 
 
+def warm_churn_scenario(
+    subscribers: int = 12,
+    waves: int = 4,
+    seed: int = 0x3A11,
+) -> LoadScenario:
+    """Joins and broadcasts interleaving at high rate on a *warm* publisher.
+
+    After the initial wave every later join lands on a publisher whose
+    ACV build cache already carries the configuration's factorization, so
+    the rekey each broadcast forces takes the incremental O(m^2) update
+    path (``acv.update``) instead of a fresh elimination -- the workload
+    the rank-1 join maintenance exists for.  A closing revoke asserts the
+    full-invalidation fallback still locks members out afterwards.
+
+    Pair with ``replace(scenario, acv_cache=False, ...)`` for the
+    from-scratch baseline: same seed and phases, so delivered plaintexts
+    must match exactly.
+    """
+    if waves < 1:
+        raise InvalidParameterError("warm churn needs at least one wave")
+    phases = [
+        PhaseSpec(kind="join", count=subscribers),
+        PhaseSpec(kind="broadcast"),
+    ]
+    for _ in range(waves):
+        phases.append(PhaseSpec(kind="join", count=2))
+        phases.append(PhaseSpec(kind="broadcast", repeat=2))
+    phases.append(PhaseSpec(kind="revoke", count=max(subscribers // 8, 1)))
+    phases.append(PhaseSpec(kind="broadcast"))
+    return LoadScenario(
+        name="warm-churn",
+        seed=seed,
+        publishers=(feed_publisher("alpha"), feed_publisher("beta")),
+        phases=tuple(phases),
+    ).validate()
+
+
 def bucketed(scenario: LoadScenario, bucket_size: int = 0) -> LoadScenario:
     """The same experiment under the bucketed publish-path strategy.
 
@@ -159,8 +197,10 @@ def with_relays(scenario: LoadScenario, depth: int) -> LoadScenario:
 BUILTIN_SCENARIOS = {
     "smoke": smoke_scenario,
     "churn": churn_scenario,
+    "warm-churn": warm_churn_scenario,
     "smoke-bucketed": lambda: bucketed(smoke_scenario()),
     "churn-bucketed": lambda: bucketed(churn_scenario()),
+    "warm-churn-bucketed": lambda: bucketed(warm_churn_scenario()),
     # The federation smokes: the same populations behind a relay chain
     # (TCP driver required -- relays are real OS processes).
     "smoke-relay": lambda: with_relays(smoke_scenario(), 2),

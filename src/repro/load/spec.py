@@ -298,6 +298,11 @@ class LoadScenario:
     #: 0 = serial.  Replies are delivery-ordered either way, so this
     #: changes wall-clock only, never the transcript.
     ocbe_workers: int = 0
+    #: Publisher-side ACV build cache (exact-hit recombine + incremental
+    #: join extension).  Disabling it forces every publish to re-solve the
+    #: access matrix from scratch -- the differential baseline the
+    #: warm-churn scenarios compare against.
+    acv_cache: bool = True
 
     # -- validation --------------------------------------------------------
 
@@ -337,6 +342,8 @@ class LoadScenario:
             or self.ocbe_workers < 0
         ):
             raise InvalidParameterError("ocbe_workers must be an int >= 0")
+        if not isinstance(self.acv_cache, bool):
+            raise InvalidParameterError("acv_cache must be a bool")
         if not self.publishers:
             raise InvalidParameterError("scenario needs at least one publisher")
         names = [p.name for p in self.publishers]
@@ -407,6 +414,7 @@ class LoadScenario:
             "metrics_interval": self.metrics_interval,
             "min_attribution_coverage": self.min_attribution_coverage,
             "ocbe_workers": self.ocbe_workers,
+            "acv_cache": self.acv_cache,
             "publishers": [
                 {
                     "name": p.name,
@@ -508,6 +516,7 @@ class LoadScenario:
                     "min_attribution_coverage", 0.0
                 ),
                 ocbe_workers=payload.get("ocbe_workers", 0),
+                acv_cache=payload.get("acv_cache", True),
             )
         except (KeyError, TypeError) as exc:
             raise InvalidParameterError(

@@ -23,6 +23,7 @@ Matrices store plain ints internally (row-major) for speed; the
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,6 +37,7 @@ from repro.mathx.field import PrimeField
 
 __all__ = [
     "Matrix",
+    "RrefFactorization",
     "null_space",
     "random_null_vector",
     "solve",
@@ -237,6 +239,16 @@ class Matrix:
         """Rank over ``F_p``."""
         return len(self.rref()[1])
 
+    def rref_factorization(self) -> "RrefFactorization":
+        """The incrementally extensible RREF state of this matrix.
+
+        See :class:`RrefFactorization`; the returned object's
+        :meth:`~RrefFactorization.null_space` matches :meth:`null_space`
+        exactly (the RREF is canonical), and new rows/columns can then be
+        folded in without re-eliminating the existing ones.
+        """
+        return RrefFactorization.from_matrix(self)
+
     def null_space(self) -> List[Tuple[int, ...]]:
         """A basis of the right null space ``{v : A v = 0}``.
 
@@ -353,6 +365,348 @@ def _rref_numpy(
         pivots.append(c)
         r += 1
     return a.tolist(), pivots
+
+
+def _rref_tracked_python(
+    rows: Sequence[Sequence[int]], ncols: int, p: int
+) -> Tuple[List[List[int]], List[int]]:
+    """Gauss--Jordan on ``[A | I]`` with pivots restricted to ``A``'s columns.
+
+    Returns the reduced augmented rows and the pivot columns.  The right
+    block of each reduced row is the transform coefficients expressing it in
+    terms of the source rows (``R = T A``); rows beyond ``len(pivots)`` have
+    an all-zero left block and their right block spans the left null space.
+    Pivot search MUST stop at ``ncols`` -- pivoting into the identity block
+    would destroy the transform semantics for dependent rows.
+    """
+    nrows = len(rows)
+    a = [list(row) + [1 if j == i else 0 for j in range(nrows)] for i, row in enumerate(rows)]
+    pivots: List[int] = []
+    r = 0
+    for c in range(ncols):
+        if r >= nrows:
+            break
+        pivot_row = next((i for i in range(r, nrows) if a[i][c] != 0), None)
+        if pivot_row is None:
+            continue
+        if pivot_row != r:
+            a[r], a[pivot_row] = a[pivot_row], a[r]
+        inv = pow(a[r][c], p - 2, p)
+        if inv != 1:
+            a[r] = [(x * inv) % p for x in a[r]]
+        pivot = a[r]
+        for i in range(nrows):
+            if i == r:
+                continue
+            factor = a[i][c]
+            if factor:
+                row_i = a[i]
+                a[i] = [(x - factor * y) % p for x, y in zip(row_i, pivot)]
+        pivots.append(c)
+        r += 1
+    return a, pivots
+
+
+def _rref_tracked_numpy(
+    rows: Sequence[Sequence[int]], ncols: int, p: int
+) -> Tuple[np.ndarray, List[int]]:
+    """Vectorised counterpart of :func:`_rref_tracked_python`."""
+    nrows = len(rows)
+    a = np.zeros((nrows, ncols + nrows), dtype=np.int64)
+    a[:, :ncols] = np.array([list(row) for row in rows], dtype=np.int64) % p
+    a[:, ncols:] = np.eye(nrows, dtype=np.int64)
+    pivots: List[int] = []
+    r = 0
+    for c in range(ncols):
+        if r >= nrows:
+            break
+        nonzero = np.nonzero(a[r:, c])[0]
+        if nonzero.size == 0:
+            continue
+        pr = r + int(nonzero[0])
+        if pr != r:
+            a[[r, pr]] = a[[pr, r]]
+        inv = pow(int(a[r, c]), p - 2, p)
+        if inv != 1:
+            a[r] = (a[r] * inv) % p
+        col = a[:, c].copy()
+        col[r] = 0
+        touched = np.nonzero(col)[0]
+        if touched.size:
+            a[touched] = (a[touched] - np.outer(col[touched], a[r])) % p
+        pivots.append(c)
+        r += 1
+    return a, pivots
+
+
+class RrefFactorization:
+    """Incrementally maintained reduced row-echelon state of a growing matrix.
+
+    The object carries three pieces of state for the source matrix ``A``
+    whose rows and columns have been fed in so far:
+
+    * ``pivots`` -- the pivot columns, ascending;
+    * the nonzero RREF rows ``R`` (one per pivot, pivot order);
+    * the row transform ``T`` with ``R = T A`` (one column per *source* row,
+      including linearly dependent ones), plus the transform rows of the
+      dependent source rows themselves.
+
+    ``T`` is what makes growth cheap in both directions:
+    :meth:`extend_row` reduces one new source row against the existing
+    pivots -- ``O(r * n)`` work instead of re-running the full ``O(m^2 n)``
+    elimination -- and :meth:`extend_column` maps one new source column
+    through ``T`` without ever revisiting ``A``.  Because the RREF is
+    canonical (unique per row space), the maintained state equals a
+    from-scratch :meth:`Matrix.rref` of the extended matrix, so
+    :meth:`null_space` returns the *identical* basis, in the identical
+    order, as :meth:`Matrix.null_space` on the rebuilt matrix.
+
+    Storage dispatches exactly like :class:`Matrix`: numpy ``int64`` arrays
+    for word-sized moduli, arbitrary-precision Python lists otherwise.  In
+    the numpy kernels every elementwise product is reduced mod ``p``
+    *before* summation -- a dot product of ``m`` unreduced products
+    overflows ``int64`` as soon as ``m * p**2 >= 2**63``.
+    """
+
+    __slots__ = ("field", "ncols", "pivots", "n_source", "_numpy", "_rows", "_t", "_free_t")
+
+    def __init__(self, field: PrimeField, ncols: int):
+        if ncols < 0:
+            raise InvalidParameterError("negative column count %d" % ncols)
+        self.field = field
+        self.ncols = ncols
+        self.pivots: List[int] = []
+        self.n_source = 0
+        self._numpy = field.p < NUMPY_MODULUS_LIMIT
+        if self._numpy:
+            self._rows = np.zeros((0, ncols), dtype=np.int64)
+            self._t = np.zeros((0, 0), dtype=np.int64)
+            self._free_t = np.zeros((0, 0), dtype=np.int64)
+        else:
+            self._rows: List[List[int]] = []
+            self._t: List[List[int]] = []
+            self._free_t: List[List[int]] = []
+
+    @classmethod
+    def from_matrix(cls, matrix: Matrix) -> "RrefFactorization":
+        """Factor ``matrix`` with one tracked batch elimination."""
+        fact = cls(matrix.field, matrix.ncols)
+        if not matrix.rows:
+            return fact
+        p = matrix.field.p
+        ncols = matrix.ncols
+        if fact._numpy:
+            reduced, pivots = _rref_tracked_numpy(matrix.rows, ncols, p)
+            r = len(pivots)
+            fact.pivots = list(pivots)
+            fact._rows = reduced[:r, :ncols].copy()
+            fact._t = reduced[:r, ncols:].copy()
+            fact._free_t = reduced[r:, ncols:].copy()
+        else:
+            reduced, pivots = _rref_tracked_python(matrix.rows, ncols, p)
+            r = len(pivots)
+            fact.pivots = list(pivots)
+            fact._rows = [row[:ncols] for row in reduced[:r]]
+            fact._t = [row[ncols:] for row in reduced[:r]]
+            fact._free_t = [row[ncols:] for row in reduced[r:]]
+        fact.n_source = matrix.nrows
+        return fact
+
+    @property
+    def rank(self) -> int:
+        """Rank of the source matrix."""
+        return len(self.pivots)
+
+    # -- growth ------------------------------------------------------------
+
+    def extend_row(self, row: Sequence[int]) -> bool:
+        """Fold one new source row in; returns True when the rank grew.
+
+        The reduction coefficients are read straight off the pivot columns
+        of the incoming row (valid in any order: RREF pivot columns are unit
+        vectors), then a single pass subtracts the combination and, when a
+        residual survives, back-eliminates the new pivot column from the
+        existing rows.
+        """
+        if len(row) != self.ncols:
+            raise InvalidParameterError(
+                "row length %d does not match %d columns" % (len(row), self.ncols)
+            )
+        p = self.field.p
+        if self._numpy:
+            return self._extend_row_numpy(row, p)
+        return self._extend_row_python(row, p)
+
+    def _extend_row_numpy(self, row: Sequence[int], p: int) -> bool:
+        s = self.n_source
+        residual = np.array([int(x) % p for x in row], dtype=np.int64)
+        self._t = np.pad(self._t, ((0, 0), (0, 1)))
+        self._free_t = np.pad(self._free_t, ((0, 0), (0, 1)))
+        t_new = np.zeros(s + 1, dtype=np.int64)
+        t_new[s] = 1
+        self.n_source = s + 1
+        if self.pivots:
+            coeffs = residual[np.array(self.pivots, dtype=np.intp)]
+            if np.any(coeffs):
+                residual = (residual - ((coeffs[:, None] * self._rows) % p).sum(axis=0)) % p
+                t_new = (t_new - ((coeffs[:, None] * self._t) % p).sum(axis=0)) % p
+        lead = np.nonzero(residual)[0]
+        if lead.size == 0:
+            self._free_t = np.vstack([self._free_t, t_new[None, :]])
+            return False
+        c = int(lead[0])
+        inv = pow(int(residual[c]), p - 2, p)
+        if inv != 1:
+            residual = (residual * inv) % p
+            t_new = (t_new * inv) % p
+        col = self._rows[:, c].copy()
+        touched = np.nonzero(col)[0]
+        if touched.size:
+            self._rows[touched] = (self._rows[touched] - np.outer(col[touched], residual)) % p
+            self._t[touched] = (self._t[touched] - np.outer(col[touched], t_new)) % p
+        pos = bisect_left(self.pivots, c)
+        self.pivots.insert(pos, c)
+        self._rows = np.insert(self._rows, pos, residual, axis=0)
+        self._t = np.insert(self._t, pos, t_new, axis=0)
+        return True
+
+    def _extend_row_python(self, row: Sequence[int], p: int) -> bool:
+        s = self.n_source
+        residual = [int(x) % p for x in row]
+        for t_row in self._t:
+            t_row.append(0)
+        for t_row in self._free_t:
+            t_row.append(0)
+        t_new = [0] * (s + 1)
+        t_new[s] = 1
+        self.n_source = s + 1
+        for i, pc in enumerate(self.pivots):
+            factor = residual[pc]
+            if factor:
+                residual = [(x - factor * y) % p for x, y in zip(residual, self._rows[i])]
+                t_new = [(x - factor * y) % p for x, y in zip(t_new, self._t[i])]
+        c = next((j for j, x in enumerate(residual) if x), None)
+        if c is None:
+            self._free_t.append(t_new)
+            return False
+        inv = pow(residual[c], p - 2, p)
+        if inv != 1:
+            residual = [(x * inv) % p for x in residual]
+            t_new = [(x * inv) % p for x in t_new]
+        for i in range(len(self.pivots)):
+            factor = self._rows[i][c]
+            if factor:
+                self._rows[i] = [(x - factor * y) % p for x, y in zip(self._rows[i], residual)]
+                self._t[i] = [(x - factor * y) % p for x, y in zip(self._t[i], t_new)]
+        pos = bisect_left(self.pivots, c)
+        self.pivots.insert(pos, c)
+        self._rows.insert(pos, residual)
+        self._t.insert(pos, t_new)
+        return True
+
+    def extend_column(self, column: Sequence[int]) -> None:
+        """Append one source column (one entry per source row, feed order).
+
+        The reduced entries of the new column are ``T @ column``.  A
+        dependent source row whose transform no longer annihilates the
+        widened matrix is *promoted*: its combination becomes the pivot row
+        of the new column (and the column is eliminated everywhere else),
+        restoring canonical RREF.
+        """
+        if len(column) != self.n_source:
+            raise InvalidParameterError(
+                "column length %d does not match %d source rows"
+                % (len(column), self.n_source)
+            )
+        p = self.field.p
+        if self._numpy:
+            self._extend_column_numpy(column, p)
+        else:
+            self._extend_column_python(column, p)
+
+    def _extend_column_numpy(self, column: Sequence[int], p: int) -> None:
+        col = np.array([int(x) % p for x in column], dtype=np.int64)
+        if self.pivots:
+            entries = ((self._t * col[None, :]) % p).sum(axis=1) % p
+        else:
+            entries = np.zeros(0, dtype=np.int64)
+        self._rows = np.concatenate([self._rows, entries[:, None]], axis=1)
+        self.ncols += 1
+        if self._free_t.shape[0]:
+            res = ((self._free_t * col[None, :]) % p).sum(axis=1) % p
+            promoted = np.nonzero(res)[0]
+            if promoted.size:
+                j = int(promoted[0])
+                inv = pow(int(res[j]), p - 2, p)
+                t_p = (self._free_t[j] * inv) % p
+                new_col = self._rows[:, -1].copy()
+                touched = np.nonzero(new_col)[0]
+                if touched.size:
+                    self._rows[touched, -1] = 0
+                    self._t[touched] = (self._t[touched] - np.outer(new_col[touched], t_p)) % p
+                for k in promoted[1:]:
+                    self._free_t[k] = (self._free_t[k] - res[k] * t_p) % p
+                pivot_row = np.zeros(self.ncols, dtype=np.int64)
+                pivot_row[-1] = 1
+                self._rows = np.vstack([self._rows, pivot_row[None, :]])
+                self._t = np.vstack([self._t, t_p[None, :]])
+                self.pivots.append(self.ncols - 1)
+                self._free_t = np.delete(self._free_t, j, axis=0)
+
+    def _extend_column_python(self, column: Sequence[int], p: int) -> None:
+        col = [int(x) % p for x in column]
+        for i in range(len(self.pivots)):
+            entry = sum(a * b for a, b in zip(self._t[i], col)) % p
+            self._rows[i].append(entry)
+        self.ncols += 1
+        if self._free_t:
+            res = [sum(a * b for a, b in zip(t_row, col)) % p for t_row in self._free_t]
+            j = next((k for k, x in enumerate(res) if x), None)
+            if j is not None:
+                inv = pow(res[j], p - 2, p)
+                t_p = [(x * inv) % p for x in self._free_t[j]]
+                for i in range(len(self.pivots)):
+                    factor = self._rows[i][-1]
+                    if factor:
+                        self._rows[i][-1] = 0
+                        self._t[i] = [
+                            (x - factor * y) % p for x, y in zip(self._t[i], t_p)
+                        ]
+                for k in range(j + 1, len(self._free_t)):
+                    if res[k]:
+                        self._free_t[k] = [
+                            (x - res[k] * y) % p for x, y in zip(self._free_t[k], t_p)
+                        ]
+                self._rows.append([0] * (self.ncols - 1) + [1])
+                self._t.append(t_p)
+                self.pivots.append(self.ncols - 1)
+                del self._free_t[j]
+
+    # -- results -----------------------------------------------------------
+
+    def null_space(self) -> List[Tuple[int, ...]]:
+        """Identical basis, identical order, as :meth:`Matrix.null_space`."""
+        p = self.field.p
+        rows = self._rows.tolist() if self._numpy else self._rows
+        pivot_set = set(self.pivots)
+        basis: List[Tuple[int, ...]] = []
+        for j in range(self.ncols):
+            if j in pivot_set:
+                continue
+            v = [0] * self.ncols
+            v[j] = 1
+            for i, pc in enumerate(self.pivots):
+                v[pc] = (-rows[i][j]) % p
+            basis.append(tuple(v))
+        return basis
+
+    def __repr__(self) -> str:
+        return "RrefFactorization(F%d, rank %d, %dx%d)" % (
+            self.field.p,
+            len(self.pivots),
+            self.n_source,
+            self.ncols,
+        )
 
 
 def null_space(matrix: Matrix) -> List[Tuple[int, ...]]:

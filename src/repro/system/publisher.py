@@ -207,17 +207,26 @@ class Publisher:
         return chunk(rows) if chunk is not None else None
 
     def acv_cache_stats(self) -> Dict[str, int]:
-        """Hit/miss/epoch counters of the ACV build cache (all zero when
-        the cache is disabled)."""
+        """Hit/miss/extend/epoch counters of the ACV build cache (all zero
+        when the cache is disabled)."""
         if self._acv_cache is None:
-            return {"hits": 0, "misses": 0, "epoch": 0, "entries": 0}
+            return {"hits": 0, "misses": 0, "extends": 0, "epoch": 0, "entries": 0}
         return self._acv_cache.stats()
 
     def _invalidate_acv_cache(self) -> None:
-        """Membership (or policy) changed: cached ``(zs, Y)`` pairs must
-        not survive into the new epoch."""
+        """A row was removed or replaced (revoke / credential replacement /
+        policy or strategy change): cached ``(zs, Y)`` pairs and their
+        factorizations must not survive into the new epoch."""
         if self._acv_cache is not None:
             self._acv_cache.invalidate()
+
+    def _note_acv_join(self) -> None:
+        """A brand-new CSS cell was installed (pure join): entries stay --
+        untouched configurations exact-hit, grown ones extend their
+        carried factorization incrementally (O(m^2) instead of a fresh
+        elimination)."""
+        if self._acv_cache is not None:
+            self._acv_cache.note_join()
 
     # -- policy management ----------------------------------------------------
 
@@ -300,8 +309,16 @@ class Publisher:
             else None
         )
         sender = sender_for(self._ocbe, predicate, sender_rng)
+        # A brand-new cell is a pure join: the ACV cache keeps (and later
+        # extends) its entries.  Overwriting an existing cell is a
+        # credential *replacement*: the old CSS must stop deriving, which
+        # demands fresh nonces -- full invalidation.
+        credential_update = self.table.has(token.nym, condition.key())
         self.table.set(token.nym, condition.key(), css)
-        self._invalidate_acv_cache()
+        if credential_update:
+            self._invalidate_acv_cache()
+        else:
+            self._note_acv_join()
         if self.journal is not None:
             self.journal.css_installed(token.nym, condition.key(), css)
         return RegistrationOffer(

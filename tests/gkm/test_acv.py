@@ -1,6 +1,7 @@
 """Tests for the ACV-BGKM core."""
 
 import random
+import struct
 
 import pytest
 from hypothesis import given, settings
@@ -9,6 +10,7 @@ from hypothesis import strategies as st
 from repro.errors import (
     CapacityError,
     InvalidParameterError,
+    KeyDerivationError,
     SerializationError,
 )
 from repro.gkm.acv import FAST_FIELD, PAPER_FIELD, AcvBgkm, AcvHeader, _auto_z_bytes
@@ -183,3 +185,78 @@ class TestHeaderSerialization:
         key, header = gkm.generate(rows, rng=rng)
         parsed = AcvHeader.from_bytes(header.to_bytes())
         assert gkm.derive(parsed, rows[1]) == key
+
+
+def _rewrite_modulus(raw: bytes, q: int) -> bytes:
+    """Byte-surgically replace the modulus field of a wire header."""
+    (q_len,) = struct.unpack_from(">H", raw, 4)
+    q_raw = q.to_bytes(q_len, "big")
+    return raw[:6] + q_raw + raw[6 + q_len :]
+
+
+def _rewrite_nonce_counts(raw: bytes, n_z: int, z_len: int) -> bytes:
+    """Byte-surgically replace the ``(n_z, z_len)`` fields of a wire header."""
+    (q_len,) = struct.unpack_from(">H", raw, 4)
+    offset = 6 + q_len
+    return raw[:offset] + struct.pack(">IH", n_z, z_len) + raw[offset + 6 :]
+
+
+class TestHostileHeaders:
+    """Attacker-crafted broadcasts must fail typed, never with bare
+    ZeroDivisionError / IndexError (regressions for the parse- and
+    derive-time validation)."""
+
+    @pytest.fixture
+    def raw_header(self, gkm, rng):
+        rows = make_rows(rng, 3)
+        _, header = gkm.generate(rows, n_max=5, rng=rng)
+        return header.to_bytes()
+
+    @pytest.mark.parametrize("bad_q", [0, 1])
+    def test_degenerate_modulus_rejected_at_parse(self, raw_header, bad_q):
+        # Previously q=0 parsed fine and crashed derive() with
+        # ZeroDivisionError; q=1 collapsed every key to 0.
+        hostile = _rewrite_modulus(raw_header, bad_q)
+        with pytest.raises(SerializationError, match="not a valid field"):
+            AcvHeader.from_bytes(hostile)
+
+    def test_zero_width_nonces_rejected_at_parse(self, raw_header):
+        hostile = _rewrite_nonce_counts(raw_header, 3, 0)
+        with pytest.raises(SerializationError, match="nonce"):
+            AcvHeader.from_bytes(hostile)
+
+    def test_zero_nonce_count_rejected_at_parse(self, raw_header):
+        hostile = _rewrite_nonce_counts(raw_header, 0, 8)
+        with pytest.raises(SerializationError, match="nonce"):
+            AcvHeader.from_bytes(hostile)
+
+    def test_short_x_fails_typed_in_kev(self, gkm):
+        # len(x) must be capacity + 1; a short X used to escape as a bare
+        # IndexError from key_extraction_vector's header.x[j + 1] access.
+        header = AcvHeader(q=FAST_FIELD.p, x=(1,), zs=(b"aaaa", b"bbbb"))
+        with pytest.raises(KeyDerivationError, match="arity"):
+            gkm.key_extraction_vector(header, [b"css"])
+
+    def test_short_x_fails_typed_in_derive(self, gkm):
+        header = AcvHeader(q=FAST_FIELD.p, x=(1, 2), zs=(b"aa", b"bb", b"cc"))
+        with pytest.raises(KeyDerivationError, match="arity"):
+            gkm.derive(header, [b"css"])
+
+    @pytest.mark.parametrize("bad_q", [0, 1])
+    def test_degenerate_modulus_fails_typed_in_kev(self, gkm, bad_q):
+        # Defense in depth for headers built in-process (bypassing
+        # from_bytes), e.g. by the bucketed candidate scan.
+        header = AcvHeader(q=bad_q, x=(1, 2, 3), zs=(b"aaaa", b"bbbb"))
+        with pytest.raises(KeyDerivationError, match="modulus"):
+            gkm.key_extraction_vector(header, [b"css"])
+
+    def test_valid_header_still_parses_after_surgery_helpers(self, raw_header):
+        # Sanity-check the byte surgery itself: rewriting the fields with
+        # their *original* values must leave the header parseable.
+        header = AcvHeader.from_bytes(raw_header)
+        same_q = _rewrite_modulus(raw_header, header.q)
+        same_z = _rewrite_nonce_counts(
+            raw_header, len(header.zs), len(header.zs[0])
+        )
+        assert AcvHeader.from_bytes(same_q) == header
+        assert AcvHeader.from_bytes(same_z) == header

@@ -99,10 +99,11 @@ def test_duplicate_buckets_rejected():
 
 
 def test_empty_bucket_rejected():
-    # A structurally valid ACV header with zero nonces (capacity 0) can
-    # only be forged; a real bucket always covers at least one column.
+    # An ACV header with zero nonces (capacity 0) can only be forged; a
+    # real bucket always covers at least one column.  Since the hostile
+    # header hardening it is refused one layer down, at ACV parse time.
     empty = AcvHeader(q=FAST_FIELD.p, x=(1,), zs=())
-    with pytest.raises(SerializationError, match="empty bucket"):
+    with pytest.raises(SerializationError, match="nonce"):
         BucketedHeader.from_bytes(_wrap([empty.to_bytes()]))
 
 

@@ -1,22 +1,22 @@
-"""Differential GKM harness: dense and bucketed ACV-BGKM are equivalent.
+"""Differential GKM harness: alternative build paths are equivalent.
 
-Wiring :class:`~repro.gkm.buckets.BucketedAcvBgkm` into the live publish
-path is only safe if bucketing is *behaviorally invisible*: for any
-member set, bucket count and join/revoke history, members derive exactly
-the key the dense scheme would give them and everyone else fails exactly
-as before.  This file proves it differentially, at three levels:
+A publish-path optimisation is only safe if it is *behaviorally
+invisible*: for any member set, bucket count and join/revoke history,
+members derive exactly the key the baseline scheme would give them and
+everyone else fails exactly as before.  This file proves it
+differentially for two strategy swaps:
 
-* **core** -- random CSS rows under :class:`AcvBgkm` vs
-  :class:`BucketedAcvBgkm` at every bucket size;
-* **flat adapters** -- :class:`AcvBroadcastGkm` vs
-  :class:`BucketedBroadcastGkm` driven through identical random
-  join/revoke sequences, including ``member_state()`` /
-  ``restore_members()`` checkpoint round trips;
-* **end to end** -- the load-engine smoke scenario run under both
-  publish-path strategies (and, in the slow tier, both drivers),
-  asserting byte-identical delivered plaintexts.
+* **bucketed vs dense** (PR 5) -- at the core, flat-adapter (including
+  ``member_state()`` checkpoint round trips) and load-engine levels;
+* **incremental vs from-scratch** -- the rank-1 join maintenance: a
+  cache-carried :class:`~repro.gkm.acv.AcvFactorization` extended across
+  joins must produce headers with identical derivation and lockout
+  behaviour to a full re-solve, across join-only and join/revoke
+  interleaved scripts, dense and bucketed, cold restarts mid-sequence,
+  and (end to end) the warm-churn scenario on both load drivers.
 """
 
+import dataclasses
 import random
 
 import pytest
@@ -26,8 +26,14 @@ from hypothesis import strategies as st
 from repro.errors import KeyDerivationError
 from repro.gkm.acv import FAST_FIELD, AcvBgkm, AcvBroadcastGkm
 from repro.gkm.buckets import BucketedAcvBgkm, BucketedBroadcastGkm
-from repro.gkm.strategy import BucketedGkmStrategy, DenseGkmStrategy
+from repro.gkm.strategy import (
+    AcvBuildCache,
+    BucketedGkmStrategy,
+    DenseGkmStrategy,
+    build_strategy,
+)
 from repro.load import LoadEngine, bucketed, smoke_scenario
+from repro.load.scenarios import warm_churn_scenario
 from repro.workloads.generator import make_css_rows
 
 
@@ -242,6 +248,153 @@ def test_adapter_capacity_is_per_bucket():
         tight.rekey(rng=random.Random(2))
 
 
+# -- incremental vs from-scratch ----------------------------------------------
+
+
+def _assert_header_behaviour(core, header, key, rows, outsiders, bucket_size):
+    """Members derive ``key``; outsiders (revoked or never joined) do not."""
+    if bucket_size is None:
+        for row in rows:
+            assert core.derive(header, row) == key
+        for row in outsiders:
+            assert core.derive(header, row) != key
+    else:
+        for index, row in enumerate(rows):
+            assert core.derive(header.buckets[index // bucket_size], row) == key
+        for row in outsiders:
+            assert all(core.derive(b, row) != key for b in header.buckets)
+
+
+@given(
+    ops=st.lists(
+        st.one_of(st.just("join"), st.integers(min_value=0, max_value=10)),
+        min_size=1,
+        max_size=12,
+    ),
+    gkm=st.sampled_from(["dense", "bucketed"]),
+    restart=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_incremental_vs_scratch_membership_sweep(ops, gkm, restart, seed):
+    """Random join/revoke scripts (join-only included), dense and
+    bucketed: after every membership change the cache-backed build -- a
+    mix of exact hits, incremental extensions and full solves -- and a
+    cache-free from-scratch build must both give every current member the
+    build's key and lock out every removed row and outsiders.
+
+    ``restart`` drops the cache mid-sequence, modelling a publisher
+    restart: durable CSS state survives recovery, the process-local
+    factorizations do not, and parity must hold straight through.
+    """
+    rng = random.Random(seed)
+    core = AcvBgkm(FAST_FIELD)
+    bucket_size = 3 if gkm == "bucketed" else None
+    cache = AcvBuildCache()
+    warm = build_strategy(gkm, core, cache, bucket_size=bucket_size)
+    cold = build_strategy(gkm, core, None, bucket_size=bucket_size)
+    build_rng = random.Random(seed + 1)
+    rows, removed = [], []
+    for step, op in enumerate(ops):
+        if op == "join" or not rows:
+            rows.extend(make_css_rows(1, rng=rng))
+            cache.note_join()
+        else:
+            removed.append(rows.pop(op % len(rows)))
+            cache.invalidate()
+        if restart and step == len(ops) // 2:
+            cache = AcvBuildCache()
+            warm = build_strategy(gkm, core, cache, bucket_size=bucket_size)
+        warm_key, warm_header = warm.build(rows, capacity=None, slack=0, rng=build_rng)
+        cold_key, cold_header = cold.build(rows, capacity=None, slack=0, rng=build_rng)
+        outsiders = removed + [(b"never-joined",)]
+        _assert_header_behaviour(
+            core, warm_header, warm_key, rows, outsiders, bucket_size
+        )
+        _assert_header_behaviour(
+            core, cold_header, cold_key, rows, outsiders, bucket_size
+        )
+
+
+def test_incremental_join_only_sequence_actually_extends():
+    """Deterministic join-only ramp: beyond the cold start every dense
+    build must take the delta path (no full re-solve sneaks back in), and
+    behaviour stays identical to the scratch build."""
+    rng = random.Random(0xACE)
+    core = AcvBgkm(FAST_FIELD)
+    cache = AcvBuildCache()
+    warm = DenseGkmStrategy(core, cache)
+    cold = DenseGkmStrategy(core)
+    rows = []
+    for _ in range(8):
+        rows.extend(make_css_rows(1, rng=rng))
+        cache.note_join()
+        warm_key, warm_header = warm.build(rows, capacity=None, slack=0, rng=rng)
+        cold_key, cold_header = cold.build(rows, capacity=None, slack=0, rng=rng)
+        _assert_header_behaviour(
+            core, warm_header, warm_key, rows, [(b"outsider",)], None
+        )
+        _assert_header_behaviour(
+            core, cold_header, cold_key, rows, [(b"outsider",)], None
+        )
+    assert cache.stats()["extends"] == 7  # every build after the first
+
+
+@given(
+    initial=st.integers(min_value=0, max_value=6),
+    joins=st.integers(min_value=1, max_value=5),
+    extra_capacity=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=25)
+def test_extended_factorization_annihilates_rebuilt_matrix(
+    initial, joins, extra_capacity, seed
+):
+    """Property: after staged extensions, the carried null-space basis
+    equals (element for element) the basis of the fully rebuilt matrix
+    and annihilates every row of it."""
+    rng = random.Random(seed)
+    core = AcvBgkm(FAST_FIELD)
+    rows = make_css_rows(initial, rng=rng) if initial else []
+    _, _, fact = core.generate_with_factorization(
+        rows, n_max=initial + 1, rng=rng
+    )
+    first, second = joins // 2, joins - joins // 2
+    if first:
+        fact.extend(make_css_rows(first, rng=rng), added_capacity=first, rng=rng)
+    fact.extend(
+        make_css_rows(second, rng=rng),
+        added_capacity=second - 1 + extra_capacity,
+        rng=rng,
+    )
+    rebuilt = core.build_matrix(fact.rows, fact.zs)
+    basis = fact.null_basis()
+    assert basis == rebuilt.null_space()
+    for vector in basis:
+        assert all(x == 0 for x in rebuilt.mat_vec(vector))
+
+
+def test_extension_parity_on_the_paper_field():
+    """The 80-bit paper field takes the pure-Python kernels end to end:
+    one staged extension, derivation + lockout + annihilation parity."""
+    from repro.gkm.acv import PAPER_FIELD
+
+    rng = random.Random(0x80B17)
+    core = AcvBgkm(PAPER_FIELD)
+    rows = make_css_rows(4, rng=rng)
+    key, header, fact = core.generate_with_factorization(rows, n_max=4, rng=rng)
+    for row in rows:
+        assert core.derive(header, row) == key
+    joined = make_css_rows(2, rng=rng)
+    fact.extend(joined, added_capacity=2, rng=rng)
+    key2, header2 = core.rekey_from_factorization(fact, rng=rng)
+    for row in rows + joined:
+        assert core.derive(header2, row) == key2
+    assert core.derive(header2, (b"outsider",)) != key2
+    rebuilt = core.build_matrix(fact.rows, fact.zs)
+    assert fact.null_basis() == rebuilt.null_space()
+
+
 # -- end to end through the load engine --------------------------------------
 
 
@@ -280,6 +433,75 @@ def test_smoke_scenario_differential_both_drivers():
     }
     reference = runs[("dense", "memory")]
     assert reference  # the population actually decrypted something
+    for key, plaintexts in runs.items():
+        assert plaintexts == reference, "run %r diverged" % (key,)
+
+
+def _scratch(scenario):
+    """The same scenario with the ACV build cache disabled: every publish
+    re-solves from scratch -- the incremental path's baseline."""
+    return dataclasses.replace(
+        scenario, name="%s-scratch" % scenario.name, acv_cache=False
+    ).validate()
+
+
+def _warm_churn_run(scenario, driver="memory"):
+    """(plaintexts, per-publisher cache stats) for one warm-churn run."""
+    with LoadEngine(scenario, driver=driver) as engine:
+        engine.run()
+        plaintexts = {
+            member.user: {
+                name: dict(texts)
+                for name, texts in member.client.documents.items()
+            }
+            for member in engine.members.values()
+            if member.client is not None
+        }
+        stats = {
+            name: service.publisher.acv_cache_stats()
+            for name, service in engine.services.items()
+        }
+        return plaintexts, stats
+
+
+def test_warm_churn_incremental_vs_scratch_memory():
+    """The warm-churn scenario under incremental maintenance vs full
+    re-solves: identical delivered plaintexts (the engine has already
+    asserted lockout and derivation invariants inside both runs), and the
+    incremental run really took the delta path."""
+    warm_docs, warm_stats = _warm_churn_run(warm_churn_scenario())
+    cold_docs, cold_stats = _warm_churn_run(_scratch(warm_churn_scenario()))
+    assert warm_docs  # the population decrypted something
+    assert warm_docs == cold_docs
+    for name, stats in warm_stats.items():
+        assert stats["extends"] > 0, "publisher %s never extended" % name
+    for stats in cold_stats.values():
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "extends": 0,
+            "epoch": 0,
+            "entries": 0,
+        }
+
+
+@pytest.mark.slow
+def test_warm_churn_incremental_vs_scratch_both_drivers():
+    """The full 2x2: {incremental, scratch} x {memory, tcp} deliver
+    identical plaintexts -- the acceptance sweep for the join-delta path
+    on both load drivers."""
+    runs = {}
+    for label, factory in (
+        ("incremental", warm_churn_scenario),
+        ("scratch", lambda: _scratch(warm_churn_scenario())),
+    ):
+        for driver in ("memory", "tcp"):
+            docs, stats = _warm_churn_run(factory(), driver=driver)
+            if label == "incremental":
+                assert any(s["extends"] > 0 for s in stats.values())
+            runs[(label, driver)] = docs
+    reference = runs[("incremental", "memory")]
+    assert reference
     for key, plaintexts in runs.items():
         assert plaintexts == reference, "run %r diverged" % (key,)
 

@@ -1,7 +1,5 @@
 """The publish-path strategy layer: caching, invalidation, dispatch."""
 
-import random
-
 import pytest
 
 from repro.errors import InvalidParameterError, SerializationError
@@ -93,7 +91,13 @@ def test_cache_invalidation_drops_entries(core, rng):
     _, header1 = strategy.build(rows, capacity=None, slack=0, rng=rng)
     cache.invalidate()  # the publisher's join/revoke hook
     _, header2 = strategy.build(rows, capacity=None, slack=0, rng=rng)
-    assert cache.stats() == {"hits": 0, "misses": 2, "epoch": 1, "entries": 1}
+    assert cache.stats() == {
+        "hits": 0,
+        "misses": 2,
+        "extends": 0,
+        "epoch": 1,
+        "entries": 1,
+    }
     assert header1.zs != header2.zs  # fresh nonces in the new epoch
 
 
@@ -108,13 +112,118 @@ def test_cache_bound_evicts_oldest(core, rng):
     assert cache.stats()["misses"] == 4
 
 
+def test_cache_true_lru_keeps_hot_entry_under_cycling(core, rng):
+    """Regression: eviction used to be plain insertion order, so a hot
+    configuration that kept hitting was also the first evicted once a
+    cycle of cold ones overflowed the cache.  A hit must refresh recency."""
+    cache = AcvBuildCache(max_entries=2)
+    strategy = DenseGkmStrategy(core, cache)
+    hot = make_css_rows(3, rng=rng)
+    cold1 = make_css_rows(3, rng=rng)
+    cold2 = make_css_rows(3, rng=rng)
+    strategy.build(hot, capacity=None, slack=0, rng=rng)  # store hot
+    strategy.build(cold1, capacity=None, slack=0, rng=rng)  # store cold1
+    strategy.build(hot, capacity=None, slack=0, rng=rng)  # HIT refreshes hot
+    strategy.build(cold2, capacity=None, slack=0, rng=rng)  # evicts cold1
+    assert cache.stats()["hits"] == 1
+    strategy.build(hot, capacity=None, slack=0, rng=rng)  # must still hit
+    assert cache.stats()["hits"] == 2
+    strategy.build(cold1, capacity=None, slack=0, rng=rng)  # was evicted
+    assert cache.stats()["misses"] == 4
+
+
+def test_join_delta_extends_instead_of_resolving(core, rng):
+    """After note_join, a strict row superset extends the carried
+    factorization: old nonces are reused (plus fresh ones for the added
+    capacity), every old and new row derives, outsiders stay locked out."""
+    cache = AcvBuildCache()
+    strategy = DenseGkmStrategy(core, cache)
+    rows = make_css_rows(5, rng=rng)
+    key1, header1 = strategy.build(rows, capacity=None, slack=0, rng=rng)
+    cache.note_join()
+    assert cache.stats()["epoch"] == 1
+    assert cache.stats()["entries"] == 1  # entries survive a pure join
+    joined = rows + make_css_rows(1, rng=rng)
+    key2, header2 = strategy.build(joined, capacity=None, slack=0, rng=rng)
+    assert cache.stats()["extends"] == 1
+    assert cache.stats()["misses"] == 2  # neither build exact-hit
+    assert header2.zs[: len(header1.zs)] == header1.zs  # join reuses nonces
+    assert header2.capacity == len(joined)
+    assert key1 != key2
+    for row in joined:
+        assert core.derive(header2, row) == key2
+    assert core.derive(header2, (b"outsider",)) != key2
+    # The extended state was re-stored: the same configuration now hits.
+    _, header3 = strategy.build(joined, capacity=None, slack=0, rng=rng)
+    assert cache.stats()["hits"] == 1
+    assert header3.zs == header2.zs
+
+
+def test_bucketed_join_delta_touches_only_last_bucket(core, rng):
+    """Joins append in row order, so earlier buckets exact-hit and only
+    the tail bucket extends."""
+    cache = AcvBuildCache()
+    strategy = BucketedGkmStrategy(core, cache, bucket_size=4)
+    rows = make_css_rows(6, rng=rng)
+    key1, _ = strategy.build(rows, capacity=None, slack=0, rng=rng)
+    cache.note_join()
+    joined = rows + make_css_rows(1, rng=rng)
+    key2, header2 = strategy.build(joined, capacity=None, slack=0, rng=rng)
+    stats = cache.stats()
+    assert stats["hits"] == 1  # bucket 1 unchanged
+    assert stats["extends"] == 1  # bucket 2 grew by one row
+    for index, row in enumerate(joined):
+        assert core.derive(header2.buckets[index // 4], row) == key2
+    assert key1 != key2
+
+
+def test_revoke_invalidation_forces_full_resolve(core, rng):
+    """invalidate() (the revoke/credential-replacement hook) must leave
+    nothing extendable: the next build re-solves under fresh nonces."""
+    cache = AcvBuildCache()
+    strategy = DenseGkmStrategy(core, cache)
+    rows = make_css_rows(4, rng=rng)
+    _, header1 = strategy.build(rows, capacity=None, slack=0, rng=rng)
+    cache.invalidate()
+    remaining = rows[:-1]
+    _, header2 = strategy.build(remaining, capacity=None, slack=0, rng=rng)
+    assert cache.stats()["extends"] == 0
+    assert set(header2.zs).isdisjoint(header1.zs)  # fresh nonces, no reuse
+    revoked = rows[-1]
+    assert core.derive(header2, revoked) not in {
+        core.derive(header2, row) for row in remaining
+    }
+
+
+def test_delta_capacity_never_shrinks_published_nonces(core, rng):
+    """A candidate whose capacity exceeds the new build's n_max must not
+    be extended (nonces cannot be dropped); the build re-solves instead."""
+    cache = AcvBuildCache()
+    strategy = DenseGkmStrategy(core, cache)
+    rows = make_css_rows(2, rng=rng)
+    strategy.build(rows, capacity=16, slack=0, rng=rng)  # capacity 16
+    cache.note_join()
+    joined = rows + make_css_rows(1, rng=rng)
+    key, header = strategy.build(joined, capacity=None, slack=0, rng=rng)
+    assert cache.stats()["extends"] == 0  # 16 > 3: not extendable
+    assert header.capacity == 3
+    for row in joined:
+        assert core.derive(header, row) == key
+
+
 def test_bucketed_build_shares_cache_per_chunk(core, rng):
     cache = AcvBuildCache()
     strategy = BucketedGkmStrategy(core, cache, bucket_size=2)
     rows = make_css_rows(6, rng=rng)
     key1, header1 = strategy.build(rows, capacity=None, slack=0, rng=rng)
     key2, header2 = strategy.build(rows, capacity=None, slack=0, rng=rng)
-    assert cache.stats() == {"hits": 3, "misses": 3, "epoch": 0, "entries": 3}
+    assert cache.stats() == {
+        "hits": 3,
+        "misses": 3,
+        "extends": 0,
+        "epoch": 0,
+        "entries": 3,
+    }
     assert key1 != key2
     for index, row in enumerate(rows):
         assert core.derive(header1.buckets[index // 2], row) == key1

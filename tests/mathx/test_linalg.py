@@ -11,6 +11,7 @@ from repro.mathx.field import PrimeField
 from repro.mathx.linalg import (
     NUMPY_MODULUS_LIMIT,
     Matrix,
+    RrefFactorization,
     random_null_vector,
     solve,
     vec_dot,
@@ -166,6 +167,120 @@ class TestMatrixOps:
         z = Matrix.zeros(SMALL, 2, 3)
         assert z.shape == (2, 3)
         assert all(all(x == 0 for x in row) for row in z.rows)
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=["numpy-kernel", "python-kernel"])
+class TestRrefFactorization:
+    """The incremental elimination state must be indistinguishable from a
+    from-scratch :meth:`Matrix.rref` of the same (grown) matrix -- pivots,
+    rank, and the null-space basis byte for byte."""
+
+    def _assert_matches_scratch(self, fact, field, rows, ncols):
+        scratch = Matrix(field, rows)
+        scratch.ncols = ncols  # preserve width when rows is empty
+        _, pivots = scratch.rref()
+        assert tuple(fact.pivots) == pivots
+        assert fact.rank == len(pivots)
+        assert fact.null_space() == scratch.null_space()
+
+    def test_from_matrix_matches_scratch(self, field):
+        m = random_matrix(field, 4, 6, seed=11)
+        fact = m.rref_factorization()
+        self._assert_matches_scratch(fact, field, m.rows, 6)
+
+    def test_extend_row_matches_scratch(self, field):
+        rng = random.Random(12)
+        rows = [[rng.randrange(field.p) for _ in range(8)] for _ in range(3)]
+        fact = Matrix(field, rows).rref_factorization()
+        for _ in range(4):
+            new_row = [rng.randrange(field.p) for _ in range(8)]
+            fact.extend_row(new_row)
+            rows.append(new_row)
+            self._assert_matches_scratch(fact, field, rows, 8)
+
+    def test_extend_duplicate_row_keeps_rank(self, field):
+        rng = random.Random(13)
+        rows = [[rng.randrange(field.p) for _ in range(5)] for _ in range(3)]
+        fact = Matrix(field, rows).rref_factorization()
+        assert fact.extend_row(rows[1]) is False
+        rows.append(rows[1])
+        assert fact.n_source == 4
+        self._assert_matches_scratch(fact, field, rows, 5)
+
+    def test_extend_column_matches_scratch(self, field):
+        rng = random.Random(14)
+        rows = [[rng.randrange(field.p) for _ in range(4)] for _ in range(3)]
+        fact = Matrix(field, rows).rref_factorization()
+        for _ in range(3):
+            col = [rng.randrange(field.p) for _ in range(len(rows))]
+            fact.extend_column(col)
+            for row, x in zip(rows, col):
+                row.append(x)
+            self._assert_matches_scratch(fact, field, rows, len(rows[0]))
+
+    def test_extend_column_promotes_dependent_row(self, field):
+        # Two identical rows; the widened column separates them, so the
+        # dependent row must be promoted to a fresh pivot.
+        rng = random.Random(15)
+        base = [rng.randrange(field.p) for _ in range(4)]
+        rows = [base[:], base[:]]
+        fact = Matrix(field, rows).rref_factorization()
+        assert fact.rank == 1
+        fact.extend_column([0, 1])
+        rows[0].append(0)
+        rows[1].append(1)
+        assert fact.rank == 2
+        self._assert_matches_scratch(fact, field, rows, 5)
+
+    def test_empty_factorization_identity_basis(self, field):
+        # No rows constrain anything: the null space is all of F^3, and the
+        # basis enumeration (free columns ascending) yields the identity.
+        fact = RrefFactorization(field, 3)
+        expected = [tuple(1 if i == j else 0 for i in range(3)) for j in range(3)]
+        assert fact.null_space() == expected
+
+    def test_length_validation(self, field):
+        fact = random_matrix(field, 2, 3, seed=16).rref_factorization()
+        with pytest.raises(InvalidParameterError):
+            fact.extend_row([1, 2])
+        with pytest.raises(InvalidParameterError):
+            fact.extend_column([1, 2, 3])
+        with pytest.raises(InvalidParameterError):
+            RrefFactorization(field, -1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_factorization_tracks_growth(seed):
+    """Random interleavings of row/column growth (with deliberate duplicate
+    rows forcing the dependent-row bookkeeping) stay equal to a rebuild."""
+    rng = random.Random(seed)
+    for field in FIELDS:
+        ncols = rng.randrange(1, 5)
+        rows = [[rng.randrange(field.p) for _ in range(ncols)] for _ in range(rng.randrange(0, 4))]
+        fact = Matrix(field, rows).rref_factorization() if rows else RrefFactorization(field, ncols)
+        for _ in range(6):
+            op = rng.random()
+            if op < 0.4 or not rows:
+                new_row = (
+                    rows[rng.randrange(len(rows))][:]
+                    if rows and rng.random() < 0.3
+                    else [rng.randrange(field.p) for _ in range(ncols)]
+                )
+                fact.extend_row(new_row)
+                rows.append(new_row[:])
+            else:
+                col = [rng.randrange(field.p) for _ in range(len(rows))]
+                fact.extend_column(col)
+                for row, x in zip(rows, col):
+                    row.append(x)
+                ncols += 1
+        scratch = Matrix(field, rows)
+        scratch.ncols = ncols
+        assert tuple(fact.pivots) == scratch.rref()[1]
+        assert fact.null_space() == scratch.null_space()
+        for v in fact.null_space():
+            assert all(x == 0 for x in scratch.mat_vec(v))
 
 
 @settings(max_examples=15)
